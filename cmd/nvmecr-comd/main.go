@@ -1,0 +1,152 @@
+// Command nvmecr-comd runs the CoMD proxy application over a chosen
+// storage system on the simulated paper testbed, printing checkpoint
+// times, efficiency, recovery time, and progress rate — a command-line
+// version of the paper's application evaluation (§IV-H).
+//
+// Usage:
+//
+//	nvmecr-comd -system nvme-cr -ranks 448 -checkpoints 10
+//	nvmecr-comd -system glusterfs -ranks 112
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/balancer"
+	"github.com/nvme-cr/nvmecr/internal/baseline"
+	"github.com/nvme-cr/nvmecr/internal/comd"
+	"github.com/nvme-cr/nvmecr/internal/core"
+	"github.com/nvme-cr/nvmecr/internal/fabric"
+	"github.com/nvme-cr/nvmecr/internal/metrics"
+	"github.com/nvme-cr/nvmecr/internal/microfs"
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/mpi"
+	"github.com/nvme-cr/nvmecr/internal/nvme"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/topology"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+func main() {
+	system := flag.String("system", "nvme-cr", "storage system: nvme-cr, orangefs, glusterfs")
+	ranks := flag.Int("ranks", 112, "MPI processes")
+	ckpts := flag.Int("checkpoints", 3, "checkpoint phases")
+	mb := flag.Int64("mb", 156, "checkpoint MiB per rank per phase")
+	strong := flag.Bool("strong", false, "strong scaling (fixed total problem) instead of weak")
+	flag.Parse()
+
+	cluster, err := topology.New(topology.PaperTestbed())
+	if err != nil {
+		log.Fatal(err)
+	}
+	env := sim.NewEnv()
+	params := model.Default()
+	fab := fabric.New(env, cluster, params.Net)
+	world, err := mpi.NewWorld(env, cluster, *ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var cfg comd.Config
+	if *strong {
+		cfg = comd.StrongScaling(*ranks)
+	} else {
+		cfg = comd.WeakScaling()
+		cfg.CheckpointBytesPerRank = *mb * model.MB
+	}
+	cfg.Checkpoints = *ckpts
+
+	clients := make([]vfs.Client, *ranks)
+	app, err := comd.New(world, clients, nil, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var rt *core.Runtime
+	switch *system {
+	case "nvme-cr":
+		var devices []balancer.StorageDevice
+		for _, sn := range cluster.StorageNodes() {
+			devices = append(devices, balancer.StorageDevice{
+				Node: sn, Device: nvme.New(env, sn.Name, params.SSD, false),
+			})
+		}
+		rt, err = core.NewRuntime(env, world, fab, devices, core.Options{
+			Mode: core.RemoteSPDK, Features: microfs.AllFeatures(),
+			Background: true, SSDs: len(devices),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	case "orangefs", "glusterfs":
+		var nodes []*topology.Node
+		var devs []*nvme.Device
+		for _, sn := range cluster.StorageNodes() {
+			nodes = append(nodes, sn)
+			devs = append(devs, nvme.New(env, sn.Name, params.SSD, false))
+		}
+		backend, err := baseline.NewBackend(env, fab, nodes, devs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var fs *baseline.DistFS
+		if *system == "orangefs" {
+			fs = baseline.NewOrangeFS(backend, params)
+		} else {
+			fs = baseline.NewGlusterFS(backend, params)
+		}
+		for i := 0; i < *ranks; i++ {
+			clients[i] = fs.NewClient(world.Node(i))
+		}
+	default:
+		log.Fatalf("unknown system %q", *system)
+	}
+
+	var recovery time.Duration
+	errs := make([]error, *ranks)
+	world.Launch(func(r *mpi.Rank, p *sim.Proc) {
+		me := r.ID()
+		if rt != nil {
+			c, err := rt.InitRank(p, r)
+			if err != nil {
+				errs[me] = err
+				return
+			}
+			clients[me] = c
+		}
+		if err := app.RankBody(r, p); err != nil {
+			errs[me] = err
+			return
+		}
+		if err := app.Recover(r, p, &recovery); err != nil {
+			errs[me] = err
+			return
+		}
+		if rt != nil {
+			errs[me] = rt.Finalize(p, r)
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		log.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			log.Fatalf("rank %d: %v", i, e)
+		}
+	}
+
+	res := app.Result()
+	peak := params.SSD.WriteBW * 8
+	fmt.Printf("%s: %d ranks, %d checkpoints of %d MiB/rank\n",
+		*system, *ranks, *ckpts, cfg.CheckpointBytesPerRank>>20)
+	for i, d := range res.CheckpointTimes {
+		bw := metrics.Bandwidth(res.BytesPerCheckpoint, d)
+		fmt.Printf("  checkpoint %d: %10v  %7.2f GB/s  efficiency %.3f\n",
+			i, d.Round(time.Microsecond), bw/1e9, metrics.Efficiency(bw, peak))
+	}
+	fmt.Printf("  recovery: %v; compute %v; progress rate %.3f\n",
+		recovery.Round(time.Millisecond), res.ComputeTime.Round(time.Millisecond), res.ProgressRate())
+}

@@ -1,0 +1,93 @@
+package nvmecr
+
+// End-to-end determinism: the whole stack — topology, balancer, MPI,
+// NVMe-oF planes, microfs, background snapshot threads — must produce
+// bit-identical virtual timelines across runs. Reproducibility is what
+// makes the simulated evaluation trustworthy; any hidden dependence on
+// Go's scheduler or map iteration order would show up here.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+// runDeterministicJob executes a moderately complex job and returns its
+// virtual makespan plus a per-rank timing fingerprint.
+func runDeterministicJob(t *testing.T) (time.Duration, []time.Duration) {
+	t.Helper()
+	job, err := NewJob(JobConfig{Ranks: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marks := make([]time.Duration, 24)
+	elapsed, err := job.Run(func(ctx *RankCtx) error {
+		p := ctx.Proc
+		me := ctx.Rank.ID()
+		if err := ctx.FS.Mkdir(p, "/ckpt", 0o755); err != nil {
+			return err
+		}
+		for step := 0; step < 3; step++ {
+			f, err := ctx.FS.Create(p, fmt.Sprintf("/ckpt/s%02d.tmp", step), 0o644)
+			if err != nil {
+				return err
+			}
+			if _, err := vfs.WriteAllN(p, f, int64(me+1)*model.MB, 256*model.KB); err != nil {
+				return err
+			}
+			if err := f.Fsync(p); err != nil {
+				return err
+			}
+			if err := f.Close(p); err != nil {
+				return err
+			}
+			if err := ctx.FS.Rename(p,
+				fmt.Sprintf("/ckpt/s%02d.tmp", step),
+				fmt.Sprintf("/ckpt/s%02d.dat", step)); err != nil {
+				return err
+			}
+		}
+		entries, err := ctx.FS.ReadDir(p, "/ckpt")
+		if err != nil {
+			return err
+		}
+		if len(entries) != 3 {
+			return fmt.Errorf("rank %d sees %d entries", me, len(entries))
+		}
+		g, err := ctx.FS.Open(p, entries[len(entries)-1].Path, vfs.ReadOnly)
+		if err != nil {
+			return err
+		}
+		if _, err := vfs.ReadAllN(p, g, entries[len(entries)-1].Size, 256*model.KB); err != nil {
+			return err
+		}
+		if err := g.Close(p); err != nil {
+			return err
+		}
+		marks[me] = p.Now()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return elapsed, marks
+}
+
+func TestEndToEndDeterminism(t *testing.T) {
+	end1, marks1 := runDeterministicJob(t)
+	for trial := 0; trial < 3; trial++ {
+		end2, marks2 := runDeterministicJob(t)
+		if end1 != end2 {
+			t.Fatalf("trial %d: makespan diverged: %v vs %v", trial, end1, end2)
+		}
+		for r := range marks1 {
+			if marks1[r] != marks2[r] {
+				t.Fatalf("trial %d: rank %d timeline diverged: %v vs %v",
+					trial, r, marks1[r], marks2[r])
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Crash recovery: exercises NVMe-CR's metadata provenance end to end.
+// A microfs instance checkpoints files onto a (payload-capturing) SSD,
+// "crashes" — all DRAM metadata is discarded — and a fresh instance
+// rebuilds everything from the on-SSD snapshot plus the operation log,
+// verifying file contents byte for byte. The example also shows why log
+// record coalescing makes recovery near-instant: with it, the sequential
+// checkpoint writes collapse into a handful of log records to replay.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"github.com/nvme-cr/nvmecr/internal/microfs"
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/nvme"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/spdk"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+func main() {
+	env := sim.NewEnv()
+	params := model.Default()
+	params.SSD.CapacityGB = 1
+	dev := nvme.New(env, "ssd0", params.SSD, true /* capture payloads */)
+	ns, err := dev.CreateNamespace(128 * model.MB)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mkInstance := func(noCoalesce bool) *microfs.Instance {
+		acct := &vfs.Account{}
+		pl, err := spdk.NewPlane(ns, 0, ns.Size(), params.Host, acct)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, err := microfs.New(env, microfs.Config{
+			Plane:      pl,
+			Account:    acct,
+			Host:       params.Host,
+			Features:   microfs.AllFeatures(),
+			LogBytes:   1 * model.MB,
+			SnapBytes:  4 * model.MB,
+			NoCoalesce: noCoalesce,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return inst
+	}
+
+	inst := mkInstance(false)
+	payloads := map[string][]byte{}
+
+	env.Go("app", func(p *sim.Proc) {
+		// Phase 1: write three checkpoints; snapshot between them the
+		// way the background thread would.
+		if err := inst.Mkdir(p, "/ckpt", 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for step := 0; step < 3; step++ {
+			path := fmt.Sprintf("/ckpt/step%03d.dat", step)
+			data := bytes.Repeat([]byte{byte('A' + step)}, (step+1)*256*1024)
+			payloads[path] = data
+			f, err := inst.Create(p, path, 0o644)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := vfs.WriteAll(p, f, data, 32*model.KB); err != nil {
+				log.Fatal(err)
+			}
+			f.Fsync(p)
+			f.Close(p)
+			if step == 1 {
+				if err := inst.SnapshotNow(p); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Println("internal metadata snapshot taken after step 1")
+			}
+		}
+		appended, coalesced, _, _ := inst.Log().Stats()
+		fmt.Printf("before crash: %d live log records (%d writes coalesced away)\n",
+			inst.Log().Records(), coalesced)
+		_ = appended
+
+		// Phase 2: crash. All DRAM state is gone; only the SSD
+		// remains. A fresh runtime instance recovers from it.
+		fresh := mkInstance(false)
+		if err := fresh.Recover(p); err != nil {
+			log.Fatalf("recovery failed: %v", err)
+		}
+		for path, want := range payloads {
+			f, err := fresh.Open(p, path, vfs.ReadOnly)
+			if err != nil {
+				log.Fatalf("post-crash open %s: %v", path, err)
+			}
+			buf := make([]byte, len(want))
+			n, err := f.Read(p, buf)
+			if err != nil || n != len(want) || !bytes.Equal(buf, want) {
+				log.Fatalf("post-crash verify %s failed (n=%d err=%v)", path, n, err)
+			}
+			f.Close(p)
+			fmt.Printf("recovered %-22s %4d KiB  verified\n", path, len(want)>>10)
+		}
+		fmt.Printf("recovery replayed the post-snapshot log suffix; runtime is live again\n")
+
+		// Phase 3: the recovered instance keeps serving.
+		f, err := fresh.Create(p, "/ckpt/step100.dat", 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f.Write(p, []byte("life after crash"))
+		f.Close(p)
+		fmt.Println("post-recovery create succeeded: /ckpt/step100.dat")
+	})
+
+	if _, err := env.Run(); err != nil {
+		log.Fatal(err)
+	}
+}

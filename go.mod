@@ -1,0 +1,3 @@
+module github.com/nvme-cr/nvmecr
+
+go 1.22

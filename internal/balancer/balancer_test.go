@@ -1,0 +1,184 @@
+package balancer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/nvme"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/topology"
+)
+
+func inventory(t *testing.T) (*topology.Cluster, []StorageDevice, *sim.Env) {
+	t.Helper()
+	cl, err := topology.New(topology.PaperTestbed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sim.NewEnv()
+	params := model.Default().SSD
+	var devs []StorageDevice
+	for _, sn := range cl.StorageNodes() {
+		for i := 0; i < sn.SSDs; i++ {
+			devs = append(devs, StorageDevice{Node: sn, Device: nvme.New(env, sn.Name, params, false)})
+		}
+	}
+	return cl, devs, env
+}
+
+func rankNodes(cl *topology.Cluster, procs int) []*topology.Node {
+	var out []*topology.Node
+	for _, n := range cl.ComputeNodes() {
+		for c := 0; c < n.Cores && len(out) < procs; c++ {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func TestRecommendSSDs(t *testing.T) {
+	cases := []struct{ procs, want int }{
+		{0, 1}, {1, 1}, {56, 1}, {57, 2}, {448, 8}, {112, 2},
+	}
+	for _, c := range cases {
+		if got := RecommendSSDs(c.procs); got != c.want {
+			t.Errorf("RecommendSSDs(%d) = %d, want %d", c.procs, got, c.want)
+		}
+	}
+}
+
+func TestAllocationRoundRobin(t *testing.T) {
+	cl, devs, _ := inventory(t)
+	b, err := New(cl, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := rankNodes(cl, 448)
+	alloc, err := b.AllocateSSDs(ranks, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.SSDs) != 8 {
+		t.Fatalf("allocated %d SSDs, want 8", len(alloc.SSDs))
+	}
+	// Perfect balance: 448/8 = 56 ranks per SSD.
+	for i, n := range alloc.RanksPerSSD() {
+		if n != 56 {
+			t.Errorf("SSD %d serves %d ranks, want 56", i, n)
+		}
+	}
+}
+
+func TestFaultIsolation(t *testing.T) {
+	cl, devs, _ := inventory(t)
+	b, _ := New(cl, devs)
+	ranks := rankNodes(cl, 448)
+	alloc, err := b.AllocateSSDs(ranks, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, node := range ranks {
+		ssd := alloc.SSDFor(rank)
+		if !cl.SeparateDomains(node, ssd.Node) {
+			t.Fatalf("rank %d on %s assigned SSD in same failure domain (%s)",
+				rank, node.Name, ssd.Node.Name)
+		}
+	}
+}
+
+func TestAllocationValidation(t *testing.T) {
+	cl, devs, _ := inventory(t)
+	b, _ := New(cl, devs)
+	if _, err := b.AllocateSSDs(nil, 4); err == nil {
+		t.Error("empty job accepted")
+	}
+	if _, err := b.AllocateSSDs(rankNodes(cl, 10), 99); err == nil {
+		t.Error("over-inventory request accepted")
+	}
+	// want <= 0 falls back to the recommendation.
+	alloc, err := b.AllocateSSDs(rankNodes(cl, 448), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.SSDs) != 8 {
+		t.Errorf("default allocation = %d SSDs, want 8", len(alloc.SSDs))
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cl, devs, _ := inventory(t)
+	if _, err := New(cl, nil); err == nil {
+		t.Error("empty inventory accepted")
+	}
+	bad := append([]StorageDevice(nil), devs...)
+	bad[0].Node = cl.ComputeNodes()[0]
+	if _, err := New(cl, bad); err == nil {
+		t.Error("device on compute node accepted")
+	}
+}
+
+func TestPartitionNamespace(t *testing.T) {
+	_, devs, _ := inventory(t)
+	ns, err := devs[0].Device.CreateNamespace(64 * model.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ranks = 7
+	align := int64(32 * model.KB)
+	var prevEnd int64
+	for idx := 0; idx < ranks; idx++ {
+		part, err := PartitionNamespace(ns, ranks, idx, align)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if part.Base%align != 0 || part.Size%align != 0 {
+			t.Errorf("partition %d not aligned: base=%d size=%d", idx, part.Base, part.Size)
+		}
+		if idx > 0 && part.Base != prevEnd {
+			t.Errorf("partition %d base %d does not abut previous end %d", idx, part.Base, prevEnd)
+		}
+		prevEnd = part.Base + part.Size
+	}
+	if prevEnd > ns.Size() {
+		t.Errorf("partitions overflow namespace: %d > %d", prevEnd, ns.Size())
+	}
+	if _, err := PartitionNamespace(ns, 0, 0, align); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	if _, err := PartitionNamespace(ns, 4, 4, align); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+// Property: any job size and SSD count that fits the inventory yields a
+// mapping where per-SSD rank counts differ by at most one (round-robin
+// balance) and every rank has an SSD.
+func TestPropertyBalancedMapping(t *testing.T) {
+	cl, devs, _ := inventory(t)
+	b, _ := New(cl, devs)
+	f := func(procsRaw, ssdRaw uint8) bool {
+		procs := int(procsRaw%200) + 1
+		want := int(ssdRaw%8) + 1
+		alloc, err := b.AllocateSSDs(rankNodes(cl, procs), want)
+		if err != nil {
+			return false
+		}
+		counts := alloc.RanksPerSSD()
+		min, max := counts[0], counts[0]
+		total := 0
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+			total += c
+		}
+		return total == procs && max-min <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

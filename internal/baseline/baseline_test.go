@@ -1,0 +1,426 @@
+package baseline
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/fabric"
+	"github.com/nvme-cr/nvmecr/internal/metrics"
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/nvme"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/topology"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+// testCluster builds the paper testbed with one device per storage node.
+func testCluster(t *testing.T) (*sim.Env, *fabric.Fabric, *topology.Cluster, *Backend) {
+	t.Helper()
+	cl, err := topology.New(topology.PaperTestbed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sim.NewEnv()
+	params := model.Default()
+	params.SSD.CapacityGB = 8
+	fab := fabric.New(env, cl, params.Net)
+	var nodes []*topology.Node
+	var devs []*nvme.Device
+	for _, sn := range cl.StorageNodes() {
+		nodes = append(nodes, sn)
+		devs = append(devs, nvme.New(env, sn.Name, params.SSD, false))
+	}
+	backend, err := NewBackend(env, fab, nodes, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, fab, cl, backend
+}
+
+func TestJumpHashProperties(t *testing.T) {
+	// Range and determinism.
+	for key := uint64(0); key < 1000; key++ {
+		b := JumpHash(key, 8)
+		if b < 0 || b >= 8 {
+			t.Fatalf("JumpHash(%d, 8) = %d out of range", key, b)
+		}
+		if b != JumpHash(key, 8) {
+			t.Fatalf("JumpHash not deterministic for key %d", key)
+		}
+	}
+	if JumpHash(42, 0) != 0 {
+		t.Error("zero buckets should map to 0")
+	}
+	// Uniformity over many keys.
+	counts := make([]int, 8)
+	const n = 80000
+	for key := uint64(0); key < n; key++ {
+		counts[JumpHash(key*2654435761, 8)]++
+	}
+	for b, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.10 || frac > 0.15 {
+			t.Errorf("bucket %d holds %.3f of keys, want ~0.125", b, frac)
+		}
+	}
+}
+
+// Property: jump hash is monotone — growing the bucket count only moves
+// keys to the new bucket, never between old buckets.
+func TestPropertyJumpHashMonotone(t *testing.T) {
+	f := func(key uint64, bRaw uint8) bool {
+		buckets := int(bRaw%30) + 1
+		before := JumpHash(key, buckets)
+		after := JumpHash(key, buckets+1)
+		return after == before || after == buckets
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrangeFSStripesEvenly(t *testing.T) {
+	env, _, cl, backend := testCluster(t)
+	fs := NewOrangeFS(backend, model.Default())
+	client := fs.NewClient(cl.ComputeNodes()[0])
+	env.Go("writer", func(p *sim.Proc) {
+		f, err := client.Create(p, "/big.dat", 0o644)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		vfs.WriteAllN(p, f, 64*model.MB, 4*model.MB)
+		f.Close(p)
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cov := metrics.CoV(fs.Backend().ServerLoads())
+	if cov > 0.02 {
+		t.Errorf("OrangeFS striping CoV = %.4f, want near 0", cov)
+	}
+}
+
+func TestGlusterFSImbalanceAtLowConcurrency(t *testing.T) {
+	// Few whole files over 8 servers: jump hash leaves visible
+	// imbalance; many files smooth it out — the Figure 7b shape.
+	covFor := func(files int) float64 {
+		env, _, cl, backend := testCluster(t)
+		fs := NewGlusterFS(backend, model.Default())
+		client := fs.NewClient(cl.ComputeNodes()[0])
+		env.Go("writer", func(p *sim.Proc) {
+			for i := 0; i < files; i++ {
+				f, err := client.Create(p, fmt.Sprintf("/f%04d", i), 0o644)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				f.WriteN(p, 4*model.MB)
+				f.Close(p)
+			}
+		})
+		if _, err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return metrics.CoV(fs.Backend().ServerLoads())
+	}
+	low := covFor(12)
+	high := covFor(448)
+	if low < 0.15 {
+		t.Errorf("CoV at 12 files = %.3f, expected visible imbalance", low)
+	}
+	if high >= low {
+		t.Errorf("CoV should shrink with concurrency: %.3f (12 files) vs %.3f (448)", low, high)
+	}
+}
+
+func TestCreateStormSerializesAtDirectoryServer(t *testing.T) {
+	// N clients creating files in one shared directory must serialize:
+	// doubling the clients roughly doubles the elapsed time.
+	elapsed := func(clients int) time.Duration {
+		env, _, cl, backend := testCluster(t)
+		fs := NewGlusterFS(backend, model.Default())
+		for i := 0; i < clients; i++ {
+			i := i
+			client := fs.NewClient(cl.ComputeNodes()[i%16])
+			env.Go("creator", func(p *sim.Proc) {
+				f, err := client.Create(p, fmt.Sprintf("/ckpt/file%05d", i), 0o644)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				f.Close(p)
+			})
+		}
+		// The /ckpt directory must exist first.
+		setup := fs.NewClient(cl.ComputeNodes()[0])
+		fs.dirs["/ckpt"] = true
+		_ = setup
+		end, err := env.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	t16 := elapsed(16)
+	t64 := elapsed(64)
+	ratio := t64.Seconds() / t16.Seconds()
+	if ratio < 3 {
+		t.Errorf("64/16-client create ratio = %.2f, want ~4 (serialized)", ratio)
+	}
+}
+
+func TestDistWriteReadRoundTrip(t *testing.T) {
+	env, _, cl, backend := testCluster(t)
+	fs := NewOrangeFS(backend, model.Default())
+	client := fs.NewClient(cl.ComputeNodes()[0])
+	payload := bytes.Repeat([]byte("stripe"), 30000) // 180 KB
+	env.Go("rw", func(p *sim.Proc) {
+		if err := client.Mkdir(p, "/d", 0o755); err != nil {
+			t.Error(err)
+			return
+		}
+		f, err := client.Create(p, "/d/x", 0o644)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := vfs.WriteAll(p, f, payload, 64*model.KB); err != nil {
+			t.Error(err)
+		}
+		f.Fsync(p)
+		f.Close(p)
+		g, err := client.Open(p, "/d/x", vfs.ReadOnly)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, len(payload))
+		n, err := g.Read(p, buf)
+		if err != nil || n != len(payload) || !bytes.Equal(buf, payload) {
+			t.Errorf("read back n=%d err=%v equal=%v", n, err, bytes.Equal(buf[:n], payload))
+		}
+		g.Close(p)
+		// Namespace errors.
+		if _, err := client.Create(p, "/d/x", 0o644); err != vfs.ErrExist {
+			t.Errorf("duplicate create: %v", err)
+		}
+		if _, err := client.Open(p, "/nope", vfs.ReadOnly); err != vfs.ErrNotExist {
+			t.Errorf("open missing: %v", err)
+		}
+		if err := client.Unlink(p, "/d/x"); err != nil {
+			t.Error(err)
+		}
+		if _, err := client.Stat(p, "/d/x"); err != vfs.ErrNotExist {
+			t.Errorf("stat after unlink: %v", err)
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrailSingleServerOnly(t *testing.T) {
+	env, fab, cl, _ := testCluster(t)
+	params := model.Default()
+	// Full backend (8 servers) must be rejected.
+	var nodes []*topology.Node
+	var devs []*nvme.Device
+	for _, sn := range cl.StorageNodes() {
+		nodes = append(nodes, sn)
+		devs = append(devs, nvme.New(env, sn.Name+"x", params.SSD, false))
+	}
+	multi, err := NewBackend(env, fab, nodes, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCrail(multi, params); err == nil {
+		t.Error("multi-server Crail accepted")
+	}
+	single, err := NewBackend(env, fab, nodes[:1], []*nvme.Device{nvme.New(env, "crail0", params.SSD, false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crail, err := NewCrail(single, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := crail.NewClient(cl.ComputeNodes()[0])
+	env.Go("w", func(p *sim.Proc) {
+		f, err := client.Create(p, "/c", 0o644)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f.WriteN(p, 8*model.MB)
+		f.Close(p)
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelFSExt4SlowerThanXFS(t *testing.T) {
+	run := func(v Variant) (time.Duration, float64) {
+		env := sim.NewEnv()
+		params := model.Default()
+		params.SSD.CapacityGB = 16
+		dev := nvme.New(env, "local", params.SSD, false)
+		fs, err := NewKernelFS(env, dev, v, params.Kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var kernelFrac float64
+		clients := make([]vfs.Client, 8)
+		for i := range clients {
+			clients[i] = fs.NewClient()
+		}
+		for i, c := range clients {
+			i, c := i, c
+			env.Go("proc", func(p *sim.Proc) {
+				f, err := c.Create(p, fmt.Sprintf("/ckpt%02d", i), 0o644)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				vfs.WriteAllN(p, f, 64*model.MB, 4*model.MB)
+				f.Fsync(p)
+				f.Close(p)
+				if i == 0 {
+					kernelFrac = c.Account().KernelFraction()
+				}
+			})
+		}
+		end, err := env.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end, kernelFrac
+	}
+	ext4Time, ext4Kern := run(Ext4)
+	xfsTime, xfsKern := run(XFS)
+	if ext4Time <= xfsTime {
+		t.Errorf("ext4 (%v) should be slower than XFS (%v)", ext4Time, xfsTime)
+	}
+	if ext4Kern < 0.5 || xfsKern < 0.5 {
+		t.Errorf("kernel fractions = %.2f/%.2f, want the majority in-kernel", ext4Kern, xfsKern)
+	}
+}
+
+func TestKernelFSContentRoundTrip(t *testing.T) {
+	env := sim.NewEnv()
+	params := model.Default()
+	dev := nvme.New(env, "local", params.SSD, false)
+	fs, err := NewKernelFS(env, dev, XFS, params.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fs.NewClient()
+	payload := []byte("kernel filesystem payload")
+	env.Go("rw", func(p *sim.Proc) {
+		f, err := c.Create(p, "/f", 0o644)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f.Write(p, payload)
+		f.Fsync(p)
+		f.Close(p)
+		g, _ := c.Open(p, "/f", vfs.ReadOnly)
+		buf := make([]byte, len(payload))
+		n, _ := g.Read(p, buf)
+		if n != len(payload) || !bytes.Equal(buf, payload) {
+			t.Errorf("read %q", buf[:n])
+		}
+		g.Close(p)
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSPDKRawBandwidth(t *testing.T) {
+	env := sim.NewEnv()
+	params := model.Default()
+	params.SSD.CapacityGB = 8
+	params.SSD.RAMBytes = 16 * model.MB
+	dev := nvme.New(env, "raw", params.SSD, false)
+	raw := NewSPDKRaw(dev, params.Host)
+	total := int64(0)
+	for i := 0; i < 4; i++ {
+		c, err := raw.NewClient(1 * model.GB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.Go("w", func(p *sim.Proc) {
+			f, _ := c.Create(p, "/r", 0o644)
+			vfs.WriteAllN(p, f, 512*model.MB, 4*model.MB)
+			f.Close(p)
+		})
+		total += 512 * model.MB
+	}
+	end, err := env.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := metrics.Bandwidth(total, end)
+	if eff := metrics.Efficiency(bw, params.SSD.WriteBW); eff < 0.9 {
+		t.Errorf("raw SPDK efficiency = %.3f, want >0.9", eff)
+	}
+}
+
+func TestLustreBandwidthCeiling(t *testing.T) {
+	// Lustre's 4 OSS x 1.5 GB/s RAID ceiling: aggregate ingest must
+	// sit near 6 GB/s even though the SSDs could do more.
+	cl, err := topology.New(topology.Config{
+		ComputeNodes: 16, CoresPerNode: 28, StorageNodes: 4, SSDsPerStorage: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sim.NewEnv()
+	params := model.Default()
+	params.SSD.CapacityGB = 64
+	params.SSD.RAMBytes = 0
+	fab := fabric.New(env, cl, params.Net)
+	var nodes []*topology.Node
+	var devs []*nvme.Device
+	for _, sn := range cl.StorageNodes() {
+		nodes = append(nodes, sn)
+		devs = append(devs, nvme.New(env, sn.Name, params.SSD, false))
+	}
+	backend, err := NewBackend(env, fab, nodes, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewLustre(backend, params)
+	perClient := int64(256 * model.MB)
+	const clients = 16
+	for i := 0; i < clients; i++ {
+		i := i
+		c := fs.NewClient(cl.ComputeNodes()[i%16])
+		env.Go("w", func(p *sim.Proc) {
+			f, err := c.Create(p, fmt.Sprintf("/l%02d", i), 0o644)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			vfs.WriteAllN(p, f, perClient, 8*model.MB)
+			f.Close(p)
+		})
+	}
+	end, err := env.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := metrics.Bandwidth(clients*perClient, end)
+	if bw > 6.5e9 {
+		t.Errorf("Lustre ingest = %s, should be capped near 6 GB/s", metrics.GBps(bw))
+	}
+	if bw < 3e9 {
+		t.Errorf("Lustre ingest = %s, unreasonably low", metrics.GBps(bw))
+	}
+}

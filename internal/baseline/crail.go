@@ -1,0 +1,31 @@
+package baseline
+
+import (
+	"fmt"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+)
+
+// NewCrail builds the Crail baseline: a userspace storage runtime with
+// an SPDK NVMe-oF data plane (like NVMe-CR) but a single metadata server
+// that every create, open, and block allocation round-trips to. The
+// publicly available Crail supports only a single NVMe storage server,
+// so the backend must have exactly one server (matching the paper's
+// single-server comparison in Figure 8a).
+func NewCrail(backend *Backend, params model.Params) (*DistFS, error) {
+	if len(backend.servers) != 1 {
+		return nil, fmt.Errorf("baseline: crail supports a single storage server, got %d", len(backend.servers))
+	}
+	return newDistFS(backend,
+		&hashPlacement{servers: backend.servers},
+		distParams{
+			name:           "crail",
+			createService:  params.Crail.CreateService,
+			lookupService:  params.Crail.LookupService,
+			perBlockServer: params.Crail.PerBlockServer,
+			inodeBytes:     params.Crail.InodeBytes,
+			// One namenode round trip per 1 MB Crail block allocated.
+			writeMetaEvery: 1 * model.MB,
+			kernelClient:   false,
+		}), nil
+}

@@ -1,0 +1,387 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/fabric"
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/topology"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+// distParams tunes one distributed filesystem's behaviour.
+type distParams struct {
+	name string
+	// createService / lookupService / readLookup are serialized
+	// metadata service times (create, open, and per-read-chunk
+	// lookups, the last reproducing GlusterFS's read dip at scale).
+	createService time.Duration
+	lookupService time.Duration
+	readLookup    time.Duration
+	// perBlockServer is the serialized server-side software cost per
+	// 4 KB moved.
+	perBlockServer time.Duration
+	// inodeBytes is durable metadata written per create (Table I).
+	inodeBytes int64
+	// writeMetaEvery, when non-zero, performs one metadata round trip
+	// per that many bytes written (Crail's block allocation at its
+	// single namenode).
+	writeMetaEvery int64
+	// kernelClient charges client-side kernel costs per syscall
+	// (these systems are POSIX filesystems mounted through the VFS).
+	kernelClient bool
+	kernel       model.Kernel
+}
+
+// DistFS is a distributed filesystem baseline with a global namespace.
+type DistFS struct {
+	backend *Backend
+	place   placement
+	params  distParams
+
+	files map[string]*dfile
+	dirs  map[string]bool
+}
+
+// dfile is the (globally visible) state of one file.
+type dfile struct {
+	size    int64
+	content []byte // optional real payload for functional tests
+}
+
+func newDistFS(backend *Backend, place placement, params distParams) *DistFS {
+	return &DistFS{
+		backend: backend,
+		place:   place,
+		params:  params,
+		files:   map[string]*dfile{},
+		dirs:    map[string]bool{"/": true},
+	}
+}
+
+// Backend exposes the storage-side state.
+func (fs *DistFS) Backend() *Backend { return fs.backend }
+
+// Name returns the system name.
+func (fs *DistFS) Name() string { return fs.params.name }
+
+// NewClient returns one process's client, running on the given compute
+// node.
+func (fs *DistFS) NewClient(node *topology.Node) vfs.Client {
+	return &distClient{fs: fs, node: node, acct: &vfs.Account{}}
+}
+
+type distClient struct {
+	fs   *DistFS
+	node *topology.Node
+	acct *vfs.Account
+}
+
+// Account implements vfs.Client.
+func (c *distClient) Account() *vfs.Account { return c.acct }
+
+// clientOp charges client-side per-syscall costs.
+func (c *distClient) clientOp(p *sim.Proc) {
+	if c.fs.params.kernelClient {
+		k := c.fs.params.kernel
+		c.acct.Charge(p, vfs.Kernel, k.SyscallTrap+k.VFSPerOp)
+	}
+}
+
+// metaRTT performs a metadata round trip for path, holding the metadata
+// server for `service`.
+func (c *distClient) metaRTT(p *sim.Proc, path string, service time.Duration, extraBytes int64) {
+	srv := c.fs.place.metaServer(path)
+	c.fs.backend.fab.RoundTrip(p, pathKind(c.fs.params.kernelClient), c.node, srv.Node)
+	srv.metaOp(p, c.acct, service, extraBytes)
+}
+
+func pathKind(kernel bool) fabric.Path {
+	if kernel {
+		return fabric.KernelRDMA
+	}
+	return fabric.RDMA
+}
+
+// Mkdir implements vfs.Client.
+func (c *distClient) Mkdir(p *sim.Proc, path string, mode uint32) error {
+	c.clientOp(p)
+	path, err := normPath(path)
+	if err != nil {
+		return err
+	}
+	if c.fs.dirs[path] {
+		return vfs.ErrExist
+	}
+	if !c.fs.dirs[parentDir(path)] {
+		return vfs.ErrNotExist
+	}
+	c.metaRTT(p, path, c.fs.params.createService, c.fs.params.inodeBytes)
+	c.fs.dirs[path] = true
+	return nil
+}
+
+// Create implements vfs.Client.
+func (c *distClient) Create(p *sim.Proc, path string, mode uint32) (vfs.File, error) {
+	c.clientOp(p)
+	path, err := normPath(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := c.fs.files[path]; ok {
+		return nil, vfs.ErrExist
+	}
+	if !c.fs.dirs[parentDir(path)] {
+		return nil, vfs.ErrNotExist
+	}
+	// Every create updates the shared parent directory at its home
+	// metadata server — the serialization the paper measures in
+	// Figure 8b.
+	c.metaRTT(p, path, c.fs.params.createService, c.fs.params.inodeBytes)
+	f := &dfile{}
+	c.fs.files[path] = f
+	return &distFile{client: c, path: path, file: f, writable: true}, nil
+}
+
+// Open implements vfs.Client.
+func (c *distClient) Open(p *sim.Proc, path string, flags vfs.OpenFlags) (vfs.File, error) {
+	c.clientOp(p)
+	path, err := normPath(path)
+	if err != nil {
+		return nil, err
+	}
+	f, ok := c.fs.files[path]
+	if !ok {
+		if c.fs.dirs[path] {
+			return nil, vfs.ErrIsDir
+		}
+		return nil, vfs.ErrNotExist
+	}
+	c.metaRTT(p, path, c.fs.params.lookupService, 0)
+	return &distFile{client: c, path: path, file: f, writable: flags == vfs.WriteOnly}, nil
+}
+
+// Unlink implements vfs.Client.
+func (c *distClient) Unlink(p *sim.Proc, path string) error {
+	c.clientOp(p)
+	path, err := normPath(path)
+	if err != nil {
+		return err
+	}
+	if _, ok := c.fs.files[path]; !ok {
+		return vfs.ErrNotExist
+	}
+	c.metaRTT(p, path, c.fs.params.createService, 0)
+	delete(c.fs.files, path)
+	return nil
+}
+
+// Stat implements vfs.Client.
+func (c *distClient) Stat(p *sim.Proc, path string) (vfs.FileInfo, error) {
+	c.clientOp(p)
+	path, err := normPath(path)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	if c.fs.dirs[path] {
+		return vfs.FileInfo{Path: path, IsDir: true}, nil
+	}
+	f, ok := c.fs.files[path]
+	if !ok {
+		return vfs.FileInfo{}, vfs.ErrNotExist
+	}
+	c.metaRTT(p, path, c.fs.params.lookupService, 0)
+	return vfs.FileInfo{Path: path, Size: f.size}, nil
+}
+
+// distFile is an open handle.
+type distFile struct {
+	client   *distClient
+	path     string
+	file     *dfile
+	pos      int64
+	writable bool
+	closed   bool
+}
+
+// Write implements vfs.File; payloads are retained in memory for
+// functional read-back (baseline device layout is not modeled at byte
+// granularity — see package comment).
+func (f *distFile) Write(p *sim.Proc, data []byte) (int, error) {
+	n, err := f.writeN(p, int64(len(data)))
+	if err == nil && n > 0 {
+		end := f.pos // writeN already advanced pos
+		start := end - n
+		need := int(end)
+		if len(f.file.content) < need {
+			f.file.content = append(f.file.content, make([]byte, need-len(f.file.content))...)
+		}
+		copy(f.file.content[start:end], data[:n])
+	}
+	return int(n), err
+}
+
+// WriteN implements vfs.File.
+func (f *distFile) WriteN(p *sim.Proc, n int64) (int64, error) { return f.writeN(p, n) }
+
+func (f *distFile) writeN(p *sim.Proc, n int64) (int64, error) {
+	c := f.client
+	if f.closed {
+		return 0, vfs.ErrClosed
+	}
+	if !f.writable {
+		return 0, vfs.ErrReadOnly
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	c.clientOp(p)
+	if c.fs.params.kernelClient {
+		// Copy through the client kernel (page cache).
+		c.acct.Charge(p, vfs.Kernel, model.DurFor(n, c.fs.params.kernel.MemcpyBW))
+	}
+	if every := c.fs.params.writeMetaEvery; every > 0 {
+		allocs := (n + every - 1) / every
+		for i := int64(0); i < allocs; i++ {
+			c.metaRTT(p, f.path, c.fs.params.lookupService, 0)
+		}
+	}
+	for _, sl := range c.fs.place.dataServers(f.path, f.pos, n) {
+		t0 := p.Now()
+		if err := c.fs.backend.fab.Transfer(p, pathKind(c.fs.params.kernelClient), c.node, sl.server.Node, sl.bytes); err != nil {
+			return 0, err
+		}
+		c.acct.Attribute(vfs.IOWait, p.Now()-t0)
+		if err := sl.server.ingest(p, c.acct, sl.bytes, c.fs.params.perBlockServer, true); err != nil {
+			return 0, err
+		}
+	}
+	f.pos += n
+	if f.pos > f.file.size {
+		f.file.size = f.pos
+	}
+	return n, nil
+}
+
+// Read implements vfs.File.
+func (f *distFile) Read(p *sim.Proc, buf []byte) (int, error) {
+	n, err := f.readN(p, int64(len(buf)))
+	if err != nil || n == 0 {
+		return 0, err
+	}
+	start := f.pos - n
+	if int64(len(f.file.content)) >= f.pos {
+		copy(buf[:n], f.file.content[start:f.pos])
+	}
+	return int(n), nil
+}
+
+// ReadN implements vfs.File.
+func (f *distFile) ReadN(p *sim.Proc, n int64) (int64, error) { return f.readN(p, n) }
+
+func (f *distFile) readN(p *sim.Proc, n int64) (int64, error) {
+	c := f.client
+	if f.closed {
+		return 0, vfs.ErrClosed
+	}
+	if f.pos >= f.file.size {
+		return 0, nil
+	}
+	if f.pos+n > f.file.size {
+		n = f.file.size - f.pos
+	}
+	c.clientOp(p)
+	if c.fs.params.readLookup > 0 {
+		// Per-chunk metadata lookup at the directory's home server —
+		// the influx that degrades GlusterFS reads at 448 processes.
+		c.metaRTT(p, f.path, c.fs.params.readLookup, 0)
+	}
+	for _, sl := range c.fs.place.dataServers(f.path, f.pos, n) {
+		// Reads pass through the server's page cache, skipping most of
+		// the overlay write path; the paper's recovery runs at near
+		// hardware read bandwidth on every baseline (Table II).
+		if err := sl.server.ingest(p, c.acct, sl.bytes, c.fs.params.perBlockServer/4, false); err != nil {
+			return 0, err
+		}
+		t0 := p.Now()
+		if err := c.fs.backend.fab.Transfer(p, pathKind(c.fs.params.kernelClient), sl.server.Node, c.node, sl.bytes); err != nil {
+			return 0, err
+		}
+		c.acct.Attribute(vfs.IOWait, p.Now()-t0)
+	}
+	if c.fs.params.kernelClient {
+		c.acct.Charge(p, vfs.Kernel, model.DurFor(n, c.fs.params.kernel.MemcpyBW))
+	}
+	f.pos += n
+	return n, nil
+}
+
+// SeekTo implements vfs.File.
+func (f *distFile) SeekTo(offset int64) error {
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	f.pos = offset
+	return nil
+}
+
+// Fsync implements vfs.File.
+func (f *distFile) Fsync(p *sim.Proc) error {
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	f.client.clientOp(p)
+	// Commit round trip to every server holding part of the file.
+	seen := map[*Server]bool{}
+	for _, sl := range f.client.fs.place.dataServers(f.path, 0, max64(f.file.size, 1)) {
+		if seen[sl.server] {
+			continue
+		}
+		seen[sl.server] = true
+		f.client.fs.backend.fab.RoundTrip(p, pathKind(f.client.fs.params.kernelClient), f.client.node, sl.server.Node)
+	}
+	return nil
+}
+
+// Close implements vfs.File.
+func (f *distFile) Close(p *sim.Proc) error {
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	f.closed = true
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func normPath(path string) (string, error) {
+	if path == "" || path[0] != '/' {
+		return "", fmt.Errorf("baseline: path %q must be absolute", path)
+	}
+	if path != "/" && path[len(path)-1] == '/' {
+		path = path[:len(path)-1]
+	}
+	return path, nil
+}
+
+func parentDir(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			if i == 0 {
+				return "/"
+			}
+			return path[:i]
+		}
+	}
+	return "/"
+}

@@ -1,0 +1,343 @@
+package baseline
+
+import (
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/nvme"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+// Variant selects the local kernel filesystem flavour.
+type Variant int
+
+const (
+	// Ext4 journals per 4 KB block under the shared journal lock — the
+	// manycore scalability collapse of Min et al. (ATC'16).
+	Ext4 Variant = iota
+	// XFS allocates per extent with delayed allocation, paying the
+	// journal far less often.
+	XFS
+)
+
+func (v Variant) String() string {
+	if v == Ext4 {
+		return "ext4"
+	}
+	return "xfs"
+}
+
+// KernelFS is a node-local kernel filesystem (paper Figure 7c). All time
+// spent inside its syscalls — including waiting for the device in
+// uninterruptible sleep — is classified as kernel time, which is how the
+// paper's measurement attributes it (76.5% for XFS, 79% for ext4).
+type KernelFS struct {
+	env     *sim.Env
+	variant Variant
+	k       model.Kernel
+
+	ns      *nvme.Namespace
+	queue   *nvme.Queue
+	journal *sim.Resource
+
+	allocPtr int64
+	files    map[string]*kfile
+	dirs     map[string]bool
+}
+
+type kfile struct {
+	size    int64
+	content []byte
+}
+
+// NewKernelFS formats a kernel filesystem over a whole device.
+func NewKernelFS(env *sim.Env, dev *nvme.Device, variant Variant, k model.Kernel) (*KernelFS, error) {
+	ns, err := dev.CreateNamespace(dev.Capacity())
+	if err != nil {
+		return nil, err
+	}
+	return &KernelFS{
+		env:     env,
+		variant: variant,
+		k:       k,
+		ns:      ns,
+		queue:   dev.AllocQueue(),
+		journal: env.NewResource(1),
+		files:   map[string]*kfile{},
+		dirs:    map[string]bool{"/": true},
+	}, nil
+}
+
+// Name returns the variant name.
+func (fs *KernelFS) Name() string { return fs.variant.String() }
+
+// NewClient returns one process's view.
+func (fs *KernelFS) NewClient() vfs.Client {
+	return &kernelClient{fs: fs, acct: &vfs.Account{}}
+}
+
+type kernelClient struct {
+	fs   *KernelFS
+	acct *vfs.Account
+}
+
+// Account implements vfs.Client.
+func (c *kernelClient) Account() *vfs.Account { return c.acct }
+
+// trap charges one syscall's fixed kernel cost.
+func (c *kernelClient) trap(p *sim.Proc) {
+	c.acct.Charge(p, vfs.Kernel, c.fs.k.SyscallTrap+c.fs.k.VFSPerOp)
+}
+
+// journalWork serializes d of journal-locked kernel work: the lock wait
+// is blocked time (IOWait); the held work is kernel CPU.
+func (c *kernelClient) journalWork(p *sim.Proc, d time.Duration) {
+	t0 := p.Now()
+	c.fs.journal.Acquire(p)
+	c.acct.Attribute(vfs.IOWait, p.Now()-t0)
+	c.acct.Charge(p, vfs.Kernel, d)
+	c.fs.journal.Release()
+}
+
+// devIO submits one device request: the device wait is IOWait; the
+// completion interrupt is kernel CPU.
+func (c *kernelClient) devIO(p *sim.Proc, req nvme.Request) error {
+	t0 := p.Now()
+	_, err := c.fs.ns.Submit(p, c.fs.queue, req)
+	c.acct.Attribute(vfs.IOWait, p.Now()-t0)
+	c.acct.Charge(p, vfs.Kernel, c.fs.k.Interrupt)
+	return err
+}
+
+// writebackCPU is the non-serialized kernel CPU burned per 4 KB page on
+// the buffered write path (page-cache insertion, dirty accounting, bio
+// setup — ~0.5 GB/s/core of buffered-write software overhead).
+const writebackCPU = 8 * time.Microsecond
+
+func (c *kernelClient) pageWork(p *sim.Proc, bytes int64) {
+	pages := (bytes + 4*model.KB - 1) / (4 * model.KB)
+	c.acct.Charge(p, vfs.Kernel, time.Duration(pages)*writebackCPU)
+}
+
+// Mkdir implements vfs.Client.
+func (c *kernelClient) Mkdir(p *sim.Proc, path string, mode uint32) error {
+	c.trap(p)
+	path, err := normPath(path)
+	if err != nil {
+		return err
+	}
+	if c.fs.dirs[path] {
+		return vfs.ErrExist
+	}
+	if !c.fs.dirs[parentDir(path)] {
+		return vfs.ErrNotExist
+	}
+	c.journalWork(p, c.fs.k.Ext4PerBlock) // dirent + inode journal entry
+	c.fs.dirs[path] = true
+	return nil
+}
+
+// Create implements vfs.Client.
+func (c *kernelClient) Create(p *sim.Proc, path string, mode uint32) (vfs.File, error) {
+	c.trap(p)
+	path, err := normPath(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := c.fs.files[path]; ok {
+		return nil, vfs.ErrExist
+	}
+	if !c.fs.dirs[parentDir(path)] {
+		return nil, vfs.ErrNotExist
+	}
+	c.journalWork(p, c.fs.k.Ext4PerBlock)
+	f := &kfile{}
+	c.fs.files[path] = f
+	return &kernelFile{client: c, file: f, writable: true}, nil
+}
+
+// Open implements vfs.Client.
+func (c *kernelClient) Open(p *sim.Proc, path string, flags vfs.OpenFlags) (vfs.File, error) {
+	c.trap(p)
+	path, err := normPath(path)
+	if err != nil {
+		return nil, err
+	}
+	f, ok := c.fs.files[path]
+	if !ok {
+		if c.fs.dirs[path] {
+			return nil, vfs.ErrIsDir
+		}
+		return nil, vfs.ErrNotExist
+	}
+	return &kernelFile{client: c, file: f, writable: flags == vfs.WriteOnly}, nil
+}
+
+// Unlink implements vfs.Client.
+func (c *kernelClient) Unlink(p *sim.Proc, path string) error {
+	c.trap(p)
+	path, err := normPath(path)
+	if err != nil {
+		return err
+	}
+	if _, ok := c.fs.files[path]; !ok {
+		return vfs.ErrNotExist
+	}
+	c.journalWork(p, c.fs.k.Ext4PerBlock)
+	delete(c.fs.files, path)
+	return nil
+}
+
+// Stat implements vfs.Client.
+func (c *kernelClient) Stat(p *sim.Proc, path string) (vfs.FileInfo, error) {
+	c.trap(p)
+	path, err := normPath(path)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	if c.fs.dirs[path] {
+		return vfs.FileInfo{Path: path, IsDir: true}, nil
+	}
+	f, ok := c.fs.files[path]
+	if !ok {
+		return vfs.FileInfo{}, vfs.ErrNotExist
+	}
+	return vfs.FileInfo{Path: path, Size: f.size}, nil
+}
+
+type kernelFile struct {
+	client   *kernelClient
+	file     *kfile
+	pos      int64
+	writable bool
+	closed   bool
+}
+
+// Write implements vfs.File.
+func (f *kernelFile) Write(p *sim.Proc, data []byte) (int, error) {
+	n, err := f.writeN(p, int64(len(data)))
+	if err == nil && n > 0 {
+		end := f.pos
+		start := end - n
+		if int64(len(f.file.content)) < end {
+			f.file.content = append(f.file.content, make([]byte, end-int64(len(f.file.content)))...)
+		}
+		copy(f.file.content[start:end], data[:n])
+	}
+	return int(n), err
+}
+
+// WriteN implements vfs.File.
+func (f *kernelFile) WriteN(p *sim.Proc, n int64) (int64, error) { return f.writeN(p, n) }
+
+func (f *kernelFile) writeN(p *sim.Proc, n int64) (int64, error) {
+	c := f.client
+	fs := c.fs
+	if f.closed {
+		return 0, vfs.ErrClosed
+	}
+	if !f.writable {
+		return 0, vfs.ErrReadOnly
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	c.trap(p)
+	// Copy into the page cache, plus per-page bookkeeping.
+	c.acct.Charge(p, vfs.Kernel, model.DurFor(n, fs.k.MemcpyBW))
+	c.pageWork(p, n)
+	// Block/extent allocation under the journal lock.
+	switch fs.variant {
+	case Ext4:
+		blocks := (n + 4*model.KB - 1) / (4 * model.KB)
+		c.journalWork(p, time.Duration(blocks)*fs.k.Ext4PerBlock)
+	case XFS:
+		extents := (n + fs.k.XFSExtent - 1) / fs.k.XFSExtent
+		c.journalWork(p, time.Duration(extents)*fs.k.XFSPerExtent)
+	}
+	// Synchronous writeback through the block layer.
+	if fs.allocPtr+n > fs.ns.Size() {
+		return 0, vfs.ErrNoSpace
+	}
+	off := fs.allocPtr
+	fs.allocPtr += n
+	if err := c.devIO(p, nvme.Request{Op: nvme.OpWrite, Offset: off, Length: n, CmdUnit: 512 * model.KB}); err != nil {
+		return 0, err
+	}
+	f.pos += n
+	if f.pos > f.file.size {
+		f.file.size = f.pos
+	}
+	return n, nil
+}
+
+// Read implements vfs.File.
+func (f *kernelFile) Read(p *sim.Proc, buf []byte) (int, error) {
+	n, err := f.readN(p, int64(len(buf)))
+	if err != nil || n == 0 {
+		return 0, err
+	}
+	start := f.pos - n
+	if int64(len(f.file.content)) >= f.pos {
+		copy(buf[:n], f.file.content[start:f.pos])
+	}
+	return int(n), nil
+}
+
+// ReadN implements vfs.File.
+func (f *kernelFile) ReadN(p *sim.Proc, n int64) (int64, error) { return f.readN(p, n) }
+
+func (f *kernelFile) readN(p *sim.Proc, n int64) (int64, error) {
+	c := f.client
+	if f.closed {
+		return 0, vfs.ErrClosed
+	}
+	if f.pos >= f.file.size {
+		return 0, nil
+	}
+	if f.pos+n > f.file.size {
+		n = f.file.size - f.pos
+	}
+	c.trap(p)
+	if err := c.devIO(p, nvme.Request{Op: nvme.OpRead, Offset: 0, Length: n, CmdUnit: 512 * model.KB}); err != nil {
+		return 0, err
+	}
+	c.acct.Charge(p, vfs.Kernel, model.DurFor(n, c.fs.k.MemcpyBW))
+	f.pos += n
+	return n, nil
+}
+
+// SeekTo implements vfs.File.
+func (f *kernelFile) SeekTo(offset int64) error {
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	f.pos = offset
+	return nil
+}
+
+// Fsync implements vfs.File: journal commit plus a device flush.
+func (f *kernelFile) Fsync(p *sim.Proc) error {
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	c := f.client
+	c.trap(p)
+	c.journalWork(p, c.fs.k.JournalFsync)
+	return c.devIO(p, nvme.Request{Op: nvme.OpFlush})
+}
+
+// Close implements vfs.File.
+func (f *kernelFile) Close(p *sim.Proc) error {
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	f.closed = true
+	return nil
+}
+
+var _ vfs.Client = (*kernelClient)(nil)

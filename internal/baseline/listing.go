@@ -1,0 +1,166 @@
+package baseline
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+// Rename and ReadDir implementations for the baseline clients. These
+// systems hold a global namespace, so both operations go through the
+// directory's metadata service like any other namespace mutation.
+
+// Rename implements vfs.Client for the distributed baselines.
+func (c *distClient) Rename(p *sim.Proc, oldPath, newPath string) error {
+	c.clientOp(p)
+	oldPath, err := normPath(oldPath)
+	if err != nil {
+		return err
+	}
+	newPath, err = normPath(newPath)
+	if err != nil {
+		return err
+	}
+	f, ok := c.fs.files[oldPath]
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	if _, exists := c.fs.files[newPath]; exists {
+		return vfs.ErrExist
+	}
+	if !c.fs.dirs[parentDir(newPath)] {
+		return vfs.ErrNotExist
+	}
+	// Both directory entries update under their home servers' locks.
+	c.metaRTT(p, oldPath, c.fs.params.createService, 0)
+	c.metaRTT(p, newPath, c.fs.params.createService, c.fs.params.inodeBytes)
+	delete(c.fs.files, oldPath)
+	c.fs.files[newPath] = f
+	return nil
+}
+
+// ReadDir implements vfs.Client for the distributed baselines.
+func (c *distClient) ReadDir(p *sim.Proc, path string) ([]vfs.FileInfo, error) {
+	c.clientOp(p)
+	path, err := normPath(path)
+	if err != nil {
+		return nil, err
+	}
+	if !c.fs.dirs[path] {
+		if _, ok := c.fs.files[path]; ok {
+			return nil, vfs.ErrNotDir
+		}
+		return nil, vfs.ErrNotExist
+	}
+	c.metaRTT(p, path, c.fs.params.lookupService, 0)
+	return listChildren(path, func(yield func(name string, size int64, isDir bool)) {
+		for name, f := range c.fs.files {
+			yield(name, f.size, false)
+		}
+		for name := range c.fs.dirs {
+			yield(name, 0, true)
+		}
+	}), nil
+}
+
+// Rename implements vfs.Client for the local kernel filesystems.
+func (c *kernelClient) Rename(p *sim.Proc, oldPath, newPath string) error {
+	c.trap(p)
+	oldPath, err := normPath(oldPath)
+	if err != nil {
+		return err
+	}
+	newPath, err = normPath(newPath)
+	if err != nil {
+		return err
+	}
+	f, ok := c.fs.files[oldPath]
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	if _, exists := c.fs.files[newPath]; exists {
+		return vfs.ErrExist
+	}
+	if !c.fs.dirs[parentDir(newPath)] {
+		return vfs.ErrNotExist
+	}
+	c.journalWork(p, 2*c.fs.k.Ext4PerBlock) // two dirents + inode
+	delete(c.fs.files, oldPath)
+	c.fs.files[newPath] = f
+	return nil
+}
+
+// ReadDir implements vfs.Client for the local kernel filesystems.
+func (c *kernelClient) ReadDir(p *sim.Proc, path string) ([]vfs.FileInfo, error) {
+	c.trap(p)
+	path, err := normPath(path)
+	if err != nil {
+		return nil, err
+	}
+	if !c.fs.dirs[path] {
+		if _, ok := c.fs.files[path]; ok {
+			return nil, vfs.ErrNotDir
+		}
+		return nil, vfs.ErrNotExist
+	}
+	return listChildren(path, func(yield func(name string, size int64, isDir bool)) {
+		for name, f := range c.fs.files {
+			yield(name, f.size, false)
+		}
+		for name := range c.fs.dirs {
+			yield(name, 0, true)
+		}
+	}), nil
+}
+
+// Rename implements vfs.Client for the raw-SPDK comparator (pure
+// descriptor bookkeeping: there is no namespace on raw blocks).
+func (c *rawClient) Rename(p *sim.Proc, oldPath, newPath string) error {
+	size, ok := c.sizes[oldPath]
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	if _, exists := c.sizes[newPath]; exists {
+		return vfs.ErrExist
+	}
+	delete(c.sizes, oldPath)
+	c.sizes[newPath] = size
+	return nil
+}
+
+// ReadDir implements vfs.Client for the raw-SPDK comparator.
+func (c *rawClient) ReadDir(p *sim.Proc, path string) ([]vfs.FileInfo, error) {
+	path, err := normPath(path)
+	if err != nil {
+		return nil, err
+	}
+	return listChildren(path, func(yield func(name string, size int64, isDir bool)) {
+		for name, size := range c.sizes {
+			yield(name, size, false)
+		}
+	}), nil
+}
+
+// listChildren collects the immediate children of dir from an iterator
+// over (name, size, isDir) entries, sorted by name.
+func listChildren(dir string, iterate func(yield func(name string, size int64, isDir bool))) []vfs.FileInfo {
+	prefix := dir
+	if prefix != "/" {
+		prefix += "/"
+	}
+	var out []vfs.FileInfo
+	iterate(func(name string, size int64, isDir bool) {
+		if name == dir || !strings.HasPrefix(name, prefix) {
+			return
+		}
+		rest := name[len(prefix):]
+		if rest == "" || strings.ContainsRune(rest, '/') {
+			return
+		}
+		out = append(out, vfs.FileInfo{Path: name, Size: size, IsDir: isDir})
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}

@@ -1,0 +1,116 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/nvme"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+func TestDistRenameAndReadDir(t *testing.T) {
+	env, _, cl, backend := testCluster(t)
+	fs := NewGlusterFS(backend, model.Default())
+	c := fs.NewClient(cl.ComputeNodes()[0])
+	env.Go("t", func(p *sim.Proc) {
+		c.Mkdir(p, "/d", 0o755)
+		for i := 0; i < 3; i++ {
+			f, err := c.Create(p, fmt.Sprintf("/d/f%d", i), 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.WriteN(p, 1024)
+			f.Close(p)
+		}
+		if err := c.Rename(p, "/d/f0", "/d/renamed"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Stat(p, "/d/f0"); err != vfs.ErrNotExist {
+			t.Errorf("old name visible: %v", err)
+		}
+		fi, err := c.Stat(p, "/d/renamed")
+		if err != nil || fi.Size != 1024 {
+			t.Errorf("renamed stat = %+v, %v", fi, err)
+		}
+		entries, err := c.ReadDir(p, "/d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 3 {
+			t.Fatalf("ReadDir = %d entries: %+v", len(entries), entries)
+		}
+		// Error paths.
+		if err := c.Rename(p, "/d/missing", "/d/x"); err != vfs.ErrNotExist {
+			t.Errorf("rename missing: %v", err)
+		}
+		if err := c.Rename(p, "/d/f1", "/d/f2"); err != vfs.ErrExist {
+			t.Errorf("rename onto existing: %v", err)
+		}
+		if _, err := c.ReadDir(p, "/d/f1"); err != vfs.ErrNotDir {
+			t.Errorf("ReadDir on file: %v", err)
+		}
+		if _, err := c.ReadDir(p, "/none"); err != vfs.ErrNotExist {
+			t.Errorf("ReadDir missing: %v", err)
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelFSRenameAndReadDir(t *testing.T) {
+	env := sim.NewEnv()
+	params := model.Default()
+	dev := nvme.New(env, "local", params.SSD, false)
+	fs, err := NewKernelFS(env, dev, XFS, params.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fs.NewClient()
+	env.Go("t", func(p *sim.Proc) {
+		f, _ := c.Create(p, "/tmp.0", 0o644)
+		f.WriteN(p, 4096)
+		f.Close(p)
+		if err := c.Rename(p, "/tmp.0", "/final"); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := c.ReadDir(p, "/")
+		if err != nil || len(entries) != 1 || entries[0].Path != "/final" {
+			t.Errorf("ReadDir = %+v, %v", entries, err)
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRawClientRenameAndReadDir(t *testing.T) {
+	env := sim.NewEnv()
+	params := model.Default()
+	dev := nvme.New(env, "raw", params.SSD, false)
+	raw := NewSPDKRaw(dev, params.Host)
+	c, err := raw.NewClient(64 * model.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Go("t", func(p *sim.Proc) {
+		f, _ := c.Create(p, "/r0", 0o644)
+		f.WriteN(p, 1024)
+		f.Close(p)
+		if err := c.Rename(p, "/r0", "/r1"); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := c.ReadDir(p, "/")
+		if err != nil || len(entries) != 1 || entries[0].Path != "/r1" {
+			t.Errorf("ReadDir = %+v, %v", entries, err)
+		}
+		if err := c.Rename(p, "/gone", "/x"); err != vfs.ErrNotExist {
+			t.Errorf("raw rename missing: %v", err)
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package baseline
+
+import (
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/nvme"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/spdk"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+// SPDKRaw is the raw-SPDK comparator of Figure 7c: direct userspace
+// block writes with no filesystem at all — no metadata, no namespace, no
+// POSIX semantics. It implements vfs.Client only so the benchmark
+// harness can drive it uniformly; Create hands out handles that write
+// sequentially into the client's private region, and the namespace
+// operations are no-ops at device speed.
+type SPDKRaw struct {
+	dev  *nvme.Device
+	host model.Host
+	next int64 // region allocator for clients
+}
+
+// NewSPDKRaw builds the raw comparator over a device.
+func NewSPDKRaw(dev *nvme.Device, host model.Host) *SPDKRaw {
+	return &SPDKRaw{dev: dev, host: host}
+}
+
+// NewClient gives the client a private region of the given size.
+func (s *SPDKRaw) NewClient(regionBytes int64) (vfs.Client, error) {
+	ns, err := s.dev.CreateNamespace(regionBytes)
+	if err != nil {
+		return nil, err
+	}
+	acct := &vfs.Account{}
+	pl, err := spdk.NewPlane(ns, 0, ns.Size(), s.host, acct)
+	if err != nil {
+		return nil, err
+	}
+	return &rawClient{plane: pl, acct: acct}, nil
+}
+
+type rawClient struct {
+	plane *spdk.Plane
+	acct  *vfs.Account
+	pos   int64
+	sizes map[string]int64
+}
+
+// Account implements vfs.Client.
+func (c *rawClient) Account() *vfs.Account { return c.acct }
+
+// Mkdir implements vfs.Client (no-op: raw blocks have no namespace).
+func (c *rawClient) Mkdir(p *sim.Proc, path string, mode uint32) error { return nil }
+
+// Create implements vfs.Client.
+func (c *rawClient) Create(p *sim.Proc, path string, mode uint32) (vfs.File, error) {
+	if c.sizes == nil {
+		c.sizes = map[string]int64{}
+	}
+	base := c.pos
+	return &rawFile{client: c, path: path, base: base, writable: true}, nil
+}
+
+// Open implements vfs.Client.
+func (c *rawClient) Open(p *sim.Proc, path string, flags vfs.OpenFlags) (vfs.File, error) {
+	size, ok := c.sizes[path]
+	if !ok {
+		return nil, vfs.ErrNotExist
+	}
+	return &rawFile{client: c, path: path, base: 0, size: size, writable: flags == vfs.WriteOnly}, nil
+}
+
+// Unlink implements vfs.Client.
+func (c *rawClient) Unlink(p *sim.Proc, path string) error {
+	delete(c.sizes, path)
+	return nil
+}
+
+// Stat implements vfs.Client.
+func (c *rawClient) Stat(p *sim.Proc, path string) (vfs.FileInfo, error) {
+	size, ok := c.sizes[path]
+	if !ok {
+		return vfs.FileInfo{}, vfs.ErrNotExist
+	}
+	return vfs.FileInfo{Path: path, Size: size}, nil
+}
+
+type rawFile struct {
+	client   *rawClient
+	path     string
+	base     int64
+	pos      int64
+	size     int64
+	writable bool
+	closed   bool
+}
+
+// Write implements vfs.File.
+func (f *rawFile) Write(p *sim.Proc, data []byte) (int, error) {
+	n, err := f.WriteN(p, int64(len(data)))
+	return int(n), err
+}
+
+// WriteN implements vfs.File.
+func (f *rawFile) WriteN(p *sim.Proc, n int64) (int64, error) {
+	if f.closed {
+		return 0, vfs.ErrClosed
+	}
+	if !f.writable {
+		return 0, vfs.ErrReadOnly
+	}
+	if err := f.client.plane.Write(p, f.base+f.pos, n, nil, 32*model.KB); err != nil {
+		return 0, err
+	}
+	f.pos += n
+	if f.pos > f.size {
+		f.size = f.pos
+	}
+	f.client.sizes[f.path] = f.size
+	f.client.pos = f.base + f.size
+	return n, nil
+}
+
+// Read implements vfs.File.
+func (f *rawFile) Read(p *sim.Proc, buf []byte) (int, error) {
+	n, err := f.ReadN(p, int64(len(buf)))
+	return int(n), err
+}
+
+// ReadN implements vfs.File.
+func (f *rawFile) ReadN(p *sim.Proc, n int64) (int64, error) {
+	if f.closed {
+		return 0, vfs.ErrClosed
+	}
+	if f.pos >= f.size {
+		return 0, nil
+	}
+	if f.pos+n > f.size {
+		n = f.size - f.pos
+	}
+	if _, err := f.client.plane.Read(p, f.base+f.pos, n, 32*model.KB); err != nil {
+		return 0, err
+	}
+	f.pos += n
+	return n, nil
+}
+
+// SeekTo implements vfs.File.
+func (f *rawFile) SeekTo(offset int64) error {
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	f.pos = offset
+	return nil
+}
+
+// Fsync implements vfs.File.
+func (f *rawFile) Fsync(p *sim.Proc) error {
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	return f.client.plane.Flush(p)
+}
+
+// Close implements vfs.File.
+func (f *rawFile) Close(p *sim.Proc) error {
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	f.closed = true
+	return nil
+}
+
+var _ vfs.Client = (*rawClient)(nil)

@@ -1,0 +1,143 @@
+package baseline
+
+import (
+	"hash/fnv"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+)
+
+// JumpHash is the Lamping-Veach jump consistent hash the paper cites
+// ([17]) as the source of GlusterFS's load imbalance at low concurrency.
+func JumpHash(key uint64, buckets int) int {
+	if buckets <= 0 {
+		return 0
+	}
+	var b int64 = -1
+	var j int64
+	for j < int64(buckets) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(1<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}
+
+func hashPath(path string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(path))
+	return h.Sum64()
+}
+
+// stripePlacement stripes file data across all servers in stripe-sized
+// units, starting at a per-file hashed server (OrangeFS, Lustre).
+type stripePlacement struct {
+	servers []*Server
+	stripe  int64
+	// metaServers restricts namespace operations to the first k
+	// servers (Lustre has a dedicated MDS; OrangeFS hashes the parent
+	// directory over all servers).
+	metaByDir bool
+}
+
+func (sp *stripePlacement) dataServers(path string, off, n int64) []slice {
+	start := int(hashPath(path) % uint64(len(sp.servers)))
+	perServer := make([]int64, len(sp.servers))
+	for pos := off; pos < off+n; {
+		stripeIdx := pos / sp.stripe
+		srv := (start + int(stripeIdx)) % len(sp.servers)
+		end := (stripeIdx + 1) * sp.stripe
+		if end > off+n {
+			end = off + n
+		}
+		perServer[srv] += end - pos
+		pos = end
+	}
+	var out []slice
+	for i, b := range perServer {
+		if b > 0 {
+			out = append(out, slice{server: sp.servers[i], bytes: b})
+		}
+	}
+	return out
+}
+
+func (sp *stripePlacement) metaServer(path string) *Server {
+	if !sp.metaByDir {
+		return sp.servers[0] // dedicated MDS
+	}
+	dir := parentDir(path)
+	return sp.servers[hashPath(dir)%uint64(len(sp.servers))]
+}
+
+// hashPlacement places whole files on a single server chosen by jump
+// consistent hashing (GlusterFS's distribute translator).
+type hashPlacement struct {
+	servers []*Server
+}
+
+func (hp *hashPlacement) dataServers(path string, off, n int64) []slice {
+	srv := hp.servers[JumpHash(hashPath(path), len(hp.servers))]
+	return []slice{{server: srv, bytes: n}}
+}
+
+func (hp *hashPlacement) metaServer(path string) *Server {
+	// The shared parent directory lives on the server its name hashes
+	// to; every create in that directory serializes there.
+	dir := parentDir(path)
+	return hp.servers[JumpHash(hashPath(dir), len(hp.servers))]
+}
+
+// NewOrangeFS builds the OrangeFS baseline: 64 KB striping over all
+// servers, decentralized (hashed) directory metadata, kernel client.
+func NewOrangeFS(backend *Backend, params model.Params) *DistFS {
+	return newDistFS(backend,
+		&stripePlacement{servers: backend.servers, stripe: params.OrangeFS.StripeBytes, metaByDir: true},
+		distParams{
+			name:           "orangefs",
+			createService:  params.OrangeFS.CreateService,
+			lookupService:  params.OrangeFS.LookupService,
+			perBlockServer: params.OrangeFS.PerBlockServer,
+			inodeBytes:     params.OrangeFS.InodeBytes,
+			kernelClient:   true,
+			kernel:         params.Kernel,
+		})
+}
+
+// NewGlusterFS builds the GlusterFS baseline: jump-consistent-hash
+// whole-file placement, decentralized metadata but a serialized common
+// directory, kernel (FUSE) client, and per-read lookups that throttle
+// recovery at high process counts.
+func NewGlusterFS(backend *Backend, params model.Params) *DistFS {
+	return newDistFS(backend,
+		&hashPlacement{servers: backend.servers},
+		distParams{
+			name:           "glusterfs",
+			createService:  params.GlusterFS.CreateService,
+			lookupService:  params.GlusterFS.LookupService,
+			readLookup:     20_000, // 20µs xattr lookup per read chunk
+			perBlockServer: params.GlusterFS.PerBlockServer,
+			inodeBytes:     params.GlusterFS.InodeBytes,
+			kernelClient:   true,
+			kernel:         params.Kernel,
+		})
+}
+
+// NewLustre builds the capacity-tier Lustre baseline used as the second
+// level of multi-level checkpointing: RAID-limited OSS bandwidth, a
+// dedicated MDS, kernel client.
+func NewLustre(backend *Backend, params model.Params) *DistFS {
+	// OSS service time per 4 KB derived from the RAID controller
+	// ceiling: 4 KB / ServerBW.
+	perBlock := model.DurFor(4*model.KB, params.Lustre.ServerBW)
+	return newDistFS(backend,
+		&stripePlacement{servers: backend.servers, stripe: 1 * model.MB, metaByDir: false},
+		distParams{
+			name:           "lustre",
+			createService:  params.Lustre.CreateRPC,
+			lookupService:  params.Lustre.PerOpRPC,
+			perBlockServer: perBlock,
+			inodeBytes:     4 * model.KB,
+			kernelClient:   true,
+			kernel:         params.Kernel,
+		})
+}

@@ -1,0 +1,222 @@
+// Package btree implements an in-memory B+Tree mapping string keys to
+// uint64 values. The NVMe-CR control plane keeps one per runtime
+// instance, indexing file and directory names to their root inodes
+// (DRAM-resident metadata with provenance logging for durability).
+package btree
+
+import "sort"
+
+// degree is the maximum number of children of an internal node. Leaves
+// hold up to degree-1 keys.
+const degree = 32
+
+// Tree is a B+Tree. The zero value is not usable; call New.
+type Tree struct {
+	root   node
+	height int
+	length int
+}
+
+// insertResult reports what happened during a recursive insert.
+type insertResult struct {
+	fresh    bool   // key was not previously present
+	split    bool   // the node split
+	promoted string // separator key to add to the parent
+	right    node   // new right sibling
+}
+
+type node interface {
+	insert(key string, val uint64) insertResult
+	get(key string) (uint64, bool)
+	del(key string) bool
+	firstLeaf() *leaf
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{root: &leaf{}} }
+
+// Len returns the number of keys stored.
+func (t *Tree) Len() int { return t.length }
+
+// Height returns the tree height (1 for a lone leaf).
+func (t *Tree) Height() int { return t.height + 1 }
+
+// Insert stores val under key, replacing any existing value. It reports
+// whether the key was newly inserted.
+func (t *Tree) Insert(key string, val uint64) bool {
+	res := t.root.insert(key, val)
+	if res.split {
+		t.root = &inner{keys: []string{res.promoted}, children: []node{t.root, res.right}}
+		t.height++
+	}
+	if res.fresh {
+		t.length++
+	}
+	return res.fresh
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key string) (uint64, bool) { return t.root.get(key) }
+
+// Delete removes key, reporting whether it was present. Nodes are not
+// rebalanced on delete: checkpoint namespaces are ephemeral and deletes
+// are rare, so space is reclaimed when the runtime checkpoints and
+// rebuilds its metadata.
+func (t *Tree) Delete(key string) bool {
+	if t.root.del(key) {
+		t.length--
+		return true
+	}
+	return false
+}
+
+// AscendRange calls fn for each key k with from <= k < to (to == ""
+// meaning unbounded), in order, until fn returns false.
+func (t *Tree) AscendRange(from, to string, fn func(key string, val uint64) bool) {
+	l := t.root.firstLeaf()
+	for l != nil {
+		for i, k := range l.keys {
+			if k < from {
+				continue
+			}
+			if to != "" && k >= to {
+				return
+			}
+			if !fn(k, l.vals[i]) {
+				return
+			}
+		}
+		l = l.next
+	}
+}
+
+// Ascend calls fn for every key in order until fn returns false.
+func (t *Tree) Ascend(fn func(key string, val uint64) bool) {
+	t.AscendRange("", "", fn)
+}
+
+// FootprintBytes estimates the DRAM footprint of the tree (keys, values,
+// and node overhead), used for the paper's Table I metadata accounting.
+func (t *Tree) FootprintBytes() int64 {
+	var total int64
+	l := t.root.firstLeaf()
+	for l != nil {
+		total += 48 // node header + next pointer
+		for _, k := range l.keys {
+			total += int64(len(k)) + 16 + 8 // string header + value
+		}
+		l = l.next
+	}
+	// Internal nodes add roughly 1/degree of the leaf footprint.
+	return total + total/int64(degree)
+}
+
+// leaf is a leaf node: sorted keys with parallel values and a next
+// pointer for range scans.
+type leaf struct {
+	keys []string
+	vals []uint64
+	next *leaf
+}
+
+func (l *leaf) firstLeaf() *leaf { return l }
+
+func (l *leaf) search(key string) (int, bool) {
+	i := sort.SearchStrings(l.keys, key)
+	return i, i < len(l.keys) && l.keys[i] == key
+}
+
+func (l *leaf) get(key string) (uint64, bool) {
+	if i, ok := l.search(key); ok {
+		return l.vals[i], true
+	}
+	return 0, false
+}
+
+func (l *leaf) del(key string) bool {
+	i, ok := l.search(key)
+	if !ok {
+		return false
+	}
+	l.keys = append(l.keys[:i], l.keys[i+1:]...)
+	l.vals = append(l.vals[:i], l.vals[i+1:]...)
+	return true
+}
+
+func (l *leaf) insert(key string, val uint64) insertResult {
+	i, ok := l.search(key)
+	if ok {
+		l.vals[i] = val
+		return insertResult{}
+	}
+	l.keys = append(l.keys, "")
+	copy(l.keys[i+1:], l.keys[i:])
+	l.keys[i] = key
+	l.vals = append(l.vals, 0)
+	copy(l.vals[i+1:], l.vals[i:])
+	l.vals[i] = val
+	if len(l.keys) < degree {
+		return insertResult{fresh: true}
+	}
+	// Split.
+	mid := len(l.keys) / 2
+	right := &leaf{
+		keys: append([]string(nil), l.keys[mid:]...),
+		vals: append([]uint64(nil), l.vals[mid:]...),
+		next: l.next,
+	}
+	l.keys = l.keys[:mid:mid]
+	l.vals = l.vals[:mid:mid]
+	l.next = right
+	return insertResult{fresh: true, split: true, promoted: right.keys[0], right: right}
+}
+
+// inner is an internal node: keys[i] is the smallest key reachable in
+// children[i+1].
+type inner struct {
+	keys     []string
+	children []node
+}
+
+func (n *inner) firstLeaf() *leaf { return n.children[0].firstLeaf() }
+
+// childIndex returns the child that may contain key.
+func (n *inner) childIndex(key string) int {
+	return sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+}
+
+func (n *inner) get(key string) (uint64, bool) {
+	return n.children[n.childIndex(key)].get(key)
+}
+
+func (n *inner) del(key string) bool {
+	return n.children[n.childIndex(key)].del(key)
+}
+
+func (n *inner) insert(key string, val uint64) insertResult {
+	ci := n.childIndex(key)
+	res := n.children[ci].insert(key, val)
+	if !res.split {
+		return res
+	}
+	// Add the promoted separator and new child after position ci.
+	n.keys = append(n.keys, "")
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = res.promoted
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = res.right
+	if len(n.children) <= degree {
+		return insertResult{fresh: res.fresh}
+	}
+	// Split this internal node.
+	mid := len(n.keys) / 2
+	promoted := n.keys[mid]
+	right := &inner{
+		keys:     append([]string(nil), n.keys[mid+1:]...),
+		children: append([]node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return insertResult{fresh: res.fresh, split: true, promoted: promoted, right: right}
+}

@@ -1,0 +1,292 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if _, ok := tr.Get("x"); ok {
+		t.Error("Get on empty tree found a key")
+	}
+	if tr.Delete("x") {
+		t.Error("Delete on empty tree reported success")
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	tr := New()
+	if !tr.Insert("alpha", 1) {
+		t.Error("first insert not fresh")
+	}
+	if tr.Insert("alpha", 2) {
+		t.Error("overwrite reported fresh")
+	}
+	v, ok := tr.Get("alpha")
+	if !ok || v != 2 {
+		t.Errorf("Get = %d, %v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestManyInsertionsSplit(t *testing.T) {
+	tr := New()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		tr.Insert(fmt.Sprintf("key%06d", i), uint64(i))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if tr.Height() < 3 {
+		t.Errorf("Height = %d, expected splits to raise it", tr.Height())
+	}
+	for i := 0; i < n; i += 97 {
+		k := fmt.Sprintf("key%06d", i)
+		v, ok := tr.Get(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("Get(%s) = %d, %v", k, v, ok)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(fmt.Sprintf("k%04d", i), uint64(i))
+	}
+	for i := 0; i < 1000; i += 2 {
+		if !tr.Delete(fmt.Sprintf("k%04d", i)) {
+			t.Fatalf("Delete k%04d failed", i)
+		}
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		_, ok := tr.Get(fmt.Sprintf("k%04d", i))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(k%04d) present=%v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	tr := New()
+	keys := []string{"pear", "apple", "mango", "banana", "cherry"}
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	var got []string
+	tr.Ascend(func(k string, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("Ascend visited %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(fmt.Sprintf("k%02d", i), uint64(i))
+	}
+	var got []uint64
+	tr.AscendRange("k10", "k15", func(k string, v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 5 {
+		t.Fatalf("range returned %d keys, want 5: %v", len(got), got)
+	}
+	for i, v := range got {
+		if v != uint64(10+i) {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(fmt.Sprintf("k%02d", i), uint64(i))
+	}
+	count := 0
+	tr.Ascend(func(k string, v uint64) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Errorf("visited %d keys after early stop, want 7", count)
+	}
+}
+
+func TestFootprintGrowsWithContent(t *testing.T) {
+	tr := New()
+	empty := tr.FootprintBytes()
+	for i := 0; i < 5000; i++ {
+		tr.Insert(fmt.Sprintf("checkpoint/rank%05d/file.dat", i), uint64(i))
+	}
+	full := tr.FootprintBytes()
+	if full <= empty {
+		t.Errorf("footprint did not grow: %d -> %d", empty, full)
+	}
+	// Roughly: 5000 keys x (~28 bytes + 24 overhead) ~ 260 KB.
+	if full < 100_000 || full > 1_000_000 {
+		t.Errorf("footprint = %d bytes, outside plausible range", full)
+	}
+}
+
+// TestAgainstMapModel drives random operations against a map reference.
+func TestAgainstMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New()
+	ref := map[string]uint64{}
+	for op := 0; op < 20000; op++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(500))
+		switch rng.Intn(4) {
+		case 0, 1: // insert
+			v := rng.Uint64()
+			_, existed := ref[k]
+			fresh := tr.Insert(k, v)
+			if fresh == existed {
+				t.Fatalf("op %d: Insert(%s) fresh=%v but existed=%v", op, k, fresh, existed)
+			}
+			ref[k] = v
+		case 2: // get
+			v, ok := tr.Get(k)
+			rv, rok := ref[k]
+			if ok != rok || (ok && v != rv) {
+				t.Fatalf("op %d: Get(%s) = %d,%v; want %d,%v", op, k, v, ok, rv, rok)
+			}
+		case 3: // delete
+			_, existed := ref[k]
+			if got := tr.Delete(k); got != existed {
+				t.Fatalf("op %d: Delete(%s) = %v, want %v", op, k, got, existed)
+			}
+			delete(ref, k)
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, tr.Len(), len(ref))
+		}
+	}
+	// Final sweep: iteration must match the sorted reference.
+	var want []string
+	for k := range ref {
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	var got []string
+	tr.Ascend(func(k string, v uint64) bool {
+		got = append(got, k)
+		if ref[k] != v {
+			t.Fatalf("Ascend: %s = %d, want %d", k, v, ref[k])
+		}
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Ascend visited %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ascend[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: inserting any set of keys yields sorted, deduplicated
+// iteration.
+func TestPropertySortedIteration(t *testing.T) {
+	f := func(keys []string) bool {
+		tr := New()
+		uniq := map[string]bool{}
+		for _, k := range keys {
+			tr.Insert(k, 1)
+			uniq[k] = true
+		}
+		if tr.Len() != len(uniq) {
+			return false
+		}
+		prev := ""
+		first := true
+		okOrder := true
+		n := 0
+		tr.Ascend(func(k string, v uint64) bool {
+			if !first && k <= prev {
+				okOrder = false
+			}
+			prev, first = k, false
+			n++
+			return true
+		})
+		return okOrder && n == len(uniq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: delete after insert leaves the tree exactly as before for
+// disjoint keys.
+func TestPropertyInsertDeleteInverse(t *testing.T) {
+	f := func(base []string, extra string) bool {
+		tr := New()
+		inBase := false
+		for _, k := range base {
+			tr.Insert(k, 7)
+			if k == extra {
+				inBase = true
+			}
+		}
+		if inBase {
+			return true // not disjoint; skip
+		}
+		before := tr.Len()
+		tr.Insert(extra, 9)
+		tr.Delete(extra)
+		if tr.Len() != before {
+			return false
+		}
+		_, ok := tr.Get(extra)
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(fmt.Sprintf("key%09d", i), uint64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Insert(fmt.Sprintf("key%09d", i), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(fmt.Sprintf("key%09d", i%n))
+	}
+}

@@ -1,0 +1,259 @@
+// Package cache implements the paper's future-work item (§V): a DRAM
+// cache layer over NVMe-CR's data plane. It is a write-through,
+// LRU-evicted block cache at hugeblock granularity: repeated restart
+// reads (the common pattern when a failed job is retried with the same
+// checkpoint) are served at memory speed instead of re-crossing the
+// fabric.
+//
+// Write-through keeps NVMe-CR's durability story intact — a write is
+// never acknowledged before the device has it — so the cache changes
+// only read latency, never consistency.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/plane"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+// Stats counts cache behaviour.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	HitBytes  int64
+	MissBytes int64
+}
+
+// HitRate returns hits / (hits + misses).
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Plane is a caching wrapper around another data plane.
+type Plane struct {
+	inner     plane.Plane
+	acct      *vfs.Account
+	blockSize int64
+	capacity  int64 // bytes
+	dramBW    float64
+
+	lru     *list.List              // front = most recent; holds *entry
+	byBlock map[int64]*list.Element // block index -> element
+	used    int64
+
+	stats Stats
+}
+
+type entry struct {
+	block int64
+	data  []byte // nil when the backing device does not capture
+}
+
+// Config sizes the cache.
+type Config struct {
+	// CapacityBytes is the DRAM budget (required).
+	CapacityBytes int64
+	// BlockBytes is the caching granularity (default 32 KB, the
+	// hugeblock size).
+	BlockBytes int64
+	// DRAMBandwidth is the hit service rate (default 10 GB/s).
+	DRAMBandwidth float64
+}
+
+// New wraps inner with a cache. acct receives hit-time charges.
+func New(inner plane.Plane, acct *vfs.Account, cfg Config) (*Plane, error) {
+	if cfg.CapacityBytes <= 0 {
+		return nil, fmt.Errorf("cache: capacity %d", cfg.CapacityBytes)
+	}
+	if cfg.BlockBytes <= 0 {
+		cfg.BlockBytes = 32 * model.KB
+	}
+	if cfg.CapacityBytes < cfg.BlockBytes {
+		return nil, fmt.Errorf("cache: capacity %d below one %d-byte block", cfg.CapacityBytes, cfg.BlockBytes)
+	}
+	if cfg.DRAMBandwidth <= 0 {
+		cfg.DRAMBandwidth = 10e9
+	}
+	return &Plane{
+		inner:     inner,
+		acct:      acct,
+		blockSize: cfg.BlockBytes,
+		capacity:  cfg.CapacityBytes,
+		dramBW:    cfg.DRAMBandwidth,
+		lru:       list.New(),
+		byBlock:   make(map[int64]*list.Element),
+	}, nil
+}
+
+// Size implements plane.Plane.
+func (c *Plane) Size() int64 { return c.inner.Size() }
+
+// Stats returns cache counters.
+func (c *Plane) Stats() Stats { return c.stats }
+
+// touch moves a cached block to the MRU position.
+func (c *Plane) touch(el *list.Element) { c.lru.MoveToFront(el) }
+
+// insert adds a block, evicting LRU entries as needed.
+func (c *Plane) insert(block int64, data []byte) {
+	if el, ok := c.byBlock[block]; ok {
+		el.Value.(*entry).data = data
+		c.touch(el)
+		return
+	}
+	for c.used+c.blockSize > c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		ev := back.Value.(*entry)
+		delete(c.byBlock, ev.block)
+		c.lru.Remove(back)
+		c.used -= c.blockSize
+		c.stats.Evictions++
+	}
+	c.byBlock[block] = c.lru.PushFront(&entry{block: block, data: data})
+	c.used += c.blockSize
+}
+
+// Write implements plane.Plane: write-through, updating cached blocks.
+func (c *Plane) Write(p *sim.Proc, off, length int64, data []byte, cmdUnit int64) error {
+	if err := c.inner.Write(p, off, length, data, cmdUnit); err != nil {
+		return err
+	}
+	// Update (or populate) the covered blocks. Partial-block writes
+	// invalidate rather than merge — correctness over cleverness.
+	first := off / c.blockSize
+	last := (off + length - 1) / c.blockSize
+	for b := first; b <= last; b++ {
+		bStart := b * c.blockSize
+		bEnd := bStart + c.blockSize
+		full := off <= bStart && off+length >= bEnd
+		if !full {
+			if el, ok := c.byBlock[b]; ok {
+				delete(c.byBlock, b)
+				c.lru.Remove(el)
+				c.used -= c.blockSize
+			}
+			continue
+		}
+		var blockData []byte
+		if data != nil {
+			blockData = append([]byte(nil), data[bStart-off:bEnd-off]...)
+		}
+		c.insert(b, blockData)
+	}
+	return nil
+}
+
+// Read implements plane.Plane: hits at DRAM speed, misses fall through
+// in maximal contiguous runs and populate the cache.
+func (c *Plane) Read(p *sim.Proc, off, length int64, cmdUnit int64) ([]byte, error) {
+	if length <= 0 {
+		return nil, nil
+	}
+	out := make([]byte, length)
+	haveData := true
+
+	first := off / c.blockSize
+	last := (off + length - 1) / c.blockSize
+	var missStart int64 = -1
+	flushMisses := func(until int64) error {
+		if missStart < 0 {
+			return nil
+		}
+		runOff := missStart * c.blockSize
+		if runOff < off {
+			runOff = off
+		}
+		runEnd := until * c.blockSize
+		if runEnd > off+length {
+			runEnd = off + length
+		}
+		data, err := c.inner.Read(p, runOff, runEnd-runOff, cmdUnit)
+		if err != nil {
+			return err
+		}
+		if data == nil {
+			haveData = false
+		} else {
+			copy(out[runOff-off:], data)
+		}
+		// Populate fully covered blocks.
+		for b := missStart; b < until; b++ {
+			bStart := b * c.blockSize
+			bEnd := bStart + c.blockSize
+			var blockData []byte
+			if data != nil && runOff <= bStart && runEnd >= bEnd {
+				blockData = append([]byte(nil), data[bStart-runOff:bEnd-runOff]...)
+			}
+			if runOff <= bStart && runEnd >= bEnd {
+				c.insert(b, blockData)
+			}
+			c.stats.Misses++
+			c.stats.MissBytes += min64(bEnd, off+length) - max64(bStart, off)
+		}
+		missStart = -1
+		return nil
+	}
+
+	for b := first; b <= last; b++ {
+		bStart := b * c.blockSize
+		bEnd := min64(bStart+c.blockSize, off+length)
+		readStart := max64(bStart, off)
+		if el, ok := c.byBlock[b]; ok {
+			if err := flushMisses(b); err != nil {
+				return nil, err
+			}
+			e := el.Value.(*entry)
+			c.touch(el)
+			n := bEnd - readStart
+			c.acct.Charge(p, vfs.User, time.Duration(float64(n)/c.dramBW*float64(time.Second)))
+			if e.data != nil {
+				copy(out[readStart-off:], e.data[readStart-bStart:readStart-bStart+n])
+			} else {
+				haveData = false
+			}
+			c.stats.Hits++
+			c.stats.HitBytes += n
+			continue
+		}
+		if missStart < 0 {
+			missStart = b
+		}
+	}
+	if err := flushMisses(last + 1); err != nil {
+		return nil, err
+	}
+	if !haveData {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// Flush implements plane.Plane (write-through: nothing dirty to flush).
+func (c *Plane) Flush(p *sim.Proc) error { return c.inner.Flush(p) }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

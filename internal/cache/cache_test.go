@@ -1,0 +1,239 @@
+package cache
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/nvme"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/spdk"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+func rigFull(t *testing.T, capture bool, capacity int64) (*sim.Env, *Plane, *spdk.Plane, *vfs.Account) {
+	t.Helper()
+	env := sim.NewEnv()
+	params := model.Default()
+	params.SSD.CapacityGB = 1
+	dev := nvme.New(env, "ssd", params.SSD, capture)
+	ns, err := dev.CreateNamespace(64 * model.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct := &vfs.Account{}
+	inner, err := spdk.NewPlane(ns, 0, ns.Size(), params.Host, acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(inner, acct, Config{CapacityBytes: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, c, inner, acct
+}
+
+func rig(t *testing.T, capture bool, capacity int64) (*sim.Env, *Plane, *vfs.Account) {
+	t.Helper()
+	env, c, _, acct := rigFull(t, capture, capacity)
+	return env, c, acct
+}
+
+func TestConfigValidation(t *testing.T) {
+	env := sim.NewEnv()
+	params := model.Default()
+	dev := nvme.New(env, "ssd", params.SSD, false)
+	ns, _ := dev.CreateNamespace(model.MB)
+	acct := &vfs.Account{}
+	inner, _ := spdk.NewPlane(ns, 0, ns.Size(), params.Host, acct)
+	if _, err := New(inner, acct, Config{}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(inner, acct, Config{CapacityBytes: 100, BlockBytes: 32768}); err == nil {
+		t.Error("capacity below one block accepted")
+	}
+}
+
+func TestReadBackThroughCache(t *testing.T) {
+	env, c, _ := rig(t, true, 4*model.MB)
+	env.Go("t", func(p *sim.Proc) {
+		payload := bytes.Repeat([]byte("cached"), 32768) // 192 KB
+		if err := c.Write(p, 0, int64(len(payload)), payload, 32*model.KB); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Read(p, 0, int64(len(payload)), 32*model.KB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("mismatch via cache hit path")
+		}
+		// Unaligned sub-range.
+		got, err = c.Read(p, 1000, 5000, 32*model.KB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload[1000:6000]) {
+			t.Fatal("sub-range mismatch")
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteThroughPopulates(t *testing.T) {
+	env, c, _ := rig(t, false, 4*model.MB)
+	env.Go("t", func(p *sim.Proc) {
+		c.Write(p, 0, 1*model.MB, nil, 32*model.KB)
+		// Full-block writes populate the cache: the read is all hits.
+		c.Read(p, 0, 1*model.MB, 32*model.KB)
+		s := c.Stats()
+		if s.Misses != 0 {
+			t.Errorf("misses = %d after write-through population", s.Misses)
+		}
+		if s.Hits != 32 {
+			t.Errorf("hits = %d, want 32 blocks", s.Hits)
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColdReadMissesThenHits(t *testing.T) {
+	env, c, _ := rig(t, false, 4*model.MB)
+	env.Go("t", func(p *sim.Proc) {
+		// Populate the device without the cache seeing it: partial
+		// (non-block-aligned) writes invalidate rather than populate.
+		c.Write(p, 16, 1*model.MB, nil, 32*model.KB)
+		before := c.Stats()
+		if before.Hits != 0 {
+			t.Fatalf("unexpected hits after unaligned write: %+v", before)
+		}
+		c.Read(p, 16, 1*model.MB, 32*model.KB)
+		mid := c.Stats()
+		if mid.Misses == 0 {
+			t.Fatal("cold read produced no misses")
+		}
+		c.Read(p, 32768, 32768, 32*model.KB) // aligned block now cached
+		after := c.Stats()
+		if after.Hits == 0 {
+			t.Error("warm read produced no hits")
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHitsAreFasterThanMisses(t *testing.T) {
+	env, c, inner, _ := rigFull(t, false, 64*model.MB)
+	var cold, warm time.Duration
+	env.Go("t", func(p *sim.Proc) {
+		// Populate the device below the cache, so the first read is
+		// genuinely cold.
+		inner.Write(p, 0, 8*model.MB, nil, 32*model.KB)
+		t0 := p.Now()
+		c.Read(p, 0, 8*model.MB, 32*model.KB)
+		cold = p.Now() - t0
+		t0 = p.Now()
+		c.Read(p, 0, 8*model.MB, 32*model.KB)
+		warm = p.Now() - t0
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if warm >= cold/2 {
+		t.Errorf("warm read %v not much faster than cold %v", warm, cold)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Capacity of 4 blocks; touch 8 blocks; verify evictions and that
+	// the most recent stay resident.
+	env, c, _ := rig(t, false, 4*32*model.KB)
+	env.Go("t", func(p *sim.Proc) {
+		for b := int64(0); b < 8; b++ {
+			c.Write(p, b*32*model.KB, 32*model.KB, nil, 32*model.KB)
+		}
+		s := c.Stats()
+		if s.Evictions != 4 {
+			t.Errorf("evictions = %d, want 4", s.Evictions)
+		}
+		// Blocks 4..7 resident (hits), 0..3 evicted (misses).
+		c.Read(p, 4*32*model.KB, 4*32*model.KB, 32*model.KB)
+		if got := c.Stats().Hits; got != 4 {
+			t.Errorf("hits on resident tail = %d, want 4", got)
+		}
+		c.Read(p, 0, 4*32*model.KB, 32*model.KB)
+		if got := c.Stats().Misses; got != 4 {
+			t.Errorf("misses on evicted head = %d, want 4", got)
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartialWriteInvalidates(t *testing.T) {
+	env, c, _ := rig(t, true, 4*model.MB)
+	env.Go("t", func(p *sim.Proc) {
+		full := bytes.Repeat([]byte{0xAA}, 32768)
+		c.Write(p, 0, 32768, full, 32*model.KB) // cached
+		// Overwrite a few bytes mid-block (partial): must invalidate.
+		c.Write(p, 100, 4, []byte{1, 2, 3, 4}, 32*model.KB)
+		got, err := c.Read(p, 0, 32768, 32*model.KB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]byte(nil), full...)
+		copy(want[100:], []byte{1, 2, 3, 4})
+		if !bytes.Equal(got, want) {
+			t.Fatal("stale cache served after partial overwrite")
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedAgainstInner(t *testing.T) {
+	// Fuzz reads/writes through the cache and compare every read with
+	// an uncached twin plane over a second identical device.
+	envA, cached, _ := rig(t, true, 8*32*model.KB) // tiny cache: lots of eviction
+	payloadSpace := int64(1 * model.MB)
+	rng := rand.New(rand.NewSource(99))
+	ref := make([]byte, payloadSpace)
+	envA.Go("t", func(p *sim.Proc) {
+		for op := 0; op < 300; op++ {
+			off := rng.Int63n(payloadSpace - 70000)
+			n := rng.Int63n(65536) + 1
+			if rng.Intn(2) == 0 {
+				data := make([]byte, n)
+				rng.Read(data)
+				if err := cached.Write(p, off, n, data, 32*model.KB); err != nil {
+					t.Fatal(err)
+				}
+				copy(ref[off:off+n], data)
+			} else {
+				got, err := cached.Read(p, off, n, 32*model.KB)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, ref[off:off+n]) {
+					t.Fatalf("op %d: read [%d,+%d) diverged from reference", op, off, n)
+				}
+			}
+		}
+	})
+	if _, err := envA.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := cached.Stats()
+	if s.Hits == 0 || s.Misses == 0 || s.Evictions == 0 {
+		t.Errorf("fuzz did not exercise all paths: %+v", s)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/mpi"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+// TestStorageNodeFailureSurfacesAsIOError injects a cascading failure:
+// one SSD dies mid-run, and the ranks mapped to it see IO errors while
+// ranks on other SSDs keep checkpointing (the scenario multi-level
+// checkpointing exists for).
+func TestStorageNodeFailureSurfacesAsIOError(t *testing.T) {
+	env, world, fab, devs := testJob(t, 16, false)
+	opts := smallOpts()
+	opts.SSDs = 4
+	rt, err := NewRuntime(env, world, fab, devs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failedSSD := rt.Allocation().SSDs[0].Device
+	failedRanks := map[int]bool{}
+	for rank, idx := range rt.Allocation().RankSSD {
+		if rt.Allocation().SSDs[idx].Device == failedSSD {
+			failedRanks[rank] = true
+		}
+	}
+	if len(failedRanks) == 0 {
+		t.Fatal("no ranks mapped to the failing SSD")
+	}
+	world.Launch(func(r *mpi.Rank, p *sim.Proc) {
+		me := r.ID()
+		c, err := rt.InitRank(p, r)
+		if err != nil {
+			t.Errorf("rank %d init: %v", me, err)
+			return
+		}
+		// First checkpoint succeeds everywhere.
+		f, err := c.Create(p, "/ckpt0", 0o644)
+		if err != nil {
+			t.Errorf("rank %d ckpt0: %v", me, err)
+			return
+		}
+		f.WriteN(p, 1<<20)
+		f.Close(p)
+		world.Comm().Barrier(p, r)
+		// The storage node dies.
+		if me == 0 {
+			failedSSD.Fail()
+		}
+		world.Comm().Barrier(p, r)
+		// Second checkpoint: ranks on the failed SSD must error; the
+		// rest must succeed.
+		f, err = c.Create(p, "/ckpt1", 0o644)
+		var werr error
+		if err == nil {
+			_, werr = f.WriteN(p, 1<<20)
+			f.Close(p)
+		} else {
+			werr = err
+		}
+		if failedRanks[me] && werr == nil {
+			t.Errorf("rank %d on failed SSD checkpointed successfully", me)
+		}
+		if !failedRanks[me] && werr != nil {
+			t.Errorf("rank %d on healthy SSD failed: %v", me, werr)
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheBytesSpeedsRepeatedReads verifies the future-work cache layer
+// wired through core.Options.
+func TestCacheBytesSpeedsRepeatedReads(t *testing.T) {
+	read := func(cacheBytes int64) time.Duration {
+		env, world, fab, devs := testJob(t, 4, false)
+		opts := smallOpts()
+		opts.CacheBytes = cacheBytes
+		rt, err := NewRuntime(env, world, fab, devs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var second time.Duration
+		world.Launch(func(r *mpi.Rank, p *sim.Proc) {
+			c, err := rt.InitRank(p, r)
+			if err != nil {
+				t.Errorf("rank %d: %v", r.ID(), err)
+				return
+			}
+			f, _ := c.Create(p, "/data", 0o644)
+			f.WriteN(p, 8<<20)
+			f.Close(p)
+			// Two full read passes: the second hits the cache.
+			for pass := 0; pass < 2; pass++ {
+				g, err := c.Open(p, "/data", vfs.ReadOnly)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				t0 := p.Now()
+				vfs.ReadAllN(p, g, 8<<20, 1<<20)
+				if pass == 1 && r.ID() == 0 {
+					second = p.Now() - t0
+				}
+				g.Close(p)
+			}
+		})
+		if _, err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return second
+	}
+	uncached := read(0)
+	cached := read(64 << 20)
+	if cached >= uncached {
+		t.Errorf("second read with cache (%v) not faster than without (%v)", cached, uncached)
+	}
+}

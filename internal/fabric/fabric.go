@@ -1,0 +1,140 @@
+// Package fabric models the cluster interconnect: per-node NIC ports
+// with finite bandwidth and a switch hierarchy contributing per-hop
+// latency. Transfers are interleaved at a configurable chunk size so
+// concurrent flows share NIC bandwidth fairly, the way hardware
+// virtual-lane arbitration does on the paper's EDR InfiniBand testbed.
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/topology"
+)
+
+// Path selects the transport flavour for latency accounting.
+type Path int
+
+const (
+	// RDMA is the userspace verbs path (SPDK NVMe-oF initiator).
+	RDMA Path = iota
+	// KernelRDMA is the in-kernel nvme_rdma path: RDMA wire latency
+	// plus kernel per-operation costs charged by the caller.
+	KernelRDMA
+	// TCP is a kernel TCP path, used for comparison modeling.
+	TCP
+)
+
+func (p Path) String() string {
+	switch p {
+	case RDMA:
+		return "rdma"
+	case KernelRDMA:
+		return "kernel-rdma"
+	case TCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("Path(%d)", int(p))
+	}
+}
+
+// Fabric is the interconnect model for one cluster.
+type Fabric struct {
+	env     *sim.Env
+	cluster *topology.Cluster
+	params  model.Net
+	nics    map[int]*sim.Resource // node ID -> NIC port
+
+	bytesMoved int64
+}
+
+// New builds the fabric for a cluster.
+func New(env *sim.Env, cluster *topology.Cluster, p model.Net) *Fabric {
+	f := &Fabric{
+		env:     env,
+		cluster: cluster,
+		params:  p,
+		nics:    make(map[int]*sim.Resource),
+	}
+	for _, n := range cluster.Nodes() {
+		f.nics[n.ID] = env.NewResource(1)
+	}
+	return f
+}
+
+// Cluster returns the topology this fabric spans.
+func (f *Fabric) Cluster() *topology.Cluster { return f.cluster }
+
+// Params returns the network model parameters.
+func (f *Fabric) Params() model.Net { return f.params }
+
+// baseLatency returns the one-way message latency for a path between two
+// nodes.
+func (f *Fabric) baseLatency(path Path, src, dst *topology.Node) time.Duration {
+	hops := f.cluster.Hops(src, dst)
+	lat := f.params.PerHop * time.Duration(hops)
+	switch path {
+	case RDMA, KernelRDMA:
+		lat += f.params.RDMABase
+	case TCP:
+		lat += f.params.TCPBase
+	}
+	return lat
+}
+
+// Transfer moves `bytes` from src to dst, blocking the calling process
+// for the modeled duration. Loopback (src == dst) transfers cost only a
+// memory-speed copy. Zero-byte transfers cost one message latency
+// (protocol round trips are modeled by callers issuing such transfers).
+func (f *Fabric) Transfer(p *sim.Proc, path Path, src, dst *topology.Node, bytes int64) error {
+	if src == nil || dst == nil {
+		return fmt.Errorf("fabric: nil endpoint")
+	}
+	if bytes < 0 {
+		return fmt.Errorf("fabric: negative transfer size %d", bytes)
+	}
+	f.bytesMoved += bytes
+	if src.ID == dst.ID {
+		// Local: no NIC involved; memory copy at kernel memcpy speed
+		// would be charged by the caller where relevant.
+		return nil
+	}
+	p.Sleep(f.baseLatency(path, src, dst))
+	if bytes == 0 {
+		return nil
+	}
+	chunk := f.params.ChunkBytes
+	if chunk <= 0 {
+		chunk = bytes
+	}
+	// Acquire NICs in node-ID order to avoid deadlock between
+	// opposite-direction flows.
+	first, second := f.nics[src.ID], f.nics[dst.ID]
+	if dst.ID < src.ID {
+		first, second = second, first
+	}
+	for off := int64(0); off < bytes; off += chunk {
+		n := chunk
+		if off+n > bytes {
+			n = bytes - off
+		}
+		first.Acquire(p)
+		second.Acquire(p)
+		p.Sleep(model.DurFor(n, f.params.NICBW))
+		second.Release()
+		first.Release()
+	}
+	return nil
+}
+
+// RoundTrip models a small control message exchange (request/response)
+// between two nodes.
+func (f *Fabric) RoundTrip(p *sim.Proc, path Path, src, dst *topology.Node) {
+	lat := f.baseLatency(path, src, dst)
+	p.Sleep(2 * lat)
+}
+
+// BytesMoved reports the total payload moved since creation.
+func (f *Fabric) BytesMoved() int64 { return f.bytesMoved }

@@ -1,0 +1,185 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/topology"
+)
+
+func build(t *testing.T) (*sim.Env, *Fabric, *topology.Cluster) {
+	t.Helper()
+	cl, err := topology.New(topology.PaperTestbed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sim.NewEnv()
+	return env, New(env, cl, model.Default().Net), cl
+}
+
+func TestTransferTime(t *testing.T) {
+	env, f, cl := build(t)
+	src := cl.ComputeNodes()[0]
+	dst := cl.StorageNodes()[0]
+	bytes := int64(1 * model.GB)
+	env.Go("xfer", func(p *sim.Proc) {
+		if err := f.Transfer(p, RDMA, src, dst, bytes); err != nil {
+			t.Error(err)
+		}
+	})
+	end, err := env.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := model.DurFor(bytes, f.Params().NICBW)
+	if end < ideal {
+		t.Errorf("transfer finished in %v, faster than NIC allows (%v)", end, ideal)
+	}
+	if end > ideal+time.Millisecond {
+		t.Errorf("transfer took %v, want ~%v", end, ideal)
+	}
+}
+
+func TestConcurrentFlowsShareDestinationNIC(t *testing.T) {
+	env, f, cl := build(t)
+	dst := cl.StorageNodes()[0]
+	bytes := int64(512 * model.MB)
+	srcs := cl.ComputeNodes()[:4]
+	for _, src := range srcs {
+		src := src
+		env.Go("xfer", func(p *sim.Proc) {
+			if err := f.Transfer(p, RDMA, src, dst, bytes); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	end, err := env.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := model.DurFor(4*bytes, f.Params().NICBW)
+	if end < ideal {
+		t.Errorf("4 flows finished in %v, faster than shared NIC allows (%v)", end, ideal)
+	}
+	if float64(end) > float64(ideal)*1.1 {
+		t.Errorf("4 flows took %v, want ~%v", end, ideal)
+	}
+}
+
+func TestFlowsToDistinctNodesRunInParallel(t *testing.T) {
+	env, f, cl := build(t)
+	bytes := int64(512 * model.MB)
+	for i := 0; i < 4; i++ {
+		src := cl.ComputeNodes()[i]
+		dst := cl.StorageNodes()[i]
+		env.Go("xfer", func(p *sim.Proc) {
+			if err := f.Transfer(p, RDMA, src, dst, bytes); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	end, err := env.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := model.DurFor(bytes, f.Params().NICBW)
+	if float64(end) > float64(ideal)*1.1 {
+		t.Errorf("parallel flows took %v, want ~%v (no shared bottleneck)", end, ideal)
+	}
+}
+
+func TestLoopbackIsFree(t *testing.T) {
+	env, f, cl := build(t)
+	n := cl.ComputeNodes()[0]
+	env.Go("xfer", func(p *sim.Proc) {
+		if err := f.Transfer(p, RDMA, n, n, model.GB); err != nil {
+			t.Error(err)
+		}
+	})
+	end, err := env.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 0 {
+		t.Errorf("loopback transfer took %v, want 0", end)
+	}
+}
+
+func TestTCPSlowerThanRDMA(t *testing.T) {
+	lat := func(path Path) time.Duration {
+		env, f, cl := build(t)
+		src, dst := cl.ComputeNodes()[0], cl.StorageNodes()[0]
+		env.Go("x", func(p *sim.Proc) { f.Transfer(p, path, src, dst, 4096) })
+		end, err := env.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	if lat(TCP) <= lat(RDMA) {
+		t.Error("TCP path should have higher base latency than RDMA")
+	}
+}
+
+func TestHopCountAffectsLatency(t *testing.T) {
+	env, f, cl := build(t)
+	intra := cl.ComputeNodes()[1] // same rack as cn0
+	cross := cl.StorageNodes()[0] // other rack
+	src := cl.ComputeNodes()[0]
+	var tIntra, tCross time.Duration
+	env.Go("x", func(p *sim.Proc) {
+		start := p.Now()
+		f.Transfer(p, RDMA, src, intra, 0)
+		tIntra = p.Now() - start
+		start = p.Now()
+		f.Transfer(p, RDMA, src, cross, 0)
+		tCross = p.Now() - start
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tCross <= tIntra {
+		t.Errorf("cross-rack latency %v should exceed intra-rack %v", tCross, tIntra)
+	}
+}
+
+func TestInvalidTransfers(t *testing.T) {
+	env, f, cl := build(t)
+	n := cl.ComputeNodes()[0]
+	env.Go("x", func(p *sim.Proc) {
+		if err := f.Transfer(p, RDMA, nil, n, 10); err == nil {
+			t.Error("nil src accepted")
+		}
+		if err := f.Transfer(p, RDMA, n, n, -1); err == nil {
+			t.Error("negative size accepted")
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOppositeFlowsNoDeadlock(t *testing.T) {
+	env, f, cl := build(t)
+	a := cl.ComputeNodes()[0]
+	b := cl.StorageNodes()[0]
+	env.Go("ab", func(p *sim.Proc) { f.Transfer(p, RDMA, a, b, 64*model.MB) })
+	env.Go("ba", func(p *sim.Proc) { f.Transfer(p, RDMA, b, a, 64*model.MB) })
+	if _, err := env.Run(); err != nil {
+		t.Fatalf("opposite flows deadlocked: %v", err)
+	}
+}
+
+func TestBytesMovedAccounting(t *testing.T) {
+	env, f, cl := build(t)
+	src, dst := cl.ComputeNodes()[0], cl.StorageNodes()[0]
+	env.Go("x", func(p *sim.Proc) { f.Transfer(p, RDMA, src, dst, 12345) })
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if f.BytesMoved() != 12345 {
+		t.Errorf("BytesMoved = %d, want 12345", f.BytesMoved())
+	}
+}

@@ -1,0 +1,294 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/balancer"
+	"github.com/nvme-cr/nvmecr/internal/baseline"
+	"github.com/nvme-cr/nvmecr/internal/comd"
+	"github.com/nvme-cr/nvmecr/internal/core"
+	"github.com/nvme-cr/nvmecr/internal/fabric"
+	"github.com/nvme-cr/nvmecr/internal/metrics"
+	"github.com/nvme-cr/nvmecr/internal/microfs"
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/mpi"
+	"github.com/nvme-cr/nvmecr/internal/nvme"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/topology"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+// System identifies a storage system under test.
+type System string
+
+// The systems compared in the paper's evaluation.
+const (
+	SysNVMeCR    System = "nvme-cr"
+	SysOrangeFS  System = "orangefs"
+	SysGlusterFS System = "glusterfs"
+	SysCrail     System = "crail"
+	SysExt4      System = "ext4"
+	SysXFS       System = "xfs"
+	SysSPDKRaw   System = "spdk"
+	SysLustre    System = "lustre"
+)
+
+// rig is one freshly built simulated cluster.
+type rig struct {
+	env     *sim.Env
+	cluster *topology.Cluster
+	fab     *fabric.Fabric
+	params  model.Params
+	world   *mpi.World
+
+	// tier-1 storage devices (one per storage node).
+	devices []balancer.StorageDevice
+}
+
+// newRig builds the paper-testbed cluster with a world of `ranks`.
+func newRig(ranks int) (*rig, error) {
+	cl, err := topology.New(topology.PaperTestbed())
+	if err != nil {
+		return nil, err
+	}
+	env := sim.NewEnv()
+	params := model.Default()
+	fab := fabric.New(env, cl, params.Net)
+	world, err := mpi.NewWorld(env, cl, ranks)
+	if err != nil {
+		return nil, err
+	}
+	r := &rig{env: env, cluster: cl, fab: fab, params: params, world: world}
+	for _, sn := range cl.StorageNodes() {
+		r.devices = append(r.devices, balancer.StorageDevice{
+			Node:   sn,
+			Device: nvme.New(env, sn.Name, params.SSD, false),
+		})
+	}
+	return r, nil
+}
+
+// backendFor builds a distributed baseline backend over fresh devices
+// (so each system sees virgin SSDs).
+func (r *rig) backendFor(n int) (*baseline.Backend, error) {
+	var nodes []*topology.Node
+	var devs []*nvme.Device
+	for i, sn := range r.cluster.StorageNodes() {
+		if i >= n {
+			break
+		}
+		nodes = append(nodes, sn)
+		devs = append(devs, nvme.New(r.env, fmt.Sprintf("%s-b", sn.Name), r.params.SSD, false))
+	}
+	return baseline.NewBackend(r.env, r.fab, nodes, devs)
+}
+
+// jobResult captures what the experiments need from one CoMD run.
+type jobResult struct {
+	res      *comd.Result
+	recovery time.Duration
+	rt       *core.Runtime // nil for baselines
+	loads    []float64     // bytes stored per server/SSD
+	accounts []*vfs.Account
+	meta     jobMeta
+}
+
+type jobMeta struct {
+	// perServerMetaBytes for distributed baselines; perRuntimeMeta for
+	// NVMe-CR.
+	perServerMetaBytes []int64
+	perRuntimeMeta     int64
+	inodeDRAM          int64
+	btreeDRAM          int64
+}
+
+// jobSpec configures runCoMD.
+type jobSpec struct {
+	system   System
+	ranks    int
+	cfg      comd.Config
+	coreOpts core.Options // NVMe-CR only (Mode, Features, ...)
+	recover  bool         // run the application recovery phase
+	secondFS *baseline.DistFS
+	secondFn func(*rig) (*baseline.DistFS, error)
+}
+
+// runCoMD builds a fresh rig and executes one CoMD run over the chosen
+// system, returning timing and accounting.
+func runCoMD(spec jobSpec) (*jobResult, error) {
+	r, err := newRig(spec.ranks)
+	if err != nil {
+		return nil, err
+	}
+	out := &jobResult{accounts: make([]*vfs.Account, spec.ranks)}
+
+	var second []vfs.Client
+	if spec.secondFn != nil {
+		fs, err := spec.secondFn(r)
+		if err != nil {
+			return nil, err
+		}
+		spec.secondFS = fs
+	}
+	if spec.secondFS != nil {
+		second = make([]vfs.Client, spec.ranks)
+		for i := 0; i < spec.ranks; i++ {
+			second[i] = spec.secondFS.NewClient(r.world.Node(i))
+		}
+	}
+
+	clients := make([]vfs.Client, spec.ranks)
+	app, err := comd.New(r.world, clients, second, spec.cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var rt *core.Runtime
+	if spec.system == SysNVMeCR && spec.recover {
+		// Runtime metadata recovery (snapshot read + provenance log
+		// replay) precedes application restart reads — Table II's
+		// coalescing-sensitive component.
+		app.PreRecover = func(rank int, p *sim.Proc) error {
+			return rt.Client(rank).ModelRecovery(p)
+		}
+	}
+	var dist *baseline.DistFS
+	switch spec.system {
+	case SysNVMeCR:
+		opts := spec.coreOpts
+		if opts.BytesPerRank == 0 {
+			opts.BytesPerRank = spec.cfg.CheckpointBytesPerRank*int64(maxInt(spec.cfg.Checkpoints, 1)) + 256*model.MB
+		}
+		if opts.SSDs == 0 {
+			// Match the baselines, which spread over every storage
+			// server; efficiency denominators then agree.
+			opts.SSDs = len(r.devices)
+		}
+		rt, err = core.NewRuntime(r.env, r.world, r.fab, r.devices, opts)
+		if err != nil {
+			return nil, err
+		}
+	case SysOrangeFS, SysGlusterFS:
+		backend, berr := r.backendFor(len(r.cluster.StorageNodes()))
+		if berr != nil {
+			return nil, berr
+		}
+		if spec.system == SysOrangeFS {
+			dist = baseline.NewOrangeFS(backend, r.params)
+		} else {
+			dist = baseline.NewGlusterFS(backend, r.params)
+		}
+		for i := 0; i < spec.ranks; i++ {
+			clients[i] = dist.NewClient(r.world.Node(i))
+		}
+	default:
+		return nil, fmt.Errorf("harness: runCoMD does not support system %q", spec.system)
+	}
+
+	errs := make([]error, spec.ranks)
+	r.world.Launch(func(rank *mpi.Rank, p *sim.Proc) {
+		me := rank.ID()
+		if rt != nil {
+			c, ierr := rt.InitRank(p, rank)
+			if ierr != nil {
+				errs[me] = ierr
+				return
+			}
+			clients[me] = c
+		}
+		out.accounts[me] = clients[me].Account()
+		if err := app.RankBody(rank, p); err != nil {
+			errs[me] = err
+			return
+		}
+		if spec.recover {
+			if err := app.Recover(rank, p, &out.recovery); err != nil {
+				errs[me] = err
+				return
+			}
+		}
+		if rt != nil {
+			errs[me] = rt.Finalize(p, rank)
+		}
+	})
+	_, runErr := r.env.Run()
+	for i, e := range errs {
+		if e != nil {
+			// A rank error surfaces as a barrier deadlock; report the
+			// root cause instead.
+			return nil, fmt.Errorf("rank %d: %w", i, e)
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	out.res = app.Result()
+	out.rt = rt
+	if rt != nil {
+		for _, sd := range rt.Allocation().SSDs {
+			w, _, _, _ := sd.Device.Stats()
+			out.loads = append(out.loads, float64(w))
+		}
+		s := rt.Stats()
+		out.meta.perRuntimeMeta = s.MetaStorageBytes / int64(spec.ranks)
+		out.meta.inodeDRAM = s.InodeDRAMBytes / int64(spec.ranks)
+		out.meta.btreeDRAM = s.BTreeDRAMBytes / int64(spec.ranks)
+	}
+	if dist != nil {
+		out.loads = dist.Backend().ServerLoads()
+		for _, srv := range dist.Backend().Servers() {
+			out.meta.perServerMetaBytes = append(out.meta.perServerMetaBytes, srv.MetaBytes())
+		}
+	}
+	return out, nil
+}
+
+// checkpointEfficiency converts a run's mean checkpoint-phase bandwidth
+// into the paper's efficiency metric against peak write bandwidth.
+func checkpointEfficiency(res *comd.Result, peak float64) float64 {
+	if len(res.CheckpointTimes) == 0 {
+		return 0
+	}
+	var bw float64
+	for _, d := range res.CheckpointTimes {
+		bw += metrics.Bandwidth(res.BytesPerCheckpoint, d)
+	}
+	return metrics.Efficiency(bw/float64(len(res.CheckpointTimes)), peak)
+}
+
+// nvmecrOpts returns the production NVMe-CR configuration.
+func nvmecrOpts() core.Options {
+	return core.Options{
+		Mode:       core.RemoteSPDK,
+		Features:   microfs.AllFeatures(),
+		Background: true,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// procScale returns the experiment's process-count sweep.
+func procScale(opts Options) []int {
+	if opts.Quick {
+		// High enough that per-server software ceilings bind and
+		// consistent-hash imbalance fades, so paper shapes emerge.
+		return []int{14, 56, 112}
+	}
+	return []int{28, 56, 112, 224, 448}
+}
+
+// hardwarePeakWrite is the aggregate tier-1 write bandwidth of the
+// 8-SSD testbed.
+func hardwarePeakWrite(p model.Params, ssds int) float64 {
+	return p.SSD.WriteBW * float64(ssds)
+}
+
+func hardwarePeakRead(p model.Params, ssds int) float64 {
+	return p.SSD.ReadBW * float64(ssds)
+}

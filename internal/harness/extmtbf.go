@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/comd"
+	"github.com/nvme-cr/nvmecr/internal/model"
+)
+
+func init() { register("extmtbf", extMTBF) }
+
+// extMTBF connects the paper's introduction to its evaluation: exascale
+// systems are projected to fail more often than every 30 minutes, so a
+// job's useful-work efficiency depends on how cheaply it can checkpoint.
+// The experiment measures each system's actual checkpoint and recovery
+// cost on the simulated testbed (one calibration run at full scale),
+// then replays a long job under Poisson failures across a sweep of
+// checkpoint intervals, reporting the fraction of wall time spent on
+// forward progress. Young's optimal interval sqrt(2*C*MTBF) is shown
+// for each system.
+func extMTBF(opts Options) (*Table, error) {
+	t := &Table{
+		ID:        "extmtbf",
+		Title:     "EXTENSION — useful-work efficiency under failures (MTBF 30 min)",
+		PaperNote: "intro motivation quantified: cheaper checkpoints let jobs checkpoint near Young's optimum and keep more of the machine doing science",
+		Header:    []string{"interval", "nvme-cr", "glusterfs", "orangefs"},
+	}
+	procs := 448
+	cfg := comd.WeakScaling()
+	cfg.Checkpoints = 1
+	cfg.StepsPerInterval = 1
+	if opts.Quick {
+		procs = 56
+		cfg.CheckpointBytesPerRank = 32 * model.MB
+	}
+
+	// Calibration: measure checkpoint and recovery cost per system.
+	type sysCost struct {
+		name System
+		c    time.Duration // checkpoint cost
+		r    time.Duration // restart (read) cost
+	}
+	systems := []System{SysNVMeCR, SysGlusterFS, SysOrangeFS}
+	costs := make([]sysCost, 0, len(systems))
+	for _, sys := range systems {
+		spec := jobSpec{system: sys, ranks: procs, cfg: cfg, recover: true}
+		if sys == SysNVMeCR {
+			spec.coreOpts = nvmecrOpts()
+		}
+		res, err := runCoMD(spec)
+		if err != nil {
+			return nil, err
+		}
+		costs = append(costs, sysCost{name: sys, c: res.res.CheckpointTimes[0], r: res.recovery})
+	}
+
+	const mtbf = 30 * time.Minute
+	const work = 12 * time.Hour // compute the job must complete
+	intervals := []time.Duration{2 * time.Minute, 5 * time.Minute, 10 * time.Minute,
+		20 * time.Minute, 40 * time.Minute}
+	for _, tau := range intervals {
+		row := []string{tau.String()}
+		for _, sc := range costs {
+			eff := replayFailures(work, tau, sc.c, sc.r, mtbf, 42)
+			row = append(row, f3(eff))
+		}
+		t.AddRow(row...)
+	}
+	// Young's optimum per system, as a footer row.
+	row := []string{"young-opt"}
+	for _, sc := range costs {
+		tauOpt := time.Duration(math.Sqrt(2 * sc.c.Seconds() * mtbf.Seconds() * 1e18))
+		eff := replayFailures(work, tauOpt, sc.c, sc.r, mtbf, 42)
+		row = append(row, fmt.Sprintf("%s@%s", f3(eff), tauOpt.Round(time.Second)))
+	}
+	t.AddRow(row...)
+	return t, nil
+}
+
+// replayFailures simulates a job needing `work` compute under Poisson
+// failures (exponential inter-arrival, given MTBF), checkpointing every
+// `interval` of progress at cost c and restarting at cost r after each
+// failure (plus re-doing the work since the last checkpoint). It returns
+// useful-work efficiency work / wallclock. Deterministic for a seed.
+func replayFailures(work, interval, c, r, mtbf time.Duration, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	var wall, done, sinceCkpt time.Duration
+	nextFailure := expDuration(rng, mtbf)
+	for done < work {
+		// Time until the next event: completing the current interval
+		// (then checkpointing) or failing.
+		segment := interval - sinceCkpt
+		if done+segment > work {
+			segment = work - done
+		}
+		needed := segment
+		if wall+needed >= nextFailure {
+			// Failure strikes mid-segment: all progress since the
+			// last checkpoint is lost.
+			wall = nextFailure + r
+			done -= sinceCkpt
+			if done < 0 {
+				done = 0
+			}
+			sinceCkpt = 0
+			nextFailure = wall + expDuration(rng, mtbf)
+			continue
+		}
+		wall += needed
+		done += segment
+		sinceCkpt += segment
+		if sinceCkpt >= interval && done < work {
+			// Checkpoint; a failure during the checkpoint loses the
+			// interval too (handled by the same mechanism: the dump
+			// counts as wall time with no progress).
+			if wall+c >= nextFailure {
+				wall = nextFailure + r
+				done -= sinceCkpt
+				if done < 0 {
+					done = 0
+				}
+				sinceCkpt = 0
+				nextFailure = wall + expDuration(rng, mtbf)
+				continue
+			}
+			wall += c
+			sinceCkpt = 0
+		}
+	}
+	return work.Seconds() / wall.Seconds()
+}
+
+// expDuration draws an exponential duration with the given mean.
+func expDuration(rng *rand.Rand, mean time.Duration) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(mean))
+}

@@ -1,0 +1,178 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/baseline"
+	"github.com/nvme-cr/nvmecr/internal/core"
+	"github.com/nvme-cr/nvmecr/internal/metrics"
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/mpi"
+	"github.com/nvme-cr/nvmecr/internal/plfs"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+func init() { register("extn1", extN1) }
+
+// extN1 goes beyond the paper's figures: the N-1 checkpoint pattern
+// (every rank writes one shared file), which the paper explicitly
+// leaves to the N-N-focused design. Mapped onto NVMe-CR through the
+// PLFS-style layer (internal/plfs), each rank still writes only its
+// private log — full aggregate bandwidth. A conventional global-
+// namespace filesystem stores the one shared file where its placement
+// function puts it, collapsing N-1 onto a single server.
+func extN1(opts Options) (*Table, error) {
+	t := &Table{
+		ID:        "extn1",
+		Title:     "EXTENSION — N-1 shared-file checkpoint bandwidth (GB/s)",
+		PaperNote: "beyond the paper: PLFS-style N-1 over NVMe-CR retains N-N bandwidth; GlusterFS serializes the shared file on one server",
+		Header:    []string{"procs", "nvme-cr+plfs", "glusterfs", "speedup"},
+	}
+	perRank := int64(64 * model.MB)
+	if opts.Quick {
+		perRank = 16 * model.MB
+	}
+	for _, procs := range procScale(opts) {
+		crBW, err := n1OverNVMeCR(procs, perRank)
+		if err != nil {
+			return nil, err
+		}
+		gfsBW, err := n1OverGluster(procs, perRank)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(itoa(procs), f2(crBW/1e9), f2(gfsBW/1e9), f2(crBW/gfsBW))
+	}
+	return t, nil
+}
+
+// n1OverNVMeCR writes one logical shared file through the PLFS mapping:
+// rank r owns the strided extents starting at r*perRank (a block-cyclic
+// N-1 layout).
+func n1OverNVMeCR(procs int, perRank int64) (float64, error) {
+	r, err := newRig(procs)
+	if err != nil {
+		return 0, err
+	}
+	opts := nvmecrOpts()
+	opts.SSDs = len(r.devices)
+	opts.BytesPerRank = 2*perRank + 256*model.MB
+	rt, err := core.NewRuntime(r.env, r.world, r.fab, r.devices, opts)
+	if err != nil {
+		return 0, err
+	}
+	var start, finish time.Duration
+	errs := make([]error, procs)
+	r.world.Launch(func(rank *mpi.Rank, p *sim.Proc) {
+		me := rank.ID()
+		c, ierr := rt.InitRank(p, rank)
+		if ierr != nil {
+			errs[me] = ierr
+			return
+		}
+		r.world.Comm().Barrier(p, rank)
+		if me == 0 {
+			start = p.Now()
+		}
+		w, werr := plfs.NewWriter(p, c, "/shared.ckpt", me, 0)
+		if werr != nil {
+			errs[me] = werr
+			return
+		}
+		// Block-cyclic N-1: each rank writes its stripes of the
+		// logical file in 4 MB chunks.
+		chunk := int64(4 * model.MB)
+		for off := int64(0); off < perRank; off += chunk {
+			logical := int64(me)*perRank + off
+			if err := w.WriteAtN(p, logical, chunk); err != nil {
+				errs[me] = err
+				return
+			}
+		}
+		if err := w.Close(p); err != nil {
+			errs[me] = err
+			return
+		}
+		r.world.Comm().Barrier(p, rank)
+		if me == 0 {
+			finish = p.Now()
+		}
+		errs[me] = rt.Finalize(p, rank)
+	})
+	if _, err := r.env.Run(); err != nil {
+		return 0, err
+	}
+	for i, e := range errs {
+		if e != nil {
+			return 0, fmt.Errorf("nvme-cr+plfs rank %d: %w", i, e)
+		}
+	}
+	return metrics.Bandwidth(int64(procs)*perRank, finish-start), nil
+}
+
+// n1OverGluster writes the same logical file directly: one shared file,
+// all ranks seeking into it.
+func n1OverGluster(procs int, perRank int64) (float64, error) {
+	r, err := newRig(procs)
+	if err != nil {
+		return 0, err
+	}
+	backend, err := r.backendFor(len(r.cluster.StorageNodes()))
+	if err != nil {
+		return 0, err
+	}
+	fs := baseline.NewGlusterFS(backend, r.params)
+	clients := make([]vfs.Client, procs)
+	for i := range clients {
+		clients[i] = fs.NewClient(r.world.Node(i))
+	}
+	var start, finish time.Duration
+	errs := make([]error, procs)
+	r.world.Launch(func(rank *mpi.Rank, p *sim.Proc) {
+		me := rank.ID()
+		r.world.Comm().Barrier(p, rank)
+		if me == 0 {
+			start = p.Now()
+			// Rank 0 creates the shared file; everyone else opens it.
+			f, err := clients[0].Create(p, "/shared.ckpt", 0o644)
+			if err != nil {
+				errs[me] = err
+				return
+			}
+			f.Close(p)
+		}
+		r.world.Comm().Barrier(p, rank)
+		f, err := clients[me].Open(p, "/shared.ckpt", vfs.WriteOnly)
+		if err != nil {
+			errs[me] = err
+			return
+		}
+		if err := f.SeekTo(int64(me) * perRank); err != nil {
+			errs[me] = err
+			return
+		}
+		chunk := int64(4 * model.MB)
+		for off := int64(0); off < perRank; off += chunk {
+			if _, err := f.WriteN(p, chunk); err != nil {
+				errs[me] = err
+				return
+			}
+		}
+		f.Close(p)
+		r.world.Comm().Barrier(p, rank)
+		if me == 0 {
+			finish = p.Now()
+		}
+	})
+	if _, err := r.env.Run(); err != nil {
+		return 0, err
+	}
+	for i, e := range errs {
+		if e != nil {
+			return 0, fmt.Errorf("glusterfs rank %d: %w", i, e)
+		}
+	}
+	return metrics.Bandwidth(int64(procs)*perRank, finish-start), nil
+}

@@ -1,0 +1,223 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/baseline"
+	"github.com/nvme-cr/nvmecr/internal/core"
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/mpi"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+	"github.com/nvme-cr/nvmecr/internal/workload"
+)
+
+func init() {
+	register("fig8a", fig8a)
+	register("fig8b", fig8b)
+}
+
+// fig8a reproduces Figure 8a: full-subscription checkpoint time over a
+// local SSD versus a remote SSD reached via NVMe-oF, plus Crail as the
+// other userspace NVMe-oF runtime. The paper measures below 3.5% NVMf
+// overhead for NVMe-CR and 5-10% higher overhead for Crail.
+func fig8a(opts Options) (*Table, error) {
+	t := &Table{
+		ID:        "fig8a",
+		Title:     "NVMf overhead: local vs remote dump time (s), 28 processes",
+		PaperNote: "NVMe-CR remote overhead < 3.5%; Crail 5-10% slower than NVMe-CR remote",
+		Header:    []string{"size/proc", "cr-local", "cr-remote", "overhead", "crail"},
+	}
+	procs := 28
+	sizes := []int64{64 * model.MB, 128 * model.MB, 256 * model.MB, 512 * model.MB}
+	if opts.Quick {
+		procs = 8
+		sizes = []int64{64 * model.MB, 128 * model.MB}
+	}
+	for _, size := range sizes {
+		local, err := oneSSDJob(procs, size, core.LocalSPDK)
+		if err != nil {
+			return nil, err
+		}
+		remote, err := oneSSDJob(procs, size, core.RemoteSPDK)
+		if err != nil {
+			return nil, err
+		}
+		crail, err := crailDump(procs, size)
+		if err != nil {
+			return nil, err
+		}
+		overhead := (remote.Seconds() - local.Seconds()) / local.Seconds() * 100
+		t.AddRow(sizeLabel(size), f3(local.Seconds()), f3(remote.Seconds()),
+			fmt.Sprintf("%+.1f%%", overhead), f3(crail.Seconds()))
+	}
+	return t, nil
+}
+
+// oneSSDJob runs `procs` ranks (one node) against a single SSD through
+// the full NVMe-CR runtime in the given plane mode, returning the dump
+// time for `perProc` bytes each.
+func oneSSDJob(procs int, perProc int64, mode core.PlaneMode) (time.Duration, error) {
+	r, err := newRig(procs)
+	if err != nil {
+		return 0, err
+	}
+	opts := nvmecrOpts()
+	opts.Mode = mode
+	opts.SSDs = 1
+	opts.BytesPerRank = perProc + 128*model.MB
+	rt, err := core.NewRuntime(r.env, r.world, r.fab, r.devices, opts)
+	if err != nil {
+		return 0, err
+	}
+	var start, finish time.Duration
+	errs := make([]error, procs)
+	r.world.Launch(func(rank *mpi.Rank, p *sim.Proc) {
+		me := rank.ID()
+		c, ierr := rt.InitRank(p, rank)
+		if ierr != nil {
+			errs[me] = ierr
+			return
+		}
+		r.world.Comm().Barrier(p, rank)
+		if me == 0 {
+			start = p.Now()
+		}
+		errs[me] = workload.Dump(p, c, "/ckpt.dat", perProc, 4*model.MB)
+		r.world.Comm().Barrier(p, rank)
+		if me == 0 {
+			finish = p.Now()
+		}
+		if err := rt.Finalize(p, rank); err != nil && errs[me] == nil {
+			errs[me] = err
+		}
+	})
+	if _, err := r.env.Run(); err != nil {
+		return 0, err
+	}
+	for i, e := range errs {
+		if e != nil {
+			return 0, fmt.Errorf("rank %d: %w", i, e)
+		}
+	}
+	return finish - start, nil
+}
+
+// crailDump measures Crail (single storage server, SPDK NVMf data
+// plane, centralized metadata).
+func crailDump(procs int, perProc int64) (time.Duration, error) {
+	r, err := newRig(procs)
+	if err != nil {
+		return 0, err
+	}
+	backend, err := r.backendFor(1)
+	if err != nil {
+		return 0, err
+	}
+	crail, err := baseline.NewCrail(backend, r.params)
+	if err != nil {
+		return 0, err
+	}
+	clients := make([]vfs.Client, procs)
+	for i := range clients {
+		clients[i] = crail.NewClient(r.world.Node(i))
+	}
+	return workload.Fleet(r.env, procs, func(i int, p *sim.Proc) error {
+		return workload.Dump(p, clients[i], fmt.Sprintf("/c%04d", i), perProc, 4*model.MB)
+	})
+}
+
+// fig8b reproduces Figure 8b: file-create throughput under the N-N
+// pattern at increasing process counts. The paper measures NVMe-CR at 7x
+// OrangeFS and 18x GlusterFS at 448 processes, because private
+// namespaces let every process create files in parallel while the
+// baselines serialize on the shared directory.
+func fig8b(opts Options) (*Table, error) {
+	t := &Table{
+		ID:        "fig8b",
+		Title:     "File create throughput (creates/s)",
+		PaperNote: "NVMe-CR 7x OrangeFS and 18x GlusterFS at 448 processes",
+		Header:    []string{"procs", "nvme-cr", "orangefs", "glusterfs", "cr/ofs", "cr/gfs"},
+	}
+	perProc := 64
+	if opts.Quick {
+		perProc = 16
+	}
+	for _, procs := range procScale(opts) {
+		var rates [3]float64
+		// NVMe-CR.
+		{
+			r, err := newRig(procs)
+			if err != nil {
+				return nil, err
+			}
+			cOpts := nvmecrOpts()
+			cOpts.BytesPerRank = 512 * model.MB
+			rt, err := core.NewRuntime(r.env, r.world, r.fab, r.devices, cOpts)
+			if err != nil {
+				return nil, err
+			}
+			var start, finish time.Duration
+			errs := make([]error, procs)
+			r.world.Launch(func(rank *mpi.Rank, p *sim.Proc) {
+				me := rank.ID()
+				c, ierr := rt.InitRank(p, rank)
+				if ierr != nil {
+					errs[me] = ierr
+					return
+				}
+				r.world.Comm().Barrier(p, rank)
+				if me == 0 {
+					start = p.Now()
+				}
+				errs[me] = workload.Storm(p, c, "/f", perProc)
+				r.world.Comm().Barrier(p, rank)
+				if me == 0 {
+					finish = p.Now()
+				}
+				if err := rt.Finalize(p, rank); err != nil && errs[me] == nil {
+					errs[me] = err
+				}
+			})
+			if _, err := r.env.Run(); err != nil {
+				return nil, err
+			}
+			for i, e := range errs {
+				if e != nil {
+					return nil, fmt.Errorf("nvme-cr rank %d: %w", i, e)
+				}
+			}
+			rates[0] = float64(procs*perProc) / (finish - start).Seconds()
+		}
+		// Baselines.
+		for bi, build := range []func(*baseline.Backend, model.Params) *baseline.DistFS{
+			baseline.NewOrangeFS, baseline.NewGlusterFS,
+		} {
+			r, err := newRig(procs)
+			if err != nil {
+				return nil, err
+			}
+			backend, err := r.backendFor(len(r.cluster.StorageNodes()))
+			if err != nil {
+				return nil, err
+			}
+			fs := build(backend, r.params)
+			clients := make([]vfs.Client, procs)
+			for i := range clients {
+				clients[i] = fs.NewClient(r.world.Node(i))
+			}
+			elapsed, err := workload.Fleet(r.env, procs, func(i int, p *sim.Proc) error {
+				return workload.Storm(p, clients[i], fmt.Sprintf("/p%04d-", i), perProc)
+			})
+			if err != nil {
+				return nil, err
+			}
+			rates[1+bi] = float64(procs*perProc) / elapsed.Seconds()
+		}
+		t.AddRow(itoa(procs),
+			f2(rates[0]), f2(rates[1]), f2(rates[2]),
+			f2(rates[0]/rates[1]), f2(rates[0]/rates[2]))
+	}
+	return t, nil
+}

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"github.com/nvme-cr/nvmecr/internal/comd"
+	"github.com/nvme-cr/nvmecr/internal/metrics"
+	"github.com/nvme-cr/nvmecr/internal/model"
+)
+
+func init() {
+	register("fig9strong", fig9strong)
+	register("fig9weak", fig9weak)
+}
+
+// fig9Systems are the systems compared in the application evaluation.
+var fig9Systems = []System{SysNVMeCR, SysOrangeFS, SysGlusterFS}
+
+// scalingRun measures checkpoint and recovery efficiency for one system
+// at one scale.
+func scalingRun(sys System, procs int, cfg comd.Config) (ckptEff, recEff float64, err error) {
+	spec := jobSpec{system: sys, ranks: procs, cfg: cfg, recover: true}
+	if sys == SysNVMeCR {
+		spec.coreOpts = nvmecrOpts()
+	}
+	res, err := runCoMD(spec)
+	if err != nil {
+		return 0, 0, err
+	}
+	params := model.Default()
+	ckptEff = checkpointEfficiency(res.res, hardwarePeakWrite(params, 8))
+	recEff = metrics.Efficiency(
+		metrics.Bandwidth(res.res.BytesPerCheckpoint, res.recovery),
+		hardwarePeakRead(params, 8))
+	return ckptEff, recEff, nil
+}
+
+func scalingTable(id, title, note string, opts Options, cfgFor func(procs int) comd.Config) (*Table, error) {
+	t := &Table{
+		ID:        id,
+		Title:     title,
+		PaperNote: note,
+		Header: []string{"procs",
+			"ckpt cr", "ckpt ofs", "ckpt gfs",
+			"rec cr", "rec ofs", "rec gfs"},
+	}
+	for _, procs := range procScale(opts) {
+		cfg := cfgFor(procs)
+		row := []string{itoa(procs)}
+		var ck, re [3]float64
+		for i, sys := range fig9Systems {
+			c, r, err := scalingRun(sys, procs, cfg)
+			if err != nil {
+				return nil, err
+			}
+			ck[i], re[i] = c, r
+		}
+		row = append(row, f3(ck[0]), f3(ck[1]), f3(ck[2]), f3(re[0]), f3(re[1]), f3(re[2]))
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// fig9strong reproduces Figures 9a/9b: strong-scaling checkpoint and
+// recovery efficiency with a fixed 16,384K-atom problem (86 GB over 10
+// checkpoints).
+func fig9strong(opts Options) (*Table, error) {
+	return scalingTable("fig9strong",
+		"Strong scaling: checkpoint/recovery efficiency (fixed 86 GB)",
+		"NVMe-CR best at all scales; GlusterFS ~13% behind at 448; OrangeFS collapses under metadata burden",
+		opts,
+		func(procs int) comd.Config {
+			cfg := comd.StrongScaling(procs)
+			cfg.StepsPerInterval = 1
+			if opts.Quick {
+				cfg.Checkpoints = 1
+				cfg.CheckpointBytesPerRank = 16 * model.MB
+			} else {
+				cfg.Checkpoints = 2
+			}
+			return cfg
+		})
+}
+
+// fig9weak reproduces Figures 9c/9d: weak-scaling efficiency with 32K
+// atoms per process (700 GB of checkpoints at 448 processes). The paper
+// measures NVMe-CR at 0.96 checkpoint and 0.99 recovery efficiency at
+// 448 processes, with GlusterFS's recovery dipping at 448 as its
+// metadata service saturates.
+func fig9weak(opts Options) (*Table, error) {
+	return scalingTable("fig9weak",
+		"Weak scaling: checkpoint/recovery efficiency (156 MB/proc/ckpt)",
+		"NVMe-CR 0.96 ckpt / 0.99 recovery at 448; GlusterFS read efficiency dips at 448",
+		opts,
+		func(procs int) comd.Config {
+			cfg := comd.WeakScaling()
+			cfg.StepsPerInterval = 1
+			if opts.Quick {
+				cfg.Checkpoints = 1
+				cfg.CheckpointBytesPerRank = 16 * model.MB
+			} else {
+				cfg.Checkpoints = 2
+			}
+			return cfg
+		})
+}

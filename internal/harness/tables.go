@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/nvme-cr/nvmecr/internal/baseline"
+	"github.com/nvme-cr/nvmecr/internal/comd"
+	"github.com/nvme-cr/nvmecr/internal/model"
+)
+
+func init() {
+	register("tab1", tab1)
+	register("tab2", tab2)
+}
+
+// tab1 reproduces Table I: metadata storage overhead with CoMD, per
+// storage node for the baselines and per runtime instance for NVMe-CR,
+// plus NVMe-CR's DRAM footprint split (the paper reports 404 MB of
+// inodes and 102 MB of B+Tree per instance — dominated by their
+// implementation's preallocated tables; we report the live footprint of
+// compact structures, so absolute numbers are smaller but the ordering
+// OrangeFS >> NVMe-CR >> GlusterFS is preserved).
+func tab1(opts Options) (*Table, error) {
+	t := &Table{
+		ID:    "tab1",
+		Title: "Metadata overhead with CoMD (KB; our compact live structures vs the paper's preallocated tables)",
+		PaperNote: "OrangeFS 2686 MB/server, GlusterFS 3.5 MB/server, NVMe-CR 445 MB/runtime (404 MB inodes + 102 MB B+Tree DRAM); " +
+			"absolute sizes differ (see EXPERIMENTS.md) but the OrangeFS >> NVMe-CR-unit > GlusterFS ordering holds",
+		Header: []string{"system", "unit", "meta KB", "dram-inode KB", "dram-btree KB"},
+	}
+	procs := 448
+	cfg := comd.WeakScaling()
+	cfg.StepsPerInterval = 1
+	cfg.Checkpoints = 2
+	if opts.Quick {
+		procs = 32
+		cfg.Checkpoints = 1
+		cfg.CheckpointBytesPerRank = 16 * model.MB
+	}
+	for _, sys := range []System{SysOrangeFS, SysGlusterFS, SysNVMeCR} {
+		spec := jobSpec{system: sys, ranks: procs, cfg: cfg}
+		if sys == SysNVMeCR {
+			spec.coreOpts = nvmecrOpts()
+		}
+		res, err := runCoMD(spec)
+		if err != nil {
+			return nil, err
+		}
+		kb := func(bytes int64) string { return f2(float64(bytes) / 1024) }
+		switch sys {
+		case SysNVMeCR:
+			t.AddRow("nvme-cr", "per runtime",
+				kb(res.meta.perRuntimeMeta),
+				kb(res.meta.inodeDRAM),
+				kb(res.meta.btreeDRAM))
+		default:
+			var total int64
+			for _, b := range res.meta.perServerMetaBytes {
+				total += b
+			}
+			per := total / int64(len(res.meta.perServerMetaBytes))
+			t.AddRow(string(sys), "per server", kb(per), "-", "-")
+		}
+	}
+	return t, nil
+}
+
+// tab2 reproduces Table II: multi-level checkpointing at 448 processes
+// with Lustre as the second level (one checkpoint in ten). Reported per
+// system: total checkpoint time, recovery time, and application progress
+// rate; plus the paper's coalescing ablation (recovery takes 4 s instead
+// of 3.6 s without log record coalescing).
+func tab2(opts Options) (*Table, error) {
+	t := &Table{
+		ID:        "tab2",
+		Title:     "Multi-level checkpointing with CoMD (Lustre second level)",
+		PaperNote: "ckpt 85.9/44.5/39.5 s, recovery 3.6/4.5/3.6 s, progress 0.252/0.402/0.423 (OrangeFS/GlusterFS/NVMe-CR); recovery 4 s without coalescing",
+		Header:    []string{"system", "ckpt(s)", "recovery(s)", "progress"},
+	}
+	procs := 448
+	cfg := comd.WeakScaling()
+	cfg.MultiLevelEvery = 10
+	if opts.Quick {
+		procs = 32
+		cfg.Checkpoints = 5
+		cfg.MultiLevelEvery = 5
+		cfg.CheckpointBytesPerRank = 16 * model.MB
+		cfg.StepsPerInterval = 10
+	}
+	lustreTier := func(r *rig) (*baseline.DistFS, error) {
+		// The Lustre tier: 4 OSS nodes with RAID-limited bandwidth.
+		backend, err := r.backendFor(model.Default().Lustre.Servers)
+		if err != nil {
+			return nil, err
+		}
+		return baseline.NewLustre(backend, r.params), nil
+	}
+	type variant struct {
+		label      string
+		sys        System
+		noCoalesce bool
+	}
+	for _, v := range []variant{
+		{"orangefs", SysOrangeFS, false},
+		{"glusterfs", SysGlusterFS, false},
+		{"nvme-cr", SysNVMeCR, false},
+		{"nvme-cr (no coalescing)", SysNVMeCR, true},
+	} {
+		spec := jobSpec{system: v.sys, ranks: procs, cfg: cfg, recover: true, secondFn: lustreTier}
+		if v.sys == SysNVMeCR {
+			spec.coreOpts = nvmecrOpts()
+			spec.coreOpts.NoCoalesce = v.noCoalesce
+		}
+		res, err := runCoMD(spec)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v.label, err)
+		}
+		t.AddRow(v.label,
+			f2(res.res.TotalCheckpointTime().Seconds()),
+			f3(res.recovery.Seconds()),
+			f3(res.res.ProgressRate()))
+	}
+	return t, nil
+}

@@ -1,0 +1,155 @@
+// Package incremental implements hash-based incremental checkpointing
+// (libhashckpt-style, one of the complementary techniques the paper's
+// related work surveys): between checkpoints, only pages whose content
+// hash changed are rewritten. The paper notes such techniques "rely on
+// existing inefficient IO subsystems" — layered over NVMe-CR they
+// compose cleanly, shrinking dump volume on top of the runtime's fast
+// path.
+package incremental
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+// Writer checkpoints evolving in-memory state into one file per target
+// path, rewriting only changed pages after the first dump.
+type Writer struct {
+	client   vfs.Client
+	pageSize int64
+	// hashes[path] holds the per-page content hashes of the last dump.
+	hashes map[string][]uint64
+	sizes  map[string]int64
+
+	// Stats.
+	totalPages   int64
+	writtenPages int64
+}
+
+// New builds a Writer with the given page granularity (default 4 KB).
+func New(client vfs.Client, pageSize int64) *Writer {
+	if pageSize <= 0 {
+		pageSize = 4096
+	}
+	return &Writer{
+		client:   client,
+		pageSize: pageSize,
+		hashes:   make(map[string][]uint64),
+		sizes:    make(map[string]int64),
+	}
+}
+
+// Stats reports total pages seen and pages actually written.
+func (w *Writer) Stats() (total, written int64) { return w.totalPages, w.writtenPages }
+
+// SavingsRatio is 1 - written/total.
+func (w *Writer) SavingsRatio() float64 {
+	if w.totalPages == 0 {
+		return 0
+	}
+	return 1 - float64(w.writtenPages)/float64(w.totalPages)
+}
+
+func hashPage(page []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(page)
+	return h.Sum64()
+}
+
+// Checkpoint dumps state into path: the first call writes everything,
+// later calls seek-and-write only the dirty pages. It returns the bytes
+// actually written.
+func (w *Writer) Checkpoint(p *sim.Proc, path string, state []byte) (int64, error) {
+	nPages := (int64(len(state)) + w.pageSize - 1) / w.pageSize
+	prev := w.hashes[path]
+	first := prev == nil
+	shrunk := w.sizes[path] > int64(len(state))
+
+	var f vfs.File
+	var err error
+	if first {
+		f, err = w.client.Create(p, path, 0o644)
+	} else {
+		f, err = w.client.Open(p, path, vfs.WriteOnly)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("incremental: %s: %w", path, err)
+	}
+	defer f.Close(p)
+
+	cur := make([]uint64, nPages)
+	var written int64
+	// Accumulate dirty pages into maximal runs so the runtime sees
+	// large sequential writes (which its log coalescing then folds).
+	var runStart int64 = -1
+	flush := func(endPage int64) error {
+		if runStart < 0 {
+			return nil
+		}
+		off := runStart * w.pageSize
+		end := endPage * w.pageSize
+		if end > int64(len(state)) {
+			end = int64(len(state))
+		}
+		if err := f.SeekTo(off); err != nil {
+			return err
+		}
+		n, err := f.Write(p, state[off:end])
+		written += int64(n)
+		runStart = -1
+		return err
+	}
+	for pg := int64(0); pg < nPages; pg++ {
+		start := pg * w.pageSize
+		end := start + w.pageSize
+		if end > int64(len(state)) {
+			end = int64(len(state))
+		}
+		h := hashPage(state[start:end])
+		cur[pg] = h
+		w.totalPages++
+		dirty := first || shrunk || pg >= int64(len(prev)) || prev[pg] != h
+		if dirty {
+			if runStart < 0 {
+				runStart = pg
+			}
+			w.writtenPages++
+			continue
+		}
+		if err := flush(pg); err != nil {
+			return written, err
+		}
+	}
+	if err := flush(nPages); err != nil {
+		return written, err
+	}
+	if err := f.Fsync(p); err != nil {
+		return written, err
+	}
+	w.hashes[path] = cur
+	w.sizes[path] = int64(len(state))
+	return written, nil
+}
+
+// Read returns the latest checkpointed content of path (capture-mode
+// devices only).
+func (w *Writer) Read(p *sim.Proc, path string) ([]byte, error) {
+	size, ok := w.sizes[path]
+	if !ok {
+		return nil, vfs.ErrNotExist
+	}
+	f, err := w.client.Open(p, path, vfs.ReadOnly)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close(p)
+	buf := make([]byte, size)
+	n, err := f.Read(p, buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}

@@ -1,0 +1,183 @@
+package incremental
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/nvme-cr/nvmecr/internal/microfs"
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/nvme"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/spdk"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+func rig(t *testing.T) (*sim.Env, *Writer) {
+	t.Helper()
+	env := sim.NewEnv()
+	params := model.Default()
+	params.SSD.CapacityGB = 1
+	dev := nvme.New(env, "ssd", params.SSD, true)
+	ns, err := dev.CreateNamespace(64 * model.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct := &vfs.Account{}
+	pl, err := spdk.NewPlane(ns, 0, ns.Size(), params.Host, acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := microfs.New(env, microfs.Config{
+		Plane: pl, Account: acct, Host: params.Host,
+		Features: microfs.AllFeatures(), LogBytes: 256 * model.KB, SnapBytes: model.MB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, New(inst, 4096)
+}
+
+func TestFirstCheckpointWritesEverything(t *testing.T) {
+	env, w := rig(t)
+	env.Go("t", func(p *sim.Proc) {
+		state := bytes.Repeat([]byte{7}, 1<<20)
+		written, err := w.Checkpoint(p, "/s.ckpt", state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if written != 1<<20 {
+			t.Errorf("first dump wrote %d, want full %d", written, 1<<20)
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnchangedStateWritesNothing(t *testing.T) {
+	env, w := rig(t)
+	env.Go("t", func(p *sim.Proc) {
+		state := bytes.Repeat([]byte{7}, 1<<20)
+		w.Checkpoint(p, "/s.ckpt", state)
+		written, err := w.Checkpoint(p, "/s.ckpt", state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if written != 0 {
+			t.Errorf("unchanged dump wrote %d bytes", written)
+		}
+		if w.SavingsRatio() != 0.5 {
+			t.Errorf("savings = %v, want 0.5 after one full + one empty dump", w.SavingsRatio())
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirtyPagesOnlyAreWritten(t *testing.T) {
+	env, w := rig(t)
+	env.Go("t", func(p *sim.Proc) {
+		state := make([]byte, 64*4096)
+		w.Checkpoint(p, "/s.ckpt", state)
+		// Dirty pages 3, 4, and 40.
+		state[3*4096+10] = 0xFF
+		state[4*4096+20] = 0xEE
+		state[40*4096] = 0xDD
+		written, err := w.Checkpoint(p, "/s.ckpt", state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if written != 3*4096 {
+			t.Errorf("dirty dump wrote %d, want 3 pages (%d)", written, 3*4096)
+		}
+		// Content on device matches the latest state exactly.
+		got, err := w.Read(p, "/s.ckpt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, state) {
+			t.Fatal("incremental content diverged from state")
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowingAndShrinkingState(t *testing.T) {
+	env, w := rig(t)
+	env.Go("t", func(p *sim.Proc) {
+		small := bytes.Repeat([]byte{1}, 10*4096)
+		big := bytes.Repeat([]byte{1}, 20*4096)
+		w.Checkpoint(p, "/s.ckpt", small)
+		// Growth: the 10 new pages must be written.
+		written, err := w.Checkpoint(p, "/s.ckpt", big)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if written != 10*4096 {
+			t.Errorf("growth wrote %d, want 10 pages", written)
+		}
+		// Shrink: a full rewrite (sizes disagree with stale tail).
+		written, err = w.Checkpoint(p, "/s.ckpt", small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if written != 10*4096 {
+			t.Errorf("shrink wrote %d, want full small size", written)
+		}
+		got, _ := w.Read(p, "/s.ckpt")
+		if len(got) != len(small) {
+			t.Errorf("read %d bytes after shrink, want %d", len(got), len(small))
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	env, w := rig(t)
+	env.Go("t", func(p *sim.Proc) {
+		if _, err := w.Read(p, "/nope"); err != vfs.ErrNotExist {
+			t.Errorf("Read missing = %v", err)
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomEvolutionMatchesState(t *testing.T) {
+	env, w := rig(t)
+	rng := rand.New(rand.NewSource(5))
+	env.Go("t", func(p *sim.Proc) {
+		state := make([]byte, 128*4096)
+		rng.Read(state)
+		for round := 0; round < 10; round++ {
+			// Mutate ~5% of pages.
+			for i := 0; i < 6; i++ {
+				pg := rng.Intn(128)
+				rng.Read(state[pg*4096 : pg*4096+4096])
+			}
+			if _, err := w.Checkpoint(p, "/evolve.ckpt", state); err != nil {
+				t.Fatal(err)
+			}
+			got, err := w.Read(p, "/evolve.ckpt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, state) {
+				t.Fatalf("round %d: device content diverged", round)
+			}
+		}
+		if w.SavingsRatio() < 0.5 {
+			t.Errorf("savings = %v, expected most pages skipped", w.SavingsRatio())
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package kernelio
+
+import (
+	"testing"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/nvme"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/spdk"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+func planes(t *testing.T, remote bool) (*sim.Env, *Plane, *spdk.Plane, *vfs.Account) {
+	t.Helper()
+	env := sim.NewEnv()
+	params := model.Default()
+	dev := nvme.New(env, "ssd", params.SSD, false)
+	ns, err := dev.CreateNamespace(64 * model.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct := &vfs.Account{}
+	inner, err := spdk.NewPlane(ns, 0, ns.Size(), params.Host, acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, Wrap(inner, params.Kernel, acct, remote), inner, acct
+}
+
+func TestKernelCostsCharged(t *testing.T) {
+	env, kp, _, acct := planes(t, false)
+	env.Go("t", func(p *sim.Proc) {
+		if err := kp.Write(p, 0, 4*model.MB, nil, 32*model.KB); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := kp.Read(p, 0, 4*model.MB, 32*model.KB); err != nil {
+			t.Fatal(err)
+		}
+		if err := kp.Flush(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	_, kernel, _ := acct.Totals()
+	if kernel <= 0 {
+		t.Error("kernel path charged no kernel time")
+	}
+}
+
+func TestRemoteAddsNVMfCost(t *testing.T) {
+	cost := func(remote bool) int64 {
+		env, kp, _, acct := planes(t, remote)
+		env.Go("t", func(p *sim.Proc) {
+			kp.Write(p, 0, 4096, nil, 0)
+		})
+		if _, err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		_, kernel, _ := acct.Totals()
+		return int64(kernel)
+	}
+	if local, rem := cost(false), cost(true); rem <= local {
+		t.Errorf("remote kernel cost (%d) should exceed local (%d)", rem, local)
+	}
+}
+
+func TestSizePassesThrough(t *testing.T) {
+	_, kp, inner, _ := planes(t, false)
+	if kp.Size() != inner.Size() {
+		t.Errorf("Size = %d, want %d", kp.Size(), inner.Size())
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	env, kp, _, _ := planes(t, false)
+	env.Go("t", func(p *sim.Proc) {
+		if err := kp.Write(p, kp.Size(), 10, nil, 0); err == nil {
+			t.Error("out-of-bounds write accepted through kernel wrapper")
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package metrics provides the statistics used throughout the
+// evaluation: mean, standard deviation, coefficient of variation (the
+// paper's load-imbalance metric), storage-system efficiency, and
+// application progress rate.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// CoV returns the coefficient of variation (stddev/mean) of xs, the
+// paper's measure of load imbalance across storage servers (Figure 7b).
+// It returns 0 when the mean is zero.
+func CoV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// Min returns the smallest element of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Bandwidth returns bytes/elapsed in bytes per second. Zero elapsed
+// yields 0 to keep callers simple.
+func Bandwidth(bytes int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / elapsed.Seconds()
+}
+
+// Efficiency is the paper's headline metric: the ratio of the IO
+// bandwidth perceived by the application to the peak hardware bandwidth.
+// The result is clamped to [0, 1].
+func Efficiency(perceivedBW, hardwareBW float64) float64 {
+	if hardwareBW <= 0 {
+		return 0
+	}
+	e := perceivedBW / hardwareBW
+	if e < 0 {
+		return 0
+	}
+	if e > 1 {
+		return 1
+	}
+	return e
+}
+
+// ProgressRate is the ratio of time spent in application compute to
+// total application time (compute + IO + other overhead).
+func ProgressRate(compute, total time.Duration) float64 {
+	if total <= 0 {
+		return 0
+	}
+	r := compute.Seconds() / total.Seconds()
+	if r < 0 {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// GBps formats a bytes-per-second value as GB/s with two decimals.
+func GBps(bytesPerSec float64) string {
+	return fmt.Sprintf("%.2f GB/s", bytesPerSec/1e9)
+}
+
+// MiB converts a byte count to mebibytes.
+func MiB(bytes int64) float64 { return float64(bytes) / (1 << 20) }
+
+// Counter accumulates a series of observations.
+type Counter struct {
+	n   int
+	sum float64
+	min float64
+	max float64
+}
+
+// Add records one observation.
+func (c *Counter) Add(x float64) {
+	if c.n == 0 || x < c.min {
+		c.min = x
+	}
+	if c.n == 0 || x > c.max {
+		c.max = x
+	}
+	c.n++
+	c.sum += x
+}
+
+// N returns the number of observations.
+func (c *Counter) N() int { return c.n }
+
+// Sum returns the total of all observations.
+func (c *Counter) Sum() float64 { return c.sum }
+
+// Mean returns the mean observation, or 0 if empty.
+func (c *Counter) Mean() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	return c.sum / float64(c.n)
+}
+
+// Range returns the smallest and largest observations.
+func (c *Counter) Range() (min, max float64) { return c.min, c.max }

@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); !almost(got, 2.5) {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestStdDevAndCoV(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single-element stddev != 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := StdDev(xs); !almost(got, 2) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := CoV(xs); !almost(got, 0.4) {
+		t.Errorf("CoV = %v, want 0.4", got)
+	}
+	if CoV([]float64{0, 0}) != 0 {
+		t.Error("CoV with zero mean should be 0")
+	}
+	// Perfect balance: CoV of equal loads is 0.
+	if CoV([]float64{7, 7, 7, 7}) != 0 {
+		t.Error("CoV of equal loads != 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty Min/Max != 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 50); !almost(got, 3) {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 0); !almost(got, 1) {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); !almost(got, 5) {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 25); !almost(got, 2) {
+		t.Errorf("p25 = %v", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile != 0")
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	if got := Bandwidth(2e9, time.Second); !almost(got, 2e9) {
+		t.Errorf("Bandwidth = %v", got)
+	}
+	if Bandwidth(100, 0) != 0 {
+		t.Error("zero-duration bandwidth != 0")
+	}
+}
+
+func TestEfficiencyClamped(t *testing.T) {
+	if got := Efficiency(1.76e10*0.96, 1.76e10); !almost(got, 0.96) {
+		t.Errorf("Efficiency = %v", got)
+	}
+	if Efficiency(20, 10) != 1 {
+		t.Error("efficiency not clamped to 1")
+	}
+	if Efficiency(-1, 10) != 0 {
+		t.Error("negative efficiency not clamped")
+	}
+	if Efficiency(5, 0) != 0 {
+		t.Error("zero hardware bandwidth not handled")
+	}
+}
+
+func TestProgressRate(t *testing.T) {
+	// Table II check: 29s compute, 85.9s checkpoint -> 0.252.
+	got := ProgressRate(29*time.Second, 29*time.Second+859*time.Second/10)
+	if math.Abs(got-0.252) > 0.002 {
+		t.Errorf("progress rate = %v, want ~0.252", got)
+	}
+	if ProgressRate(time.Second, 0) != 0 {
+		t.Error("zero total not handled")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Mean() != 0 {
+		t.Error("empty counter mean != 0")
+	}
+	for _, v := range []float64{4, 2, 8} {
+		c.Add(v)
+	}
+	if c.N() != 3 || !almost(c.Sum(), 14) || !almost(c.Mean(), 14.0/3) {
+		t.Errorf("counter N/Sum/Mean = %d/%v/%v", c.N(), c.Sum(), c.Mean())
+	}
+	min, max := c.Range()
+	if min != 2 || max != 8 {
+		t.Errorf("Range = %v..%v", min, max)
+	}
+}
+
+func TestGBpsFormat(t *testing.T) {
+	if got := GBps(2.2e9); got != "2.20 GB/s" {
+		t.Errorf("GBps = %q", got)
+	}
+}
+
+func TestMiB(t *testing.T) {
+	if got := MiB(1 << 20); !almost(got, 1) {
+		t.Errorf("MiB = %v", got)
+	}
+}
+
+// Property: CoV is scale-invariant for positive scalars.
+func TestPropertyCoVScaleInvariant(t *testing.T) {
+	f := func(raw []uint16, scaleRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		scale := float64(scaleRaw%9) + 1
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+			ys[i] = xs[i] * scale
+		}
+		return math.Abs(CoV(xs)-CoV(ys)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16, aRaw, bRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		a := float64(aRaw) / 255 * 100
+		b := float64(bRaw) / 255 * 100
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(xs, a) <= Percentile(xs, b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package microfs
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/spdk"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+func TestCheckCleanPartition(t *testing.T) {
+	r := newRig(t, nil)
+	r.run(t, func(p *sim.Proc) {
+		r.inst.Mkdir(p, "/d", 0o755)
+		for _, name := range []string{"/d/a", "/d/b", "/top"} {
+			f, err := r.inst.Create(p, name, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.WriteN(p, 64*model.KB)
+			f.Close(p)
+		}
+		r.inst.SnapshotNow(p)
+		g, _ := r.inst.Create(p, "/post-snap", 0o644)
+		g.WriteN(p, 32*model.KB)
+		g.Close(p)
+
+		acct := &vfs.Account{}
+		pl, err := newTestPlane(r, acct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Check(p, r.env, pl, Config{
+			Host:      model.Default().Host,
+			Features:  AllFeatures(),
+			LogBytes:  r.cfg.LogBytes,
+			SnapBytes: r.cfg.SnapBytes,
+		})
+		if err != nil {
+			t.Fatalf("Check: %v", err)
+		}
+		if !rep.SnapshotValid {
+			t.Error("snapshot not found")
+		}
+		if rep.Files != 4 || rep.Dirs != 1 {
+			t.Errorf("files/dirs = %d/%d, want 4/1", rep.Files, rep.Dirs)
+		}
+		if rep.DataBytes != 3*64*model.KB+32*model.KB {
+			t.Errorf("DataBytes = %d", rep.DataBytes)
+		}
+		if rep.LogRecords == 0 {
+			t.Error("post-snapshot records not counted")
+		}
+		if len(rep.Problems) != 0 {
+			t.Errorf("problems on clean partition: %v", rep.Problems)
+		}
+		if !strings.Contains(rep.String(), "clean") {
+			t.Errorf("report rendering: %q", rep.String())
+		}
+	})
+}
+
+func TestCheckLogOnlyPartition(t *testing.T) {
+	r := newRig(t, nil)
+	r.run(t, func(p *sim.Proc) {
+		f, _ := r.inst.Create(p, "/only", 0o644)
+		f.WriteN(p, 32*model.KB)
+		f.Close(p)
+		acct := &vfs.Account{}
+		pl, err := newTestPlane(r, acct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Check(p, r.env, pl, Config{
+			Host: model.Default().Host, Features: AllFeatures(),
+			LogBytes: r.cfg.LogBytes, SnapBytes: r.cfg.SnapBytes,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.SnapshotValid {
+			t.Error("phantom snapshot reported")
+		}
+		if len(rep.Problems) == 0 {
+			t.Error("missing-snapshot problem not reported")
+		}
+		if rep.Files != 1 {
+			t.Errorf("files = %d", rep.Files)
+		}
+	})
+}
+
+func TestCheckNeverWrites(t *testing.T) {
+	// The read-only guard: Check over a plane that counts writes must
+	// never trigger one.
+	r := newRig(t, nil)
+	r.run(t, func(p *sim.Proc) {
+		f, _ := r.inst.Create(p, "/x", 0o644)
+		f.WriteN(p, 4096)
+		f.Close(p)
+		acct := &vfs.Account{}
+		base, err := newTestPlane(r, acct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counter := &countingPlane{inner: base}
+		if _, err := Check(p, r.env, counter, Config{
+			Host: model.Default().Host, Features: AllFeatures(),
+			LogBytes: r.cfg.LogBytes, SnapBytes: r.cfg.SnapBytes,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if counter.writes != 0 {
+			t.Errorf("consistency check performed %d writes", counter.writes)
+		}
+	})
+}
+
+type countingPlane struct {
+	inner  *spdk.Plane
+	writes int
+}
+
+func (c *countingPlane) Write(p *sim.Proc, off, length int64, data []byte, cmdUnit int64) error {
+	c.writes++
+	return c.inner.Write(p, off, length, data, cmdUnit)
+}
+
+func (c *countingPlane) Read(p *sim.Proc, off, length int64, cmdUnit int64) ([]byte, error) {
+	return c.inner.Read(p, off, length, cmdUnit)
+}
+
+func (c *countingPlane) Flush(p *sim.Proc) error { return c.inner.Flush(p) }
+func (c *countingPlane) Size() int64             { return c.inner.Size() }

@@ -1,0 +1,423 @@
+package microfs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+	"github.com/nvme-cr/nvmecr/internal/wal"
+)
+
+// dirEntryBytes is the on-SSD size of one directory entry appended to
+// the parent directory file.
+const dirEntryBytes = 64
+
+// enter marks p as the process executing inside the instance; internal
+// layers (the WAL flush callback) use it to issue device IO.
+func (inst *Instance) enter(p *sim.Proc) func() {
+	prev := inst.curProc
+	inst.curProc = p
+	return func() { inst.curProc = prev }
+}
+
+// metaLock serializes the operation through the emulated global
+// namespace when the private-namespace feature is disabled.
+func (inst *Instance) metaLock(p *sim.Proc) func() {
+	g := inst.cfg.GlobalNS
+	if g == nil {
+		return func() {}
+	}
+	t0 := p.Now()
+	g.Lock.Acquire(p)
+	inst.acct.Attribute(vfs.IOWait, p.Now()-t0)
+	inst.acct.Charge(p, vfs.User, g.ServiceTime)
+	return g.Lock.Release
+}
+
+// logOp appends a provenance record (flushing it to the SSD) and, when
+// provenance is disabled, additionally journals the full inode and
+// physical per-block records the way conventional filesystems do.
+func (inst *Instance) logOp(p *sim.Proc, rec wal.Record) error {
+	inst.acct.Charge(p, vfs.User, inst.cfg.Host.LogAppend)
+	if _, err := inst.log.Append(rec); err != nil {
+		if errors.Is(err, wal.ErrLogFull) {
+			// Forced synchronous snapshot to reclaim log space.
+			if serr := inst.SnapshotNow(p); serr != nil {
+				return serr
+			}
+			_, err = inst.log.Append(rec)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if !inst.cfg.Features.Provenance {
+		// Physical journaling, as conventional filesystems do: a full
+		// inode block, plus one 4 KB journal block per 8 data blocks
+		// touched (bitmaps and extent-tree blocks). Metadata
+		// provenance replaces all of this with one compact record.
+		extra := int64(4 * model.KB)
+		if rec.Op == wal.OpWrite {
+			blocks := (int64(rec.Length) + inst.pool.BlockSize() - 1) / inst.pool.BlockSize()
+			extra += 4 * model.KB * ((blocks + 7) / 8)
+		}
+		if err := inst.cfg.Plane.Write(p, 0, extra, nil, 4*model.KB); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Mkdir implements vfs.Client.
+func (inst *Instance) Mkdir(p *sim.Proc, path string, mode uint32) error {
+	defer inst.enter(p)()
+	defer inst.metaLock(p)()
+	path, err := normalize(path)
+	if err != nil {
+		return err
+	}
+	inst.acct.Charge(p, vfs.User, inst.cfg.Host.BTreeOp+inst.cfg.Host.InodeAlloc)
+	ino, err := inst.applyCreate(path, mode, true)
+	if err != nil {
+		return err
+	}
+	if err := inst.logOp(p, wal.Record{Op: wal.OpMkdir, Path: path, Inode: ino.id, Mode: mode}); err != nil {
+		return err
+	}
+	if err := inst.writeDirTail(p, parentOf(path)); err != nil {
+		return err
+	}
+	inst.stats.Mkdirs++
+	return nil
+}
+
+// Create implements vfs.Client.
+func (inst *Instance) Create(p *sim.Proc, path string, mode uint32) (vfs.File, error) {
+	defer inst.enter(p)()
+	defer inst.metaLock(p)()
+	path, err := normalize(path)
+	if err != nil {
+		return nil, err
+	}
+	inst.acct.Charge(p, vfs.User, inst.cfg.Host.BTreeOp+inst.cfg.Host.InodeAlloc)
+	ino, err := inst.applyCreate(path, mode, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.logOp(p, wal.Record{Op: wal.OpCreate, Path: path, Inode: ino.id, Mode: mode}); err != nil {
+		return nil, err
+	}
+	if err := inst.writeDirTail(p, parentOf(path)); err != nil {
+		return nil, err
+	}
+	inst.stats.Creates++
+	ino.opens++
+	inst.openCnt++
+	return &file{inst: inst, ino: ino, writable: true}, nil
+}
+
+// Open implements vfs.Client.
+func (inst *Instance) Open(p *sim.Proc, path string, flags vfs.OpenFlags) (vfs.File, error) {
+	defer inst.enter(p)()
+	path, err := normalize(path)
+	if err != nil {
+		return nil, err
+	}
+	inst.acct.Charge(p, vfs.User, inst.cfg.Host.BTreeOp)
+	ino, err := inst.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if ino.isDir {
+		return nil, vfs.ErrIsDir
+	}
+	if flags == vfs.WriteOnly && ino.mode&0o200 == 0 {
+		return nil, vfs.ErrPerm
+	}
+	if flags == vfs.ReadOnly && ino.mode&0o400 == 0 {
+		return nil, vfs.ErrPerm
+	}
+	inst.stats.Opens++
+	ino.opens++
+	inst.openCnt++
+	return &file{inst: inst, ino: ino, writable: flags == vfs.WriteOnly}, nil
+}
+
+// Unlink implements vfs.Client.
+func (inst *Instance) Unlink(p *sim.Proc, path string) error {
+	defer inst.enter(p)()
+	defer inst.metaLock(p)()
+	path, err := normalize(path)
+	if err != nil {
+		return err
+	}
+	inst.acct.Charge(p, vfs.User, inst.cfg.Host.BTreeOp)
+	ino, err := inst.lookup(path)
+	if err != nil {
+		return err
+	}
+	if err := inst.logOp(p, wal.Record{Op: wal.OpUnlink, Path: path, Inode: ino.id}); err != nil {
+		return err
+	}
+	if err := inst.applyUnlink(path); err != nil {
+		return err
+	}
+	inst.stats.Unlinks++
+	inst.closeSig.Fire()
+	return nil
+}
+
+// Rename implements vfs.Client: the atomic commit step of the
+// write-to-temp-then-rename checkpoint idiom. Both names live in this
+// process's private namespace, so no coordination is needed; one
+// provenance record makes it durable.
+func (inst *Instance) Rename(p *sim.Proc, oldPath, newPath string) error {
+	defer inst.enter(p)()
+	defer inst.metaLock(p)()
+	oldPath, err := normalize(oldPath)
+	if err != nil {
+		return err
+	}
+	newPath, err = normalize(newPath)
+	if err != nil {
+		return err
+	}
+	inst.acct.Charge(p, vfs.User, 2*inst.cfg.Host.BTreeOp)
+	ino, err := inst.lookup(oldPath)
+	if err != nil {
+		return err
+	}
+	if err := inst.logOp(p, wal.Record{Op: wal.OpRename, Path: oldPath, Path2: newPath, Inode: ino.id}); err != nil {
+		return err
+	}
+	if err := inst.applyRename(oldPath, newPath); err != nil {
+		return err
+	}
+	return inst.writeDirTail(p, parentOf(newPath))
+}
+
+// applyRename mutates metadata for a rename (shared with replay).
+func (inst *Instance) applyRename(oldPath, newPath string) error {
+	ino, err := inst.lookup(oldPath)
+	if err != nil {
+		return err
+	}
+	if ino.isDir {
+		return vfs.ErrIsDir
+	}
+	parent, err := inst.lookup(parentOf(newPath))
+	if err != nil {
+		return fmt.Errorf("microfs: parent of %q: %w", newPath, err)
+	}
+	if !parent.isDir {
+		return vfs.ErrNotDir
+	}
+	if _, exists := inst.tree.Get(newPath); exists {
+		return vfs.ErrExist
+	}
+	inst.tree.Delete(oldPath)
+	inst.tree.Insert(newPath, ino.id)
+	// The destination directory gains an entry (the source's entry is
+	// tombstoned, like unlink).
+	return func() error {
+		_, err := inst.growTo(parent, parent.size+dirEntryBytes)
+		return err
+	}()
+}
+
+// ReadDir implements vfs.Client: the B+Tree's ordered iteration makes
+// the listing a single range scan.
+func (inst *Instance) ReadDir(p *sim.Proc, path string) ([]vfs.FileInfo, error) {
+	defer inst.enter(p)()
+	path, err := normalize(path)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := inst.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if !dir.isDir {
+		return nil, vfs.ErrNotDir
+	}
+	prefix := path
+	if prefix != "/" {
+		prefix += "/"
+	}
+	// Range-scan [prefix, prefix+0xFF); skip grandchildren.
+	var out []vfs.FileInfo
+	inst.tree.AscendRange(prefix, prefix+"\xff", func(name string, id uint64) bool {
+		inst.acct.Attribute(vfs.User, inst.cfg.Host.BTreeOp)
+		rest := name[len(prefix):]
+		if rest == "" || strings.ContainsRune(rest, '/') {
+			return true
+		}
+		if ino, ok := inst.inodes[id]; ok {
+			out = append(out, vfs.FileInfo{
+				Path: name, Size: ino.size, Inode: ino.id, Mode: ino.mode, IsDir: ino.isDir,
+			})
+		}
+		return true
+	})
+	p.Sleep(time.Duration(len(out)) * inst.cfg.Host.BTreeOp)
+	return out, nil
+}
+
+// Stat implements vfs.Client.
+func (inst *Instance) Stat(p *sim.Proc, path string) (vfs.FileInfo, error) {
+	defer inst.enter(p)()
+	path, err := normalize(path)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	inst.acct.Charge(p, vfs.User, inst.cfg.Host.BTreeOp)
+	ino, err := inst.lookup(path)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	return vfs.FileInfo{Path: path, Size: ino.size, Inode: ino.id, Mode: ino.mode, IsDir: ino.isDir}, nil
+}
+
+// lookup resolves a normalized path to its inode.
+func (inst *Instance) lookup(path string) (*inode, error) {
+	id, ok := inst.tree.Get(path)
+	if !ok {
+		return nil, vfs.ErrNotExist
+	}
+	ino, ok := inst.inodes[id]
+	if !ok {
+		return nil, fmt.Errorf("microfs: dangling inode %d for %q", id, path)
+	}
+	return ino, nil
+}
+
+// applyCreate mutates metadata for a create/mkdir. It performs no IO and
+// no logging, so the recovery path replays it verbatim; block placement
+// stays deterministic because the parent directory entry growth below
+// allocates from the circular pool in call order.
+func (inst *Instance) applyCreate(path string, mode uint32, isDir bool) (*inode, error) {
+	if path == rootPath {
+		return nil, vfs.ErrExist
+	}
+	parent, err := inst.lookup(parentOf(path))
+	if err != nil {
+		return nil, fmt.Errorf("microfs: parent of %q: %w", path, err)
+	}
+	if !parent.isDir {
+		return nil, vfs.ErrNotDir
+	}
+	if _, ok := inst.tree.Get(path); ok {
+		return nil, vfs.ErrExist
+	}
+	ino := &inode{id: inst.nextIno, mode: mode, isDir: isDir}
+	inst.nextIno++
+	inst.inodes[ino.id] = ino
+	inst.tree.Insert(path, ino.id)
+	// Append the directory entry to the parent directory file.
+	if _, err := inst.growTo(parent, parent.size+dirEntryBytes); err != nil {
+		return nil, err
+	}
+	return ino, nil
+}
+
+// applyUnlink mutates metadata for an unlink, freeing blocks in
+// deterministic (file) order.
+func (inst *Instance) applyUnlink(path string) error {
+	ino, err := inst.lookup(path)
+	if err != nil {
+		return err
+	}
+	if ino.isDir {
+		return vfs.ErrIsDir
+	}
+	for _, b := range ino.blocks {
+		if err := inst.pool.FreeBlock(b); err != nil {
+			return err
+		}
+	}
+	inst.tree.Delete(path)
+	delete(inst.inodes, ino.id)
+	return nil
+}
+
+// growTo extends ino with pool blocks so it can hold newEnd bytes,
+// returning the number of blocks allocated.
+func (inst *Instance) growTo(ino *inode, newEnd int64) (int64, error) {
+	if newEnd <= ino.size {
+		return 0, nil
+	}
+	need := inst.pool.BlocksFor(newEnd) - int64(len(ino.blocks))
+	if need > 0 {
+		blocks, err := inst.pool.AllocN(need)
+		if err != nil {
+			return 0, vfs.ErrNoSpace
+		}
+		ino.blocks = append(ino.blocks, blocks...)
+	}
+	ino.size = newEnd
+	if need < 0 {
+		need = 0
+	}
+	return need, nil
+}
+
+// writeDirTail persists the parent directory file's tail hugeblock (the
+// block holding the just-appended entry).
+func (inst *Instance) writeDirTail(p *sim.Proc, parentPath string) error {
+	parent, err := inst.lookup(parentPath)
+	if err != nil {
+		return err
+	}
+	if len(parent.blocks) == 0 {
+		return nil
+	}
+	hb := inst.pool.BlockSize()
+	tail := parent.blocks[len(parent.blocks)-1]
+	return inst.cfg.Plane.Write(p, inst.dataBase+inst.pool.Offset(tail), hb, nil, hb)
+}
+
+// blockRun is a contiguous device range backing a contiguous file range.
+type blockRun struct {
+	devOff  int64
+	fileOff int64
+	n       int64
+}
+
+// runsFor returns the device runs covering file range [off, off+n).
+func (inst *Instance) runsFor(ino *inode, off, n int64) ([]blockRun, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	hb := inst.pool.BlockSize()
+	end := off + n
+	if inst.pool.BlocksFor(end) > int64(len(ino.blocks)) {
+		return nil, fmt.Errorf("microfs: range [%d,+%d) beyond allocated blocks of inode %d", off, n, ino.id)
+	}
+	var runs []blockRun
+	pos := off
+	for pos < end {
+		bi := pos / hb
+		within := pos % hb
+		b := ino.blocks[bi]
+		// Extend the run across physically consecutive blocks.
+		last := bi
+		for last+1 < int64(len(ino.blocks)) && (last+1)*hb < end && ino.blocks[last+1] == ino.blocks[last]+1 {
+			last++
+		}
+		runEnd := (last + 1) * hb
+		if runEnd > end {
+			runEnd = end
+		}
+		runs = append(runs, blockRun{
+			devOff:  inst.dataBase + inst.pool.Offset(b) + within,
+			fileOff: pos,
+			n:       runEnd - pos,
+		})
+		pos = runEnd
+	}
+	return runs, nil
+}

@@ -1,0 +1,166 @@
+package microfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+func TestRenameCommitIdiom(t *testing.T) {
+	// The atomic-checkpoint idiom: write to a temp name, fsync, rename
+	// into place.
+	r := newRig(t, nil)
+	payload := bytes.Repeat([]byte("atomic"), 10000)
+	r.run(t, func(p *sim.Proc) {
+		f, err := r.inst.Create(p, "/ckpt.tmp", 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vfs.WriteAll(p, f, payload, 32*model.KB)
+		f.Fsync(p)
+		f.Close(p)
+		if err := r.inst.Rename(p, "/ckpt.tmp", "/ckpt.dat"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.inst.Stat(p, "/ckpt.tmp"); err != vfs.ErrNotExist {
+			t.Errorf("old name still visible: %v", err)
+		}
+		g, err := r.inst.Open(p, "/ckpt.dat", vfs.ReadOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, len(payload))
+		n, _ := g.Read(p, buf)
+		if n != len(payload) || !bytes.Equal(buf, payload) {
+			t.Fatal("content changed across rename")
+		}
+		g.Close(p)
+	})
+}
+
+func TestRenameErrors(t *testing.T) {
+	r := newRig(t, nil)
+	r.run(t, func(p *sim.Proc) {
+		if err := r.inst.Rename(p, "/missing", "/x"); err != vfs.ErrNotExist {
+			t.Errorf("rename missing: %v", err)
+		}
+		a, _ := r.inst.Create(p, "/a", 0o644)
+		a.Close(p)
+		b, _ := r.inst.Create(p, "/b", 0o644)
+		b.Close(p)
+		if err := r.inst.Rename(p, "/a", "/b"); err != vfs.ErrExist {
+			t.Errorf("rename onto existing: %v", err)
+		}
+		if err := r.inst.Rename(p, "/a", "/nodir/x"); err == nil {
+			t.Error("rename into missing directory accepted")
+		}
+		r.inst.Mkdir(p, "/d", 0o755)
+		if err := r.inst.Rename(p, "/d", "/d2"); err != vfs.ErrIsDir {
+			t.Errorf("directory rename: %v", err)
+		}
+	})
+}
+
+func TestRenameSurvivesRecovery(t *testing.T) {
+	r := newRig(t, nil)
+	payload := []byte("renamed and recovered")
+	r.run(t, func(p *sim.Proc) {
+		f, _ := r.inst.Create(p, "/tmp.0", 0o644)
+		f.Write(p, payload)
+		f.Close(p)
+		r.inst.Rename(p, "/tmp.0", "/final.dat")
+		// Crash + recover: the rename record must replay.
+		inst2 := r.freshInstance(t)
+		if err := inst2.Recover(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := inst2.Stat(p, "/tmp.0"); err != vfs.ErrNotExist {
+			t.Errorf("temp name resurfaced after recovery: %v", err)
+		}
+		g, err := inst2.Open(p, "/final.dat", vfs.ReadOnly)
+		if err != nil {
+			t.Fatalf("renamed file missing after recovery: %v", err)
+		}
+		buf := make([]byte, len(payload))
+		n, _ := g.Read(p, buf)
+		if n != len(payload) || !bytes.Equal(buf, payload) {
+			t.Fatal("renamed content corrupt after recovery")
+		}
+		g.Close(p)
+	})
+}
+
+func TestReadDirListing(t *testing.T) {
+	r := newRig(t, nil)
+	r.run(t, func(p *sim.Proc) {
+		r.inst.Mkdir(p, "/ckpt", 0o755)
+		r.inst.Mkdir(p, "/ckpt/sub", 0o755)
+		for i := 0; i < 5; i++ {
+			f, _ := r.inst.Create(p, fmt.Sprintf("/ckpt/step%03d.dat", i), 0o644)
+			f.WriteN(p, int64(i+1)*1024)
+			f.Close(p)
+		}
+		// A grandchild must not appear in /ckpt's listing.
+		g, _ := r.inst.Create(p, "/ckpt/sub/deep.dat", 0o644)
+		g.Close(p)
+
+		entries, err := r.inst.ReadDir(p, "/ckpt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 6 { // 5 files + 1 subdir
+			t.Fatalf("ReadDir = %d entries, want 6: %+v", len(entries), entries)
+		}
+		// Sorted by name; sizes correct.
+		for i := 1; i < len(entries); i++ {
+			if entries[i-1].Path >= entries[i].Path {
+				t.Errorf("entries not sorted: %q >= %q", entries[i-1].Path, entries[i].Path)
+			}
+		}
+		for _, e := range entries {
+			if e.Path == "/ckpt/step002.dat" && e.Size != 3*1024 {
+				t.Errorf("step002 size = %d", e.Size)
+			}
+			if e.Path == "/ckpt/sub" && !e.IsDir {
+				t.Error("subdirectory not flagged as dir")
+			}
+		}
+		// Root listing includes /ckpt.
+		root, err := r.inst.ReadDir(p, "/")
+		if err != nil || len(root) != 1 || root[0].Path != "/ckpt" {
+			t.Errorf("root listing = %+v, %v", root, err)
+		}
+		// Errors.
+		if _, err := r.inst.ReadDir(p, "/missing"); err != vfs.ErrNotExist {
+			t.Errorf("ReadDir missing: %v", err)
+		}
+		if _, err := r.inst.ReadDir(p, "/ckpt/step000.dat"); err != vfs.ErrNotDir {
+			t.Errorf("ReadDir on file: %v", err)
+		}
+	})
+}
+
+func TestReadDirDiscoversLatestCheckpoint(t *testing.T) {
+	// The restart-discovery pattern: list the checkpoint directory and
+	// pick the newest step.
+	r := newRig(t, nil)
+	r.run(t, func(p *sim.Proc) {
+		r.inst.Mkdir(p, "/ckpt", 0o755)
+		for i := 0; i < 7; i++ {
+			f, _ := r.inst.Create(p, fmt.Sprintf("/ckpt/step%05d.dat", i*10), 0o644)
+			f.Close(p)
+		}
+		entries, err := r.inst.ReadDir(p, "/ckpt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		latest := entries[len(entries)-1].Path
+		if latest != "/ckpt/step00060.dat" {
+			t.Errorf("latest = %q", latest)
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultsPlausible(t *testing.T) {
+	p := Default()
+	if p.SSD.WriteBW <= 0 || p.SSD.ReadBW < p.SSD.WriteBW {
+		t.Errorf("SSD bandwidths implausible: %+v", p.SSD)
+	}
+	if p.SSD.StripeWidth() != int64(p.SSD.Channels)*p.SSD.PageBytes {
+		t.Errorf("StripeWidth = %d", p.SSD.StripeWidth())
+	}
+	if p.Net.NICBW < p.SSD.WriteBW {
+		t.Error("NIC slower than one SSD: remote access could never keep up")
+	}
+	// The kernel path must cost more per op than the SPDK path.
+	kernelPerOp := p.Kernel.SyscallTrap + p.Kernel.VFSPerOp + p.Kernel.Interrupt
+	if kernelPerOp <= p.Host.PerCmdSubmit {
+		t.Error("kernel per-op cost should exceed userspace submission cost")
+	}
+	// ext4's per-block collapse must dominate XFS's per-extent cost
+	// per byte (the Figure 7c ordering).
+	ext4PerByte := float64(p.Kernel.Ext4PerBlock) / float64(4*KB)
+	xfsPerByte := float64(p.Kernel.XFSPerExtent) / float64(p.Kernel.XFSExtent)
+	if ext4PerByte <= xfsPerByte {
+		t.Error("ext4 per-byte journal cost should exceed XFS's")
+	}
+	// Baseline server overheads order GlusterFS ahead of OrangeFS
+	// (Figure 1: 84% vs 41% of peak).
+	if p.GlusterFS.PerBlockServer >= p.OrangeFS.PerBlockServer {
+		t.Error("GlusterFS per-block cost should be below OrangeFS's")
+	}
+	if p.Lustre.Servers*int(p.Lustre.ServerBW) >= int(8*p.SSD.WriteBW) {
+		t.Error("Lustre tier should be slower than the NVMe tier")
+	}
+}
+
+func TestDurFor(t *testing.T) {
+	if got := DurFor(2_200_000_000, 2.2e9); got != time.Second {
+		t.Errorf("DurFor = %v, want 1s", got)
+	}
+	if DurFor(0, 1e9) != 0 || DurFor(-5, 1e9) != 0 || DurFor(100, 0) != 0 {
+		t.Error("degenerate DurFor inputs should yield 0")
+	}
+}
+
+func TestCmdsFor(t *testing.T) {
+	cases := []struct {
+		bytes, unit, want int64
+	}{
+		{0, 32768, 0},
+		{1, 32768, 1},
+		{32768, 32768, 1},
+		{32769, 32768, 2},
+		{1 << 20, 32768, 32},
+		{100, 0, 1},
+		{-1, 32768, 0},
+	}
+	for _, c := range cases {
+		if got := CmdsFor(c.bytes, c.unit); got != c.want {
+			t.Errorf("CmdsFor(%d, %d) = %d, want %d", c.bytes, c.unit, got, c.want)
+		}
+	}
+}
+
+// Property: CmdsFor is monotone in bytes and covers the payload.
+func TestPropertyCmdsForCoverage(t *testing.T) {
+	f := func(bytesRaw uint32, unitRaw uint16) bool {
+		bytes := int64(bytesRaw)
+		unit := int64(unitRaw) + 1
+		cmds := CmdsFor(bytes, unit)
+		if bytes <= 0 {
+			return cmds == 0
+		}
+		return cmds*unit >= bytes && (cmds-1)*unit < bytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DurFor is additive: moving a+b bytes takes as long as moving
+// a then b (within rounding).
+func TestPropertyDurForAdditive(t *testing.T) {
+	f := func(aRaw, bRaw uint32) bool {
+		a, b := int64(aRaw), int64(bRaw)
+		whole := DurFor(a+b, 2.2e9)
+		parts := DurFor(a, 2.2e9) + DurFor(b, 2.2e9)
+		diff := whole - parts
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 2 // nanosecond rounding
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

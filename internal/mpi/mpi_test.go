@@ -1,0 +1,258 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/topology"
+)
+
+func world(t *testing.T, size int) (*sim.Env, *World) {
+	t.Helper()
+	cl, err := topology.New(topology.PaperTestbed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sim.NewEnv()
+	w, err := NewWorld(env, cl, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, w
+}
+
+func TestWorldPlacement(t *testing.T) {
+	_, w := world(t, 56)
+	// Block placement: ranks 0..27 on cn00, 28..55 on cn01.
+	if w.Node(0).Name != "cn00" || w.Node(27).Name != "cn00" {
+		t.Errorf("ranks 0/27 on %s/%s, want cn00", w.Node(0).Name, w.Node(27).Name)
+	}
+	if w.Node(28).Name != "cn01" {
+		t.Errorf("rank 28 on %s, want cn01", w.Node(28).Name)
+	}
+}
+
+func TestWorldTooLarge(t *testing.T) {
+	cl, _ := topology.New(topology.PaperTestbed())
+	if _, err := NewWorld(sim.NewEnv(), cl, 9999); err == nil {
+		t.Error("oversized world accepted")
+	}
+	if _, err := NewWorld(sim.NewEnv(), cl, 0); err == nil {
+		t.Error("zero-size world accepted")
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	env, w := world(t, 8)
+	var after []time.Duration
+	w.Launch(func(r *Rank, p *sim.Proc) {
+		p.Sleep(time.Duration(r.ID()) * time.Millisecond)
+		if err := w.Comm().Barrier(p, r); err != nil {
+			t.Error(err)
+		}
+		after = append(after, p.Now())
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 8 {
+		t.Fatalf("%d ranks finished, want 8", len(after))
+	}
+	for _, at := range after {
+		if at < 7*time.Millisecond {
+			t.Errorf("rank left barrier at %v, before slowest arrival", at)
+		}
+	}
+}
+
+func TestAllgatherOrder(t *testing.T) {
+	env, w := world(t, 6)
+	w.Launch(func(r *Rank, p *sim.Proc) {
+		all, err := w.Comm().Allgather(p, r, r.ID()*10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i, v := range all {
+			if v.(int) != i*10 {
+				t.Errorf("rank %d: all[%d] = %v, want %d", r.ID(), i, v, i*10)
+			}
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatedCollectives(t *testing.T) {
+	env, w := world(t, 5)
+	const rounds = 10
+	w.Launch(func(r *Rank, p *sim.Proc) {
+		for round := 0; round < rounds; round++ {
+			all, err := w.Comm().Allgather(p, r, round*100+r.ID())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i, v := range all {
+				if v.(int) != round*100+i {
+					t.Errorf("round %d rank %d: all[%d] = %v", round, r.ID(), i, v)
+				}
+			}
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	env, w := world(t, 4)
+	w.Launch(func(r *Rank, p *sim.Proc) {
+		var v any
+		if w.Comm().Rank(r) == 2 {
+			v = "payload"
+		}
+		got, err := w.Comm().Bcast(p, r, 2, v)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if got != "payload" {
+			t.Errorf("rank %d got %v", r.ID(), got)
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastBadRoot(t *testing.T) {
+	env, w := world(t, 2)
+	w.Launch(func(r *Rank, p *sim.Proc) {
+		if _, err := w.Comm().Bcast(p, r, 7, nil); err == nil {
+			t.Error("bad root accepted")
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitByColor(t *testing.T) {
+	env, w := world(t, 8)
+	w.Launch(func(r *Rank, p *sim.Proc) {
+		color := r.ID() % 2
+		sub, err := w.Comm().Split(p, r, color, r.ID())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if sub.Size() != 4 {
+			t.Errorf("rank %d: sub size = %d, want 4", r.ID(), sub.Size())
+		}
+		// Members of the sub-communicator share the color.
+		for _, wr := range sub.WorldRanks() {
+			if wr%2 != color {
+				t.Errorf("rank %d: sub contains world rank %d of wrong color", r.ID(), wr)
+			}
+		}
+		// Rank within sub matches key ordering (key = world rank).
+		want := r.ID() / 2
+		if got := sub.Rank(r); got != want {
+			t.Errorf("rank %d: sub rank = %d, want %d", r.ID(), got, want)
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitThenCollectiveOnSub(t *testing.T) {
+	env, w := world(t, 6)
+	w.Launch(func(r *Rank, p *sim.Proc) {
+		sub, err := w.Comm().Split(p, r, r.ID()%3, r.ID())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		all, err := sub.Allgather(p, r, r.ID())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(all) != 2 {
+			t.Errorf("sub allgather size = %d, want 2", len(all))
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonMemberRejected(t *testing.T) {
+	env, w := world(t, 4)
+	w.Launch(func(r *Rank, p *sim.Proc) {
+		sub, err := w.Comm().Split(p, r, r.ID()%2, r.ID())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Try a collective on a communicator the rank is not part of.
+		if sub.Rank(r) < 0 {
+			t.Errorf("rank %d missing from own sub", r.ID())
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Direct check of the error path.
+	env2, w2 := world(t, 2)
+	w2.Launch(func(r *Rank, p *sim.Proc) {
+		other := newComm(w2, []int{99})
+		if _, err := other.Allgather(p, r, nil); err == nil {
+			t.Error("non-member allgather accepted")
+		}
+	})
+	if _, err := env2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveChargesLatency(t *testing.T) {
+	env, w := world(t, 16)
+	w.Launch(func(r *Rank, p *sim.Proc) {
+		w.Comm().Barrier(p, r)
+	})
+	end, err := env.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end == 0 {
+		t.Error("barrier cost no virtual time")
+	}
+	// log2(16) = 4 steps at the default message latency.
+	want := 4 * w.MsgLatency
+	if end != want {
+		t.Errorf("barrier cost %v, want %v", end, want)
+	}
+}
+
+func TestLaunchWaitGroup(t *testing.T) {
+	env, w := world(t, 3)
+	done := 0
+	wg := w.Launch(func(r *Rank, p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		done++
+	})
+	env.Go("joiner", func(p *sim.Proc) {
+		wg.Wait(p)
+		if done != 3 {
+			t.Errorf("joined with %d ranks done", done)
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

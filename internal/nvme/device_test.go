@@ -1,0 +1,351 @@
+package nvme
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+)
+
+func testParams() model.SSD {
+	p := model.Default().SSD
+	p.CapacityGB = 1
+	return p
+}
+
+// runOne executes fn inside a single sim process and returns the final
+// virtual time.
+func runOne(t *testing.T, dev func(env *sim.Env) *Device, fn func(p *sim.Proc, d *Device)) time.Duration {
+	t.Helper()
+	env := sim.NewEnv()
+	d := dev(env)
+	env.Go("test", func(p *sim.Proc) { fn(p, d) })
+	end, err := env.Run()
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	return end
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	runOne(t,
+		func(env *sim.Env) *Device { return New(env, "ssd0", testParams(), true) },
+		func(p *sim.Proc, d *Device) {
+			ns, err := d.CreateNamespace(16 * model.MB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := d.AllocQueue()
+			payload := []byte("checkpoint block payload")
+			if _, err := ns.Submit(p, q, Request{
+				Op: OpWrite, Offset: 4096, Length: int64(len(payload)), Data: payload,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ns.Submit(p, q, Request{Op: OpRead, Offset: 4096, Length: int64(len(payload))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("read back %q, want %q", got, payload)
+			}
+		})
+}
+
+func TestOutOfBoundsRejected(t *testing.T) {
+	runOne(t,
+		func(env *sim.Env) *Device { return New(env, "ssd0", testParams(), true) },
+		func(p *sim.Proc, d *Device) {
+			ns, _ := d.CreateNamespace(1 * model.MB)
+			q := d.AllocQueue()
+			if _, err := ns.Submit(p, q, Request{Op: OpWrite, Offset: model.MB - 10, Length: 20}); err == nil {
+				t.Error("out-of-bounds write accepted")
+			}
+			if _, err := ns.Submit(p, q, Request{Op: OpRead, Offset: -1, Length: 10}); err == nil {
+				t.Error("negative offset accepted")
+			}
+		})
+}
+
+func TestNamespaceIsolation(t *testing.T) {
+	runOne(t,
+		func(env *sim.Env) *Device { return New(env, "ssd0", testParams(), true) },
+		func(p *sim.Proc, d *Device) {
+			nsA, _ := d.CreateNamespace(1 * model.MB)
+			nsB, _ := d.CreateNamespace(1 * model.MB)
+			q := d.AllocQueue()
+			payload := []byte("private to A")
+			if _, err := nsA.Submit(p, q, Request{Op: OpWrite, Offset: 0, Length: int64(len(payload)), Data: payload}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := nsB.Submit(p, q, Request{Op: OpRead, Offset: 0, Length: int64(len(payload))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Equal(got, payload) {
+				t.Error("namespace B can read namespace A's data")
+			}
+		})
+}
+
+func TestNamespaceCapacityExhaustion(t *testing.T) {
+	runOne(t,
+		func(env *sim.Env) *Device { return New(env, "ssd0", testParams(), false) },
+		func(p *sim.Proc, d *Device) {
+			if _, err := d.CreateNamespace(d.Capacity()); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.CreateNamespace(1); err == nil {
+				t.Error("over-capacity namespace accepted")
+			}
+		})
+}
+
+func TestDataLengthMismatch(t *testing.T) {
+	runOne(t,
+		func(env *sim.Env) *Device { return New(env, "ssd0", testParams(), true) },
+		func(p *sim.Proc, d *Device) {
+			ns, _ := d.CreateNamespace(1 * model.MB)
+			q := d.AllocQueue()
+			if _, err := ns.Submit(p, q, Request{Op: OpWrite, Offset: 0, Length: 100, Data: []byte("short")}); err == nil {
+				t.Error("length mismatch accepted")
+			}
+		})
+}
+
+func TestForeignQueueRejected(t *testing.T) {
+	env := sim.NewEnv()
+	d1 := New(env, "ssd0", testParams(), false)
+	d2 := New(env, "ssd1", testParams(), false)
+	env.Go("test", func(p *sim.Proc) {
+		ns, _ := d1.CreateNamespace(1 * model.MB)
+		q := d2.AllocQueue()
+		if _, err := ns.Submit(p, q, Request{Op: OpWrite, Offset: 0, Length: 10}); err == nil {
+			t.Error("foreign queue accepted")
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSustainedWriteBandwidth(t *testing.T) {
+	// Write far more than device RAM: aggregate throughput must
+	// converge to the media write bandwidth.
+	params := testParams()
+	total := int64(2 * model.GB)
+	params.CapacityGB = 4
+	params.RAMBytes = 16 * model.MB // keep the burst buffer negligible here
+	end := runOne(t,
+		func(env *sim.Env) *Device { return New(env, "ssd0", params, false) },
+		func(p *sim.Proc, d *Device) {
+			ns, _ := d.CreateNamespace(3 * model.GB)
+			q := d.AllocQueue()
+			chunk := int64(4 * model.MB)
+			for off := int64(0); off < total; off += chunk {
+				if _, err := ns.Submit(p, q, Request{
+					Op: OpWrite, Offset: off, Length: chunk, CmdUnit: 32 * model.KB,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	bw := float64(total) / end.Seconds()
+	if bw > params.WriteBW*1.05 || bw < params.WriteBW*0.85 {
+		t.Errorf("sustained write bw = %.2f GB/s, want ~%.2f GB/s", bw/1e9, params.WriteBW/1e9)
+	}
+}
+
+func TestBurstAbsorbedAtRAMBandwidth(t *testing.T) {
+	// A burst smaller than device RAM should complete at RAM (not
+	// media) bandwidth.
+	params := testParams()
+	burst := params.RAMBytes / 2
+	end := runOne(t,
+		func(env *sim.Env) *Device { return New(env, "ssd0", params, false) },
+		func(p *sim.Proc, d *Device) {
+			ns, _ := d.CreateNamespace(512 * model.MB)
+			q := d.AllocQueue()
+			if _, err := ns.Submit(p, q, Request{Op: OpWrite, Offset: 0, Length: burst, CmdUnit: 32 * model.KB}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	ramTime := model.DurFor(burst, params.RAMBW)
+	mediaTime := model.DurFor(burst, params.WriteBW)
+	if end >= mediaTime {
+		t.Errorf("burst took %v, should be under media time %v", end, mediaTime)
+	}
+	if end < ramTime {
+		t.Errorf("burst took %v, faster than RAM bandwidth allows (%v)", end, ramTime)
+	}
+}
+
+func TestSmallerCommandUnitCostsMore(t *testing.T) {
+	// Same payload with 4 KB commands must take longer than with
+	// 32 KB commands (per-command controller cost), reproducing the
+	// left side of Figure 7a.
+	time4k := writeWith(t, 4*model.KB)
+	time32k := writeWith(t, 32*model.KB)
+	if time4k <= time32k {
+		t.Errorf("4K commands (%v) should be slower than 32K (%v)", time4k, time32k)
+	}
+}
+
+func TestOversizedCommandPenalty(t *testing.T) {
+	// Commands much wider than the channel stripe incur the
+	// arbitration penalty: 1 MB commands slower than 32 KB ones.
+	time32k := writeWith(t, 32*model.KB)
+	time1m := writeWith(t, model.MB)
+	if time1m <= time32k {
+		t.Errorf("1M commands (%v) should be slower than 32K (%v)", time1m, time32k)
+	}
+}
+
+func writeWith(t *testing.T, unit int64) time.Duration {
+	t.Helper()
+	params := testParams()
+	return runOne(t,
+		func(env *sim.Env) *Device { return New(env, "ssd0", params, false) },
+		func(p *sim.Proc, d *Device) {
+			ns, _ := d.CreateNamespace(768 * model.MB)
+			q := d.AllocQueue()
+			chunk := int64(4 * model.MB)
+			for off := int64(0); off < 512*model.MB; off += chunk {
+				if _, err := ns.Submit(p, q, Request{
+					Op: OpWrite, Offset: off, Length: chunk, CmdUnit: unit,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+}
+
+func TestQueueAllocationSharing(t *testing.T) {
+	env := sim.NewEnv()
+	d := New(env, "ssd0", testParams(), false)
+	seen := map[int]bool{}
+	for i := 0; i < d.Params().HWQueues; i++ {
+		q := d.AllocQueue()
+		if q.Shared {
+			t.Fatalf("queue %d marked shared within hardware limit", i)
+		}
+		if seen[q.ID] {
+			t.Fatalf("queue id %d issued twice within hardware limit", q.ID)
+		}
+		seen[q.ID] = true
+	}
+	q := d.AllocQueue()
+	if !q.Shared {
+		t.Error("queue beyond hardware limit not marked shared")
+	}
+}
+
+func TestPowerFailWithCapacitors(t *testing.T) {
+	runOne(t,
+		func(env *sim.Env) *Device { return New(env, "ssd0", testParams(), true) },
+		func(p *sim.Proc, d *Device) {
+			ns, _ := d.CreateNamespace(16 * model.MB)
+			q := d.AllocQueue()
+			payload := bytes.Repeat([]byte("D"), 8192)
+			if _, err := ns.Submit(p, q, Request{Op: OpWrite, Offset: 0, Length: int64(len(payload)), Data: payload}); err != nil {
+				t.Fatal(err)
+			}
+			if lost := d.PowerFail(true); lost != 0 {
+				t.Errorf("capacitor-backed power fail lost %d bytes", lost)
+			}
+			got, err := ns.Submit(p, q, Request{Op: OpRead, Offset: 0, Length: int64(len(payload))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Error("data lost despite capacitors")
+			}
+		})
+}
+
+func TestPowerFailWithoutCapacitorsLosesBufferedData(t *testing.T) {
+	runOne(t,
+		func(env *sim.Env) *Device { return New(env, "ssd0", testParams(), true) },
+		func(p *sim.Proc, d *Device) {
+			ns, _ := d.CreateNamespace(16 * model.MB)
+			q := d.AllocQueue()
+			payload := bytes.Repeat([]byte("D"), 4<<20)
+			if _, err := ns.Submit(p, q, Request{
+				Op: OpWrite, Offset: 0, Length: int64(len(payload)), Data: payload, CmdUnit: 32 * model.KB,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			// Immediately after the write the data is still draining
+			// from device RAM; a capacitor failure loses it.
+			if lost := d.PowerFail(false); lost == 0 {
+				t.Error("expected buffered bytes to be lost without capacitors")
+			}
+		})
+}
+
+func TestStats(t *testing.T) {
+	runOne(t,
+		func(env *sim.Env) *Device { return New(env, "ssd0", testParams(), false) },
+		func(p *sim.Proc, d *Device) {
+			ns, _ := d.CreateNamespace(16 * model.MB)
+			q := d.AllocQueue()
+			ns.Submit(p, q, Request{Op: OpWrite, Offset: 0, Length: 64 * model.KB, CmdUnit: 32 * model.KB})
+			ns.Submit(p, q, Request{Op: OpRead, Offset: 0, Length: 32 * model.KB, CmdUnit: 32 * model.KB})
+			w, r, cmds, busy := d.Stats()
+			if w != 64*model.KB || r != 32*model.KB {
+				t.Errorf("written/read = %d/%d", w, r)
+			}
+			if cmds != 3 {
+				t.Errorf("cmds = %d, want 3", cmds)
+			}
+			if busy <= 0 {
+				t.Error("busy time not recorded")
+			}
+			d.ResetStats()
+			w, r, cmds, busy = d.Stats()
+			if w != 0 || r != 0 || cmds != 0 || busy != 0 {
+				t.Error("ResetStats did not clear counters")
+			}
+		})
+}
+
+func TestConcurrentClientsShareBandwidth(t *testing.T) {
+	// N clients writing concurrently must finish in ~N times the
+	// single-client time (device serializes at aggregate bandwidth).
+	params := testParams()
+	single := clientsWrite(t, params, 1)
+	quad := clientsWrite(t, params, 4)
+	ratio := quad.Seconds() / single.Seconds()
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("4-client/1-client time ratio = %.2f, want ~4", ratio)
+	}
+}
+
+func clientsWrite(t *testing.T, params model.SSD, n int) time.Duration {
+	t.Helper()
+	env := sim.NewEnv()
+	d := New(env, "ssd0", params, false)
+	perClient := int64(256 * model.MB)
+	for i := 0; i < n; i++ {
+		ns, err := d.CreateNamespace(perClient)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.Go("client", func(p *sim.Proc) {
+			q := d.AllocQueue()
+			chunk := int64(4 * model.MB)
+			for off := int64(0); off < perClient; off += chunk {
+				if _, err := ns.Submit(p, q, Request{Op: OpWrite, Offset: off, Length: chunk, CmdUnit: 32 * model.KB}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+	end, err := env.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return end
+}

@@ -1,0 +1,138 @@
+package nvmeof
+
+import (
+	"testing"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+)
+
+func TestAdminNamespaceLifecycle(t *testing.T) {
+	tgt := NewTargetWithCapacity(16 * model.MB)
+	addr, err := tgt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tgt.Close()
+
+	admin, err := DialAdmin(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+
+	// Create two namespaces.
+	ns1, err := admin.CreateNamespace(4 * model.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns2, err := admin.CreateNamespace(8 * model.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns1 == ns2 {
+		t.Fatal("duplicate NSIDs issued")
+	}
+	// List shows both.
+	list, err := admin.ListNamespaces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("list = %+v", list)
+	}
+	sizes := map[uint32]int64{}
+	for _, e := range list {
+		sizes[e.NSID] = e.Size
+	}
+	if sizes[ns1] != 4*model.MB || sizes[ns2] != 8*model.MB {
+		t.Errorf("sizes = %v", sizes)
+	}
+
+	// Capacity enforcement: only 4 MB left.
+	if _, err := admin.CreateNamespace(8 * model.MB); err == nil {
+		t.Error("over-capacity namespace accepted")
+	}
+
+	// IO on a freshly created namespace works.
+	h, err := Dial(addr, ns1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WriteAt(0, []byte("granted")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete ns1: its queue pairs see errors, its space is reclaimed.
+	if err := admin.DeleteNamespace(ns1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WriteAt(0, []byte("zombie")); err == nil {
+		t.Error("write to deleted namespace accepted")
+	}
+	h.Close()
+	if _, err := admin.CreateNamespace(8 * model.MB); err != nil {
+		t.Errorf("reclaimed space not reusable: %v", err)
+	}
+	if err := admin.DeleteNamespace(9999); err == nil {
+		t.Error("delete of unknown namespace accepted")
+	}
+	// Bad size.
+	if _, err := admin.CreateNamespace(0); err == nil {
+		t.Error("zero-size namespace accepted")
+	}
+}
+
+func TestAdminQueueCannotDoIO(t *testing.T) {
+	tgt := NewTarget()
+	addr, err := tgt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tgt.Close()
+	admin, err := DialAdmin(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	if err := admin.WriteAt(0, []byte("x")); err == nil {
+		t.Error("IO on admin queue pair accepted")
+	}
+	if _, err := admin.ReadAt(0, 4); err == nil {
+		t.Error("read on admin queue pair accepted")
+	}
+}
+
+func TestSchedulerStyleRemoteGrant(t *testing.T) {
+	// The sched package's flow, but against a real remote target: grant
+	// a namespace, run a microfs-style workload region through a data
+	// queue pair, release it.
+	tgt := NewTargetWithCapacity(64 * model.MB)
+	addr, err := tgt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tgt.Close()
+	admin, err := DialAdmin(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+
+	for job := 0; job < 3; job++ {
+		nsid, err := admin.CreateNamespace(48 * model.MB)
+		if err != nil {
+			t.Fatalf("job %d grant: %v", job, err)
+		}
+		h, err := Dial(addr, nsid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.WriteAt(1024, []byte("job data")); err != nil {
+			t.Fatal(err)
+		}
+		h.Close()
+		if err := admin.DeleteNamespace(nsid); err != nil {
+			t.Fatalf("job %d release: %v", job, err)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package nvmeof
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Host is an NVMe-oF initiator over the TCP transport: one queue pair
+// (connection) with pipelined command submission. Commands may be issued
+// from multiple goroutines; completions are matched by command ID.
+type Host struct {
+	conn net.Conn
+	bw   *bufio.Writer
+
+	sendMu   sync.Mutex // serializes capsule writes
+	respMu   sync.Mutex // guards inflight and cid
+	inflight map[uint16]chan *Response
+	cid      uint16
+
+	nsSize int64
+	err    error
+	errMu  sync.Mutex
+	done   chan struct{}
+}
+
+// DialAdmin connects an admin queue pair (no namespace bound): only the
+// admin command set (create/delete/list namespace) is usable on it.
+func DialAdmin(addr string) (*Host, error) { return Dial(addr, 0) }
+
+// Dial connects a queue pair to the target at addr and issues CONNECT
+// for the namespace. NSID 0 yields an admin queue pair.
+func Dial(addr string, nsid uint32) (*Host, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	h := &Host{
+		conn:     conn,
+		bw:       bufio.NewWriterSize(conn, 1<<20),
+		inflight: make(map[uint16]chan *Response),
+		done:     make(chan struct{}),
+	}
+	go h.readLoop()
+	resp, err := h.roundTrip(&Command{Opcode: OpConnect, NSID: nsid})
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("nvmeof: connect: %w", err)
+	}
+	if resp.Status != StatusOK {
+		conn.Close()
+		return nil, fmt.Errorf("nvmeof: connect: %s", statusText(resp.Status))
+	}
+	h.nsSize = int64(resp.Value)
+	return h, nil
+}
+
+// NamespaceSize returns the connected namespace's capacity.
+func (h *Host) NamespaceSize() int64 { return h.nsSize }
+
+// readLoop dispatches completions to waiting submitters.
+func (h *Host) readLoop() {
+	br := bufio.NewReaderSize(h.conn, 1<<20)
+	for {
+		resp, err := ReadResponse(br)
+		if err != nil {
+			h.fail(err)
+			return
+		}
+		h.respMu.Lock()
+		ch, ok := h.inflight[resp.CID]
+		delete(h.inflight, resp.CID)
+		h.respMu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// fail poisons the host: all in-flight and future commands error out.
+func (h *Host) fail(err error) {
+	h.errMu.Lock()
+	if h.err == nil {
+		h.err = err
+		close(h.done)
+	}
+	h.errMu.Unlock()
+	h.respMu.Lock()
+	for cid, ch := range h.inflight {
+		delete(h.inflight, cid)
+		close(ch)
+	}
+	h.respMu.Unlock()
+}
+
+func (h *Host) lastErr() error {
+	h.errMu.Lock()
+	defer h.errMu.Unlock()
+	if h.err != nil {
+		return h.err
+	}
+	return fmt.Errorf("nvmeof: connection closed")
+}
+
+// roundTrip submits one command and waits for its completion.
+func (h *Host) roundTrip(cmd *Command) (*Response, error) {
+	ch := make(chan *Response, 1)
+	h.respMu.Lock()
+	h.cid++
+	cmd.CID = h.cid
+	h.inflight[cmd.CID] = ch
+	h.respMu.Unlock()
+
+	h.sendMu.Lock()
+	err := WriteCommand(h.bw, cmd)
+	if err == nil {
+		err = h.bw.Flush()
+	}
+	h.sendMu.Unlock()
+	if err != nil {
+		h.respMu.Lock()
+		delete(h.inflight, cmd.CID)
+		h.respMu.Unlock()
+		return nil, err
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, h.lastErr()
+		}
+		return resp, nil
+	case <-h.done:
+		// Drain a response that may have raced with the failure.
+		select {
+		case resp, ok := <-ch:
+			if ok {
+				return resp, nil
+			}
+		default:
+		}
+		return nil, h.lastErr()
+	}
+}
+
+func (h *Host) check(resp *Response, err error, op string) error {
+	if err != nil {
+		return fmt.Errorf("nvmeof: %s: %w", op, err)
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("nvmeof: %s: %s", op, statusText(resp.Status))
+	}
+	return nil
+}
+
+// WriteAt writes data at the namespace offset.
+func (h *Host) WriteAt(off int64, data []byte) error {
+	resp, err := h.roundTrip(&Command{Opcode: OpWriteCmd, Offset: uint64(off), Data: data})
+	return h.check(resp, err, "write")
+}
+
+// ReadAt reads length bytes from the namespace offset.
+func (h *Host) ReadAt(off, length int64) ([]byte, error) {
+	resp, err := h.roundTrip(&Command{Opcode: OpReadCmd, Offset: uint64(off), Length: uint32(length)})
+	if err := h.check(resp, err, "read"); err != nil {
+		return nil, err
+	}
+	if resp.Data == nil {
+		return make([]byte, length), nil
+	}
+	return resp.Data, nil
+}
+
+// Flush issues a durability barrier.
+func (h *Host) Flush() error {
+	resp, err := h.roundTrip(&Command{Opcode: OpFlushCmd})
+	return h.check(resp, err, "flush")
+}
+
+// Identify re-reads the namespace properties.
+func (h *Host) Identify() (int64, error) {
+	resp, err := h.roundTrip(&Command{Opcode: OpIdentify})
+	if err := h.check(resp, err, "identify"); err != nil {
+		return 0, err
+	}
+	return int64(resp.Value), nil
+}
+
+// CreateNamespace asks the target to create a namespace of the given
+// size (an admin command; the scheduler's storage-grant path). It
+// returns the new NSID.
+func (h *Host) CreateNamespace(size int64) (uint32, error) {
+	resp, err := h.roundTrip(&Command{Opcode: OpCreateNS, Offset: uint64(size)})
+	if err := h.check(resp, err, "create-ns"); err != nil {
+		return 0, err
+	}
+	return uint32(resp.Value), nil
+}
+
+// DeleteNamespace reclaims a namespace on the target.
+func (h *Host) DeleteNamespace(nsid uint32) error {
+	resp, err := h.roundTrip(&Command{Opcode: OpDeleteNS, NSID: nsid})
+	return h.check(resp, err, "delete-ns")
+}
+
+// NamespaceInfo describes one exported namespace.
+type NamespaceInfo struct {
+	NSID uint32
+	Size int64
+}
+
+// ListNamespaces enumerates the target's exports.
+func (h *Host) ListNamespaces() ([]NamespaceInfo, error) {
+	resp, err := h.roundTrip(&Command{Opcode: OpListNS})
+	if err := h.check(resp, err, "list-ns"); err != nil {
+		return nil, err
+	}
+	if len(resp.Data)%12 != 0 {
+		return nil, fmt.Errorf("nvmeof: list-ns returned %d bytes, not a multiple of 12", len(resp.Data))
+	}
+	out := make([]NamespaceInfo, 0, len(resp.Data)/12)
+	for off := 0; off < len(resp.Data); off += 12 {
+		out = append(out, NamespaceInfo{
+			NSID: binary.LittleEndian.Uint32(resp.Data[off:]),
+			Size: int64(binary.LittleEndian.Uint64(resp.Data[off+4:])),
+		})
+	}
+	return out, nil
+}
+
+// Close tears down the queue pair.
+func (h *Host) Close() error {
+	return h.conn.Close()
+}

@@ -1,0 +1,206 @@
+package nvmeof
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The TCP transport speaks a capsule protocol shaped after NVMe-oF:
+// fixed-size command/response capsules with optional in-capsule data.
+// RDMA hardware is unavailable in this reproduction, so TCP carries the
+// capsules; the capsule layout, command set, and queue-pair semantics
+// (one connection per queue, command IDs matching completions) follow
+// the fabrics model.
+
+// Opcode identifies a capsule command.
+type Opcode uint8
+
+// Fabric command set.
+const (
+	// OpConnect establishes a queue pair and selects a namespace.
+	OpConnect Opcode = 0x01
+	// OpWriteCmd writes in-capsule data at an offset.
+	OpWriteCmd Opcode = 0x02
+	// OpReadCmd reads a range; data returns in the response capsule.
+	OpReadCmd Opcode = 0x03
+	// OpFlushCmd is a durability barrier.
+	OpFlushCmd Opcode = 0x04
+	// OpIdentify returns namespace properties.
+	OpIdentify Opcode = 0x05
+
+	// Admin command set (the scheduler's interface: namespaces are the
+	// grant granularity, created from unused space and reclaimed when
+	// jobs end).
+
+	// OpCreateNS creates a namespace of Length... (Offset carries the
+	// size in bytes); the response Value is the new NSID.
+	OpCreateNS Opcode = 0x41
+	// OpDeleteNS deletes the namespace named by NSID.
+	OpDeleteNS Opcode = 0x42
+	// OpListNS returns the exported NSIDs and sizes as response data
+	// (pairs of little-endian u32 nsid + u64 size).
+	OpListNS Opcode = 0x43
+)
+
+// Status codes in response capsules.
+const (
+	StatusOK uint16 = iota
+	StatusInvalidOpcode
+	StatusInvalidNamespace
+	StatusOutOfRange
+	StatusNotConnected
+	StatusInternal
+	StatusNoCapacity
+)
+
+// statusText maps status codes to messages.
+func statusText(s uint16) string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusInvalidOpcode:
+		return "invalid opcode"
+	case StatusInvalidNamespace:
+		return "invalid namespace"
+	case StatusOutOfRange:
+		return "offset out of range"
+	case StatusNotConnected:
+		return "queue not connected"
+	case StatusInternal:
+		return "internal error"
+	case StatusNoCapacity:
+		return "no capacity for namespace"
+	default:
+		return fmt.Sprintf("status %d", s)
+	}
+}
+
+const (
+	cmdMagic  = 0x4E564D46 // "NVMF"
+	respMagic = 0x4E564D52 // "NVMR"
+	cmdHdrLen = 32
+	rspHdrLen = 16
+	// MaxDataLen bounds in-capsule data (both directions).
+	MaxDataLen = 8 << 20
+)
+
+// Command is one command capsule.
+type Command struct {
+	Opcode Opcode
+	CID    uint16
+	NSID   uint32
+	Offset uint64
+	Length uint32
+	Data   []byte
+}
+
+// Response is one response capsule.
+type Response struct {
+	CID    uint16
+	Status uint16
+	Value  uint64 // identify results (namespace size)
+	Data   []byte
+}
+
+// WriteCommand encodes and writes a command capsule.
+func WriteCommand(w io.Writer, c *Command) error {
+	if len(c.Data) > MaxDataLen {
+		return fmt.Errorf("nvmeof: in-capsule data %d exceeds limit", len(c.Data))
+	}
+	var hdr [cmdHdrLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], cmdMagic)
+	hdr[4] = byte(c.Opcode)
+	binary.LittleEndian.PutUint16(hdr[6:], c.CID)
+	binary.LittleEndian.PutUint32(hdr[8:], c.NSID)
+	binary.LittleEndian.PutUint64(hdr[12:], c.Offset)
+	binary.LittleEndian.PutUint32(hdr[20:], c.Length)
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(len(c.Data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(c.Data) > 0 {
+		if _, err := w.Write(c.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCommand reads one command capsule.
+func ReadCommand(r io.Reader) (*Command, error) {
+	var hdr [cmdHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != cmdMagic {
+		return nil, fmt.Errorf("nvmeof: bad command magic %#x", binary.LittleEndian.Uint32(hdr[0:]))
+	}
+	c := &Command{
+		Opcode: Opcode(hdr[4]),
+		CID:    binary.LittleEndian.Uint16(hdr[6:]),
+		NSID:   binary.LittleEndian.Uint32(hdr[8:]),
+		Offset: binary.LittleEndian.Uint64(hdr[12:]),
+		Length: binary.LittleEndian.Uint32(hdr[20:]),
+	}
+	dataLen := binary.LittleEndian.Uint32(hdr[24:])
+	if dataLen > MaxDataLen {
+		return nil, fmt.Errorf("nvmeof: in-capsule data %d exceeds limit", dataLen)
+	}
+	if dataLen > 0 {
+		c.Data = make([]byte, dataLen)
+		if _, err := io.ReadFull(r, c.Data); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// WriteResponse encodes and writes a response capsule.
+func WriteResponse(w io.Writer, r *Response) error {
+	if len(r.Data) > MaxDataLen {
+		return fmt.Errorf("nvmeof: response data %d exceeds limit", len(r.Data))
+	}
+	var hdr [rspHdrLen + 8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], respMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], r.CID)
+	binary.LittleEndian.PutUint16(hdr[6:], r.Status)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(r.Data)))
+	binary.LittleEndian.PutUint64(hdr[12:], r.Value)
+	if _, err := w.Write(hdr[:rspHdrLen+4]); err != nil {
+		return err
+	}
+	if len(r.Data) > 0 {
+		if _, err := w.Write(r.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadResponse reads one response capsule.
+func ReadResponse(r io.Reader) (*Response, error) {
+	var hdr [rspHdrLen + 4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != respMagic {
+		return nil, fmt.Errorf("nvmeof: bad response magic %#x", binary.LittleEndian.Uint32(hdr[0:]))
+	}
+	out := &Response{
+		CID:    binary.LittleEndian.Uint16(hdr[4:]),
+		Status: binary.LittleEndian.Uint16(hdr[6:]),
+		Value:  binary.LittleEndian.Uint64(hdr[12:]),
+	}
+	dataLen := binary.LittleEndian.Uint32(hdr[8:])
+	if dataLen > MaxDataLen {
+		return nil, fmt.Errorf("nvmeof: response data %d exceeds limit", dataLen)
+	}
+	if dataLen > 0 {
+		out.Data = make([]byte, dataLen)
+		if _, err := io.ReadFull(r, out.Data); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

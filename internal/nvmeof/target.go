@@ -1,0 +1,320 @@
+package nvmeof
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+
+	"github.com/nvme-cr/nvmecr/internal/extent"
+)
+
+// MemNamespace is one exported namespace backed by an in-memory extent
+// store (the target-side analogue of an SSD namespace; on the paper's
+// testbed this is an SPDK bdev).
+type MemNamespace struct {
+	mu      sync.Mutex
+	store   *extent.Store
+	size    int64
+	deleted bool
+}
+
+func (ns *MemNamespace) markDeleted() {
+	ns.mu.Lock()
+	ns.deleted = true
+	ns.store.Reset()
+	ns.mu.Unlock()
+}
+
+// NewMemNamespace creates a namespace of the given size.
+func NewMemNamespace(size int64) *MemNamespace {
+	return &MemNamespace{store: extent.New(), size: size}
+}
+
+// Size returns the namespace capacity.
+func (ns *MemNamespace) Size() int64 { return ns.size }
+
+// StoredBytes returns the payload bytes held.
+func (ns *MemNamespace) StoredBytes() int64 {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.store.Bytes()
+}
+
+func (ns *MemNamespace) writeAt(off int64, data []byte) uint16 {
+	if off < 0 || off+int64(len(data)) > ns.size {
+		return StatusOutOfRange
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ns.deleted {
+		return StatusInvalidNamespace
+	}
+	if err := ns.store.Write(off, data); err != nil {
+		return StatusInternal
+	}
+	return StatusOK
+}
+
+func (ns *MemNamespace) readAt(off, length int64) ([]byte, uint16) {
+	if off < 0 || length < 0 || off+length > ns.size {
+		return nil, StatusOutOfRange
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ns.deleted {
+		return nil, StatusInvalidNamespace
+	}
+	data, _ := ns.store.Read(off, length)
+	return data, StatusOK
+}
+
+// Target is a multi-tenant NVMe-oF target daemon serving namespaces
+// over TCP. Each accepted connection is one queue pair.
+type Target struct {
+	mu         sync.Mutex
+	namespaces map[uint32]*MemNamespace
+	nextNSID   uint32
+	capacity   int64 // 0 = unlimited
+	ln         net.Listener
+	wg         sync.WaitGroup
+	closed     bool
+
+	// Stats.
+	commands int64
+	bytesIn  int64
+	bytesOut int64
+}
+
+// NewTarget creates an empty target with unlimited capacity.
+func NewTarget() *Target {
+	return &Target{namespaces: make(map[uint32]*MemNamespace), nextNSID: 1}
+}
+
+// NewTargetWithCapacity bounds the total bytes exportable as namespaces
+// (the device capacity the scheduler allocates against).
+func NewTargetWithCapacity(capacity int64) *Target {
+	t := NewTarget()
+	t.capacity = capacity
+	return t
+}
+
+// usedLocked sums live namespace sizes; t.mu must be held.
+func (t *Target) usedLocked() int64 {
+	var used int64
+	for _, ns := range t.namespaces {
+		used += ns.size
+	}
+	return used
+}
+
+// createNamespace implements the admin create: pick the next free NSID.
+func (t *Target) createNamespace(size int64) (uint32, uint16) {
+	if size <= 0 {
+		return 0, StatusOutOfRange
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.capacity > 0 && t.usedLocked()+size > t.capacity {
+		return 0, StatusNoCapacity
+	}
+	for {
+		if _, taken := t.namespaces[t.nextNSID]; !taken {
+			break
+		}
+		t.nextNSID++
+	}
+	nsid := t.nextNSID
+	t.nextNSID++
+	t.namespaces[nsid] = NewMemNamespace(size)
+	return nsid, StatusOK
+}
+
+// deleteNamespace implements the admin delete.
+func (t *Target) deleteNamespace(nsid uint32) uint16 {
+	t.mu.Lock()
+	ns, ok := t.namespaces[nsid]
+	if ok {
+		delete(t.namespaces, nsid)
+	}
+	t.mu.Unlock()
+	if !ok {
+		return StatusInvalidNamespace
+	}
+	ns.markDeleted()
+	return StatusOK
+}
+
+// listNamespaces encodes the exported (nsid, size) pairs.
+func (t *Target) listNamespaces() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]uint32, 0, len(t.namespaces))
+	for id := range t.namespaces {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]byte, 0, len(ids)*12)
+	for _, id := range ids {
+		var entry [12]byte
+		binary.LittleEndian.PutUint32(entry[0:], id)
+		binary.LittleEndian.PutUint64(entry[4:], uint64(t.namespaces[id].size))
+		out = append(out, entry[:]...)
+	}
+	return out
+}
+
+// AddNamespace exports a namespace under the given NSID.
+func (t *Target) AddNamespace(nsid uint32, ns *MemNamespace) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.namespaces[nsid]; ok {
+		return fmt.Errorf("nvmeof: nsid %d already exported", nsid)
+	}
+	t.namespaces[nsid] = ns
+	return nil
+}
+
+// Listen starts accepting queue pairs on addr (e.g. "127.0.0.1:0").
+// It returns the bound address.
+func (t *Target) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	t.mu.Lock()
+	t.ln = ln
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go t.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (t *Target) acceptLoop(ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.serve(conn)
+		}()
+	}
+}
+
+// serve handles one queue pair.
+func (t *Target) serve(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 1<<20)
+	bw := bufio.NewWriterSize(conn, 1<<20)
+	var connected *MemNamespace
+	for {
+		cmd, err := ReadCommand(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				// Protocol violation: drop the queue pair.
+				return
+			}
+			return
+		}
+		t.mu.Lock()
+		t.commands++
+		t.bytesIn += int64(len(cmd.Data))
+		t.mu.Unlock()
+		resp := &Response{CID: cmd.CID, Status: StatusOK}
+		switch cmd.Opcode {
+		case OpConnect:
+			if cmd.NSID == 0 {
+				// Admin queue pair: no namespace bound.
+				connected = nil
+				break
+			}
+			t.mu.Lock()
+			ns, ok := t.namespaces[cmd.NSID]
+			t.mu.Unlock()
+			if !ok {
+				resp.Status = StatusInvalidNamespace
+			} else {
+				connected = ns
+				resp.Value = uint64(ns.Size())
+			}
+		case OpIdentify:
+			if connected == nil {
+				resp.Status = StatusNotConnected
+			} else {
+				resp.Value = uint64(connected.Size())
+			}
+		case OpWriteCmd:
+			if connected == nil {
+				resp.Status = StatusNotConnected
+			} else {
+				resp.Status = connected.writeAt(int64(cmd.Offset), cmd.Data)
+			}
+		case OpReadCmd:
+			if connected == nil {
+				resp.Status = StatusNotConnected
+			} else {
+				data, status := connected.readAt(int64(cmd.Offset), int64(cmd.Length))
+				resp.Status = status
+				resp.Data = data
+			}
+		case OpFlushCmd:
+			if connected == nil {
+				resp.Status = StatusNotConnected
+			}
+			// Data is durable on arrival (capacitor-backed model).
+		case OpCreateNS:
+			nsid, status := t.createNamespace(int64(cmd.Offset))
+			resp.Status = status
+			resp.Value = uint64(nsid)
+		case OpDeleteNS:
+			resp.Status = t.deleteNamespace(cmd.NSID)
+		case OpListNS:
+			resp.Data = t.listNamespaces()
+		default:
+			resp.Status = StatusInvalidOpcode
+		}
+		t.mu.Lock()
+		t.bytesOut += int64(len(resp.Data))
+		t.mu.Unlock()
+		if err := WriteResponse(bw, resp); err != nil {
+			return
+		}
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Stats reports served commands and payload byte counts.
+func (t *Target) Stats() (commands, bytesIn, bytesOut int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.commands, t.bytesIn, t.bytesOut
+}
+
+// Close stops the listener and waits for active queue pairs to drain
+// their current command. Connected hosts observe EOF.
+func (t *Target) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	ln := t.ln
+	t.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	return nil
+}

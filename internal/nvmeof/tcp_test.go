@@ -1,0 +1,303 @@
+package nvmeof
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+)
+
+func startTarget(t *testing.T, namespaces map[uint32]int64) (*Target, string) {
+	t.Helper()
+	tgt := NewTarget()
+	for nsid, size := range namespaces {
+		if err := tgt.AddNamespace(nsid, NewMemNamespace(size)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addr, err := tgt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tgt.Close() })
+	return tgt, addr
+}
+
+func TestConnectAndIdentify(t *testing.T) {
+	_, addr := startTarget(t, map[uint32]int64{1: 4 * model.MB})
+	h, err := Dial(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if h.NamespaceSize() != 4*model.MB {
+		t.Errorf("NamespaceSize = %d", h.NamespaceSize())
+	}
+	size, err := h.Identify()
+	if err != nil || size != 4*model.MB {
+		t.Errorf("Identify = %d, %v", size, err)
+	}
+}
+
+func TestConnectUnknownNamespace(t *testing.T) {
+	_, addr := startTarget(t, map[uint32]int64{1: model.MB})
+	if _, err := Dial(addr, 99); err == nil {
+		t.Fatal("connect to unknown namespace succeeded")
+	}
+}
+
+func TestWriteReadRoundTripOverTCP(t *testing.T) {
+	_, addr := startTarget(t, map[uint32]int64{7: 16 * model.MB})
+	h, err := Dial(addr, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	payload := bytes.Repeat([]byte("checkpoint-over-fabrics-"), 4096)
+	if err := h.WriteAt(32768, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.ReadAt(32768, int64(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch over TCP transport")
+	}
+}
+
+func TestOutOfRangeRejected(t *testing.T) {
+	_, addr := startTarget(t, map[uint32]int64{1: 4096})
+	h, err := Dial(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := h.WriteAt(4000, make([]byte, 200)); err == nil {
+		t.Error("out-of-range write accepted")
+	}
+	if _, err := h.ReadAt(-1, 10); err == nil {
+		t.Error("negative-offset read accepted")
+	}
+	// The queue pair stays usable after an error completion.
+	if err := h.WriteAt(0, []byte("ok")); err != nil {
+		t.Errorf("write after error: %v", err)
+	}
+}
+
+func TestMultiTenantIsolation(t *testing.T) {
+	_, addr := startTarget(t, map[uint32]int64{1: model.MB, 2: model.MB})
+	h1, err := Dial(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h1.Close()
+	h2, err := Dial(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	if err := h1.WriteAt(0, []byte("tenant-one-data")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h2.ReadAt(0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, []byte("tenant-one-data")) {
+		t.Error("namespace 2 sees namespace 1's data")
+	}
+}
+
+func TestConcurrentQueuePairs(t *testing.T) {
+	tgt, addr := startTarget(t, map[uint32]int64{1: 64 * model.MB})
+	const hosts = 8
+	const writes = 50
+	var wg sync.WaitGroup
+	errs := make([]error, hosts)
+	for i := 0; i < hosts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, err := Dial(addr, 1)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer h.Close()
+			base := int64(i) * 4 * model.MB
+			for j := 0; j < writes; j++ {
+				payload := []byte(fmt.Sprintf("host%02d-write%03d", i, j))
+				off := base + int64(j)*64
+				if err := h.WriteAt(off, payload); err != nil {
+					errs[i] = err
+					return
+				}
+				got, err := h.ReadAt(off, int64(len(payload)))
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					errs[i] = fmt.Errorf("host %d write %d mismatch", i, j)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("host %d: %v", i, err)
+		}
+	}
+	cmds, in, _ := tgt.Stats()
+	wantCmds := int64(hosts * (1 + 2*writes)) // connect + write/read pairs
+	if cmds != wantCmds {
+		t.Errorf("target served %d commands, want %d", cmds, wantCmds)
+	}
+	if in == 0 {
+		t.Error("target recorded no ingress bytes")
+	}
+}
+
+func TestPipelinedSubmissionSingleQueue(t *testing.T) {
+	_, addr := startTarget(t, map[uint32]int64{1: 64 * model.MB})
+	h, err := Dial(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	const depth = 16
+	var wg sync.WaitGroup
+	errs := make([]error, depth)
+	for i := 0; i < depth; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			off := int64(i) * model.MB
+			payload := bytes.Repeat([]byte{byte(i)}, 1024)
+			if err := h.WriteAt(off, payload); err != nil {
+				errs[i] = err
+				return
+			}
+			got, err := h.ReadAt(off, 1024)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !bytes.Equal(got, payload) {
+				errs[i] = fmt.Errorf("slot %d mismatch", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+	}
+}
+
+func TestDuplicateNamespaceRejected(t *testing.T) {
+	tgt := NewTarget()
+	if err := tgt.AddNamespace(1, NewMemNamespace(model.MB)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tgt.AddNamespace(1, NewMemNamespace(model.MB)); err == nil {
+		t.Error("duplicate nsid accepted")
+	}
+}
+
+func TestHostFailsAfterTargetClose(t *testing.T) {
+	tgt, addr := startTarget(t, map[uint32]int64{1: model.MB})
+	h, err := Dial(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := h.WriteAt(0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	tgt.Close()
+	h.conn.Close() // sever the queue pair
+	if err := h.WriteAt(0, []byte("y")); err == nil {
+		t.Error("write succeeded after teardown")
+	}
+}
+
+// Property: command capsules round-trip through the wire encoding.
+func TestPropertyCommandCodec(t *testing.T) {
+	f := func(op uint8, cid uint16, nsid uint32, off uint64, length uint32, data []byte) bool {
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		in := &Command{Opcode: Opcode(op), CID: cid, NSID: nsid, Offset: off, Length: length, Data: data}
+		var buf bytes.Buffer
+		if err := WriteCommand(&buf, in); err != nil {
+			return false
+		}
+		out, err := ReadCommand(&buf)
+		if err != nil {
+			return false
+		}
+		if out.Opcode != in.Opcode || out.CID != in.CID || out.NSID != in.NSID ||
+			out.Offset != in.Offset || out.Length != in.Length {
+			return false
+		}
+		if len(data) == 0 {
+			return len(out.Data) == 0
+		}
+		return bytes.Equal(out.Data, in.Data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: response capsules round-trip through the wire encoding.
+func TestPropertyResponseCodec(t *testing.T) {
+	f := func(cid, status uint16, value uint64, data []byte) bool {
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		in := &Response{CID: cid, Status: status, Value: value, Data: data}
+		var buf bytes.Buffer
+		if err := WriteResponse(&buf, in); err != nil {
+			return false
+		}
+		out, err := ReadResponse(&buf)
+		if err != nil {
+			return false
+		}
+		if out.CID != in.CID || out.Status != in.Status || out.Value != in.Value {
+			return false
+		}
+		if len(data) == 0 {
+			return len(out.Data) == 0
+		}
+		return bytes.Equal(out.Data, in.Data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 64))
+	if _, err := ReadCommand(&buf); err == nil {
+		t.Error("zero-magic command accepted")
+	}
+	buf.Reset()
+	buf.Write(make([]byte, 64))
+	if _, err := ReadResponse(&buf); err == nil {
+		t.Error("zero-magic response accepted")
+	}
+}

@@ -1,0 +1,92 @@
+package nvmeof
+
+import (
+	"fmt"
+
+	"github.com/nvme-cr/nvmecr/internal/sim"
+)
+
+// TCPPlane adapts a TCP NVMe-oF queue pair to the plane.Plane interface,
+// so the full microfs control plane (provenance log, snapshots, crash
+// recovery) runs against a real remote target over real sockets. It is
+// the functional counterpart of RemotePlane: commands cost wall-clock
+// network time rather than modeled virtual time, so it is used for
+// integration and durability testing, not for the timed experiments.
+type TCPPlane struct {
+	host *Host
+	base int64
+	size int64
+}
+
+// NewTCPPlane opens a partition [base, base+size) of the connected
+// namespace.
+func NewTCPPlane(host *Host, base, size int64) (*TCPPlane, error) {
+	if base < 0 || size <= 0 || base+size > host.NamespaceSize() {
+		return nil, fmt.Errorf("nvmeof: partition [%d,+%d) outside namespace of %d bytes",
+			base, size, host.NamespaceSize())
+	}
+	return &TCPPlane{host: host, base: base, size: size}, nil
+}
+
+// Size implements plane.Plane.
+func (t *TCPPlane) Size() int64 { return t.size }
+
+func (t *TCPPlane) check(off, length int64) error {
+	if off < 0 || length < 0 || off+length > t.size {
+		return fmt.Errorf("nvmeof: access [%d,+%d) outside partition of %d bytes", off, length, t.size)
+	}
+	return nil
+}
+
+// Write implements plane.Plane. Synthetic (nil-data) writes transfer
+// zeros so that the remote range genuinely exists.
+func (t *TCPPlane) Write(p *sim.Proc, off, length int64, data []byte, cmdUnit int64) error {
+	if err := t.check(off, length); err != nil {
+		return err
+	}
+	if length == 0 {
+		return nil
+	}
+	if data == nil {
+		data = make([]byte, length)
+	}
+	// Split into capsule-sized commands.
+	const maxChunk = MaxDataLen / 2
+	for sent := int64(0); sent < length; sent += maxChunk {
+		end := sent + maxChunk
+		if end > length {
+			end = length
+		}
+		if err := t.host.WriteAt(t.base+off+sent, data[sent:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read implements plane.Plane.
+func (t *TCPPlane) Read(p *sim.Proc, off, length int64, cmdUnit int64) ([]byte, error) {
+	if err := t.check(off, length); err != nil {
+		return nil, err
+	}
+	if length == 0 {
+		return nil, nil
+	}
+	out := make([]byte, 0, length)
+	const maxChunk = MaxDataLen / 2
+	for got := int64(0); got < length; got += maxChunk {
+		end := got + maxChunk
+		if end > length {
+			end = length
+		}
+		chunk, err := t.host.ReadAt(t.base+off+got, end-got)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+// Flush implements plane.Plane.
+func (t *TCPPlane) Flush(p *sim.Proc) error { return t.host.Flush() }

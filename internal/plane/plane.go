@@ -1,0 +1,27 @@
+// Package plane defines the data-plane interface: a block-device-like
+// view of one process's SSD partition. The microfs control plane sits on
+// top of a Plane; implementations differ in how requests reach the
+// device — userspace SPDK to a local SSD, userspace SPDK over NVMe-oF to
+// a remote SSD (the NVMe-CR production path, paper Figure 4), or the
+// kernel module path (paper Figure 2, the baseline).
+package plane
+
+import "github.com/nvme-cr/nvmecr/internal/sim"
+
+// Plane is a byte-addressed window onto an SSD partition. Offsets are
+// partition-relative. Implementations block the calling process for the
+// modeled duration and charge the client's account.
+type Plane interface {
+	// Write stores length bytes at off. data may be nil for synthetic
+	// (timing-only) transfers; when non-nil len(data) must equal
+	// length. cmdUnit is the NVMe command granularity (the hugeblock
+	// size); 0 means one command.
+	Write(p *sim.Proc, off, length int64, data []byte, cmdUnit int64) error
+	// Read returns length bytes from off (nil when the backing device
+	// does not capture payloads).
+	Read(p *sim.Proc, off, length int64, cmdUnit int64) ([]byte, error)
+	// Flush is a durability barrier.
+	Flush(p *sim.Proc) error
+	// Size returns the partition size in bytes.
+	Size() int64
+}

@@ -1,0 +1,302 @@
+// Package plfs maps the N-1 checkpoint pattern (all processes writing
+// one shared file) onto NVMe-CR's private per-process namespaces, the
+// way PLFS (Bent et al., SC'09 — the paper's citation [24]) maps it onto
+// a directory of per-process logs.
+//
+// NVMe-CR's namespaces are deliberately private — that is what makes its
+// control plane coordination-free — so a shared file cannot exist as a
+// single object. Instead each writer appends its extents to a private
+// data file and records (logical offset, length, physical offset) index
+// entries; at restart a Reader merges every writer's index and serves
+// logical reads by routing each range to the private file holding its
+// latest write. Writers never coordinate; the merge happens only on the
+// read path, which is exactly PLFS's trade.
+package plfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+// indexEntry maps a logical extent to its location in a writer's
+// private data file.
+type indexEntry struct {
+	Logical  int64
+	Length   int64
+	Physical int64
+	Seq      int64 // global-ordering tiebreak: later wins
+}
+
+const entryBytes = 32
+
+// Writer is one rank's view of the shared file.
+type Writer struct {
+	client vfs.Client
+	name   string
+	rank   int
+
+	data    vfs.File
+	dataOff int64
+	entries []indexEntry
+	seqBase int64
+	closed  bool
+}
+
+// dataPath and indexPath name the per-rank backing files.
+func dataPath(name string, rank int) string  { return fmt.Sprintf("%s.plfs.%06d.data", name, rank) }
+func indexPath(name string, rank int) string { return fmt.Sprintf("%s.plfs.%06d.index", name, rank) }
+
+// NewWriter opens rank's log of the shared file `name`. seqBase orders
+// overlapping writes across checkpoint phases (pass the phase number).
+// Overlap resolution is deterministic: later phases beat earlier ones,
+// higher ranks beat lower ranks within a phase, and later writes beat
+// earlier ones within a rank. Well-formed N-1 checkpoints write disjoint
+// ranges within a phase, so only the phase ordering normally matters.
+func NewWriter(p *sim.Proc, client vfs.Client, name string, rank int, seqBase int64) (*Writer, error) {
+	if rank < 0 || rank >= 1<<20 {
+		return nil, fmt.Errorf("plfs: rank %d out of range", rank)
+	}
+	f, err := client.Create(p, dataPath(name, rank), 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("plfs: %w", err)
+	}
+	return &Writer{
+		client: client, name: name, rank: rank, data: f,
+		seqBase: seqBase<<40 | int64(rank)<<20,
+	}, nil
+}
+
+// WriteAt writes data at the shared file's logical offset. The bytes
+// land sequentially in the private data file — the pattern NVMe-CR's
+// log coalescing folds into a single record.
+func (w *Writer) WriteAt(p *sim.Proc, logical int64, data []byte) error {
+	if w.closed {
+		return vfs.ErrClosed
+	}
+	if logical < 0 {
+		return fmt.Errorf("plfs: negative logical offset %d", logical)
+	}
+	n, err := w.data.Write(p, data)
+	if err != nil {
+		return err
+	}
+	w.entries = append(w.entries, indexEntry{
+		Logical:  logical,
+		Length:   int64(n),
+		Physical: w.dataOff,
+		Seq:      w.seqBase + int64(len(w.entries)),
+	})
+	w.dataOff += int64(n)
+	return nil
+}
+
+// WriteAtN is the synthetic (timing-only) variant.
+func (w *Writer) WriteAtN(p *sim.Proc, logical, n int64) error {
+	if w.closed {
+		return vfs.ErrClosed
+	}
+	m, err := w.data.WriteN(p, n)
+	if err != nil {
+		return err
+	}
+	w.entries = append(w.entries, indexEntry{
+		Logical:  logical,
+		Length:   m,
+		Physical: w.dataOff,
+		Seq:      w.seqBase + int64(len(w.entries)),
+	})
+	w.dataOff += m
+	return nil
+}
+
+// Close persists the index and makes both files durable.
+func (w *Writer) Close(p *sim.Proc) error {
+	if w.closed {
+		return vfs.ErrClosed
+	}
+	w.closed = true
+	if err := w.data.Fsync(p); err != nil {
+		return err
+	}
+	if err := w.data.Close(p); err != nil {
+		return err
+	}
+	idx, err := w.client.Create(p, indexPath(w.name, w.rank), 0o644)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, entryBytes*len(w.entries))
+	for i, e := range w.entries {
+		off := i * entryBytes
+		binary.LittleEndian.PutUint64(buf[off:], uint64(e.Logical))
+		binary.LittleEndian.PutUint64(buf[off+8:], uint64(e.Length))
+		binary.LittleEndian.PutUint64(buf[off+16:], uint64(e.Physical))
+		binary.LittleEndian.PutUint64(buf[off+24:], uint64(e.Seq))
+	}
+	if _, err := idx.Write(p, buf); err != nil {
+		return err
+	}
+	if err := idx.Fsync(p); err != nil {
+		return err
+	}
+	return idx.Close(p)
+}
+
+// Reader reconstructs the logical shared file from every writer's
+// private log. clients[r] must see rank r's namespace (at restart the
+// runtime re-maps the same partitions).
+type Reader struct {
+	name    string
+	clients []vfs.Client
+	// flat is the merged index: non-overlapping extents sorted by
+	// logical offset, each pointing at (rank, physical).
+	flat []mergedExtent
+	size int64
+}
+
+type mergedExtent struct {
+	logical  int64
+	length   int64
+	rank     int
+	physical int64
+	seq      int64
+}
+
+// NewReader loads and merges all ranks' indexes.
+func NewReader(p *sim.Proc, clients []vfs.Client, name string) (*Reader, error) {
+	r := &Reader{name: name, clients: clients}
+	var all []mergedExtent
+	for rank, client := range clients {
+		fi, err := client.Stat(p, indexPath(name, rank))
+		if err != nil {
+			return nil, fmt.Errorf("plfs: rank %d index: %w", rank, err)
+		}
+		f, err := client.Open(p, indexPath(name, rank), vfs.ReadOnly)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, fi.Size)
+		if _, err := f.Read(p, buf); err != nil {
+			return nil, err
+		}
+		f.Close(p)
+		if len(buf)%entryBytes != 0 {
+			return nil, fmt.Errorf("plfs: rank %d index is %d bytes, not a multiple of %d", rank, len(buf), entryBytes)
+		}
+		for off := 0; off < len(buf); off += entryBytes {
+			all = append(all, mergedExtent{
+				logical:  int64(binary.LittleEndian.Uint64(buf[off:])),
+				length:   int64(binary.LittleEndian.Uint64(buf[off+8:])),
+				physical: int64(binary.LittleEndian.Uint64(buf[off+16:])),
+				seq:      int64(binary.LittleEndian.Uint64(buf[off+24:])),
+				rank:     rank,
+			})
+		}
+	}
+	r.flat = mergeExtents(all)
+	for _, e := range r.flat {
+		if end := e.logical + e.length; end > r.size {
+			r.size = end
+		}
+	}
+	return r, nil
+}
+
+// mergeExtents resolves overlaps: higher sequence numbers win, exactly
+// like PLFS's timestamp resolution.
+func mergeExtents(all []mergedExtent) []mergedExtent {
+	// Apply in sequence order onto an interval list.
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	var flat []mergedExtent
+	for _, e := range all {
+		flat = overlay(flat, e)
+	}
+	sort.Slice(flat, func(i, j int) bool { return flat[i].logical < flat[j].logical })
+	return flat
+}
+
+// overlay replaces [e.logical, e.logical+e.length) in the list with e,
+// splitting any extents it partially covers.
+func overlay(flat []mergedExtent, e mergedExtent) []mergedExtent {
+	var out []mergedExtent
+	start, end := e.logical, e.logical+e.length
+	for _, x := range flat {
+		xStart, xEnd := x.logical, x.logical+x.length
+		if xEnd <= start || xStart >= end {
+			out = append(out, x)
+			continue
+		}
+		if xStart < start {
+			left := x
+			left.length = start - xStart
+			out = append(out, left)
+		}
+		if xEnd > end {
+			right := x
+			right.logical = end
+			right.physical = x.physical + (end - xStart)
+			right.length = xEnd - end
+			out = append(out, right)
+		}
+	}
+	out = append(out, e)
+	return out
+}
+
+// Size returns the logical file size.
+func (r *Reader) Size() int64 { return r.size }
+
+// Extents returns the number of merged extents (diagnostics).
+func (r *Reader) Extents() int { return len(r.flat) }
+
+// ReadAt reads the logical range [off, off+length) into a fresh buffer.
+// Never-written gaps read as zeros.
+func (r *Reader) ReadAt(p *sim.Proc, off, length int64) ([]byte, error) {
+	if off < 0 || length < 0 {
+		return nil, fmt.Errorf("plfs: bad range [%d,+%d)", off, length)
+	}
+	out := make([]byte, length)
+	end := off + length
+	i := sort.Search(len(r.flat), func(i int) bool {
+		return r.flat[i].logical+r.flat[i].length > off
+	})
+	for ; i < len(r.flat) && r.flat[i].logical < end; i++ {
+		e := r.flat[i]
+		from := max64(e.logical, off)
+		to := min64(e.logical+e.length, end)
+		f, err := r.clients[e.rank].Open(p, dataPath(r.name, e.rank), vfs.ReadOnly)
+		if err != nil {
+			return nil, fmt.Errorf("plfs: rank %d data: %w", e.rank, err)
+		}
+		if err := f.SeekTo(e.physical + (from - e.logical)); err != nil {
+			f.Close(p)
+			return nil, err
+		}
+		buf := make([]byte, to-from)
+		n, err := f.Read(p, buf)
+		f.Close(p)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[from-off:], buf[:n])
+	}
+	return out, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,291 @@
+// Package posix provides the syscall-shaped interface NVMe-CR exposes
+// to unmodified applications. The paper intercepts POSIX IO library
+// calls with the GNU ld linker's symbol interception and redirects them
+// into the runtime; this package is that interception layer's
+// equivalent: integer file descriptors, flag words, and errno-style
+// errors over any vfs.Client.
+package posix
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+// Open flags, matching the POSIX subset checkpoint workloads use.
+const (
+	ORdonly = 0x0
+	OWronly = 0x1
+	OCreat  = 0x40
+	OTrunc  = 0x200
+)
+
+// Errno is a POSIX-style error number.
+type Errno int
+
+// The errno values the interception layer can return.
+const (
+	// EOK means success; functions never return it as an error.
+	EOK Errno = iota
+	// ENOENT: no such file or directory.
+	ENOENT
+	// EEXIST: file exists.
+	EEXIST
+	// EBADF: bad file descriptor.
+	EBADF
+	// EISDIR: is a directory.
+	EISDIR
+	// ENOTDIR: not a directory.
+	ENOTDIR
+	// EACCES: permission denied.
+	EACCES
+	// ENOSPC: no space left on device.
+	ENOSPC
+	// EINVAL: invalid argument.
+	EINVAL
+	// EIO: input/output error.
+	EIO
+)
+
+func (e Errno) Error() string {
+	switch e {
+	case ENOENT:
+		return "no such file or directory"
+	case EEXIST:
+		return "file exists"
+	case EBADF:
+		return "bad file descriptor"
+	case EISDIR:
+		return "is a directory"
+	case ENOTDIR:
+		return "not a directory"
+	case EACCES:
+		return "permission denied"
+	case ENOSPC:
+		return "no space left on device"
+	case EINVAL:
+		return "invalid argument"
+	case EIO:
+		return "input/output error"
+	default:
+		return fmt.Sprintf("errno %d", int(e))
+	}
+}
+
+// mapErr converts vfs errors to errnos.
+func mapErr(err error) Errno {
+	switch {
+	case err == nil:
+		return EOK
+	case errors.Is(err, vfs.ErrNotExist):
+		return ENOENT
+	case errors.Is(err, vfs.ErrExist):
+		return EEXIST
+	case errors.Is(err, vfs.ErrIsDir):
+		return EISDIR
+	case errors.Is(err, vfs.ErrNotDir):
+		return ENOTDIR
+	case errors.Is(err, vfs.ErrPerm), errors.Is(err, vfs.ErrReadOnly):
+		return EACCES
+	case errors.Is(err, vfs.ErrNoSpace):
+		return ENOSPC
+	case errors.Is(err, vfs.ErrClosed):
+		return EBADF
+	default:
+		return EIO
+	}
+}
+
+// Interceptor is one process's intercepted IO table: a descriptor table
+// over the process's storage client.
+type Interceptor struct {
+	client vfs.Client
+	fds    map[int]*fdEntry
+	nextFD int
+}
+
+type fdEntry struct {
+	file vfs.File
+	path string
+	pos  int64
+}
+
+// New builds an interception layer over a client. Descriptor numbering
+// starts at 3, as stdin/stdout/stderr are never intercepted.
+func New(client vfs.Client) *Interceptor {
+	return &Interceptor{client: client, fds: make(map[int]*fdEntry), nextFD: 3}
+}
+
+// Open implements open(2) for the supported flag subset. O_CREAT on an
+// existing file (without O_TRUNC) opens it; with a missing file it
+// creates it.
+func (ic *Interceptor) Open(p *sim.Proc, path string, flags int, mode uint32) (int, Errno) {
+	var f vfs.File
+	var err error
+	writing := flags&OWronly != 0
+	if flags&OCreat != 0 {
+		f, err = ic.client.Create(p, path, mode)
+		if errors.Is(err, vfs.ErrExist) && flags&OTrunc == 0 {
+			// POSIX open(O_CREAT) without O_EXCL succeeds on an
+			// existing file.
+			vf := vfs.ReadOnly
+			if writing {
+				vf = vfs.WriteOnly
+			}
+			f, err = ic.client.Open(p, path, vf)
+		}
+	} else {
+		vf := vfs.ReadOnly
+		if writing {
+			vf = vfs.WriteOnly
+		}
+		f, err = ic.client.Open(p, path, vf)
+	}
+	if err != nil {
+		return -1, mapErr(err)
+	}
+	fd := ic.nextFD
+	ic.nextFD++
+	ic.fds[fd] = &fdEntry{file: f, path: path}
+	return fd, EOK
+}
+
+// Creat implements creat(2).
+func (ic *Interceptor) Creat(p *sim.Proc, path string, mode uint32) (int, Errno) {
+	return ic.Open(p, path, OCreat|OWronly|OTrunc, mode)
+}
+
+// entry resolves a descriptor.
+func (ic *Interceptor) entry(fd int) (*fdEntry, Errno) {
+	e, ok := ic.fds[fd]
+	if !ok {
+		return nil, EBADF
+	}
+	return e, EOK
+}
+
+// Write implements write(2).
+func (ic *Interceptor) Write(p *sim.Proc, fd int, data []byte) (int, Errno) {
+	e, errno := ic.entry(fd)
+	if errno != EOK {
+		return -1, errno
+	}
+	n, err := e.file.Write(p, data)
+	if err != nil {
+		return -1, mapErr(err)
+	}
+	e.pos += int64(n)
+	return n, EOK
+}
+
+// WriteN writes n synthetic bytes (the timing-only analogue).
+func (ic *Interceptor) WriteN(p *sim.Proc, fd int, n int64) (int64, Errno) {
+	e, errno := ic.entry(fd)
+	if errno != EOK {
+		return -1, errno
+	}
+	w, err := e.file.WriteN(p, n)
+	if err != nil {
+		return -1, mapErr(err)
+	}
+	e.pos += w
+	return w, EOK
+}
+
+// Read implements read(2).
+func (ic *Interceptor) Read(p *sim.Proc, fd int, buf []byte) (int, Errno) {
+	e, errno := ic.entry(fd)
+	if errno != EOK {
+		return -1, errno
+	}
+	n, err := e.file.Read(p, buf)
+	if err != nil {
+		return -1, mapErr(err)
+	}
+	e.pos += int64(n)
+	return n, EOK
+}
+
+// Whence values for Lseek.
+const (
+	SeekSet = 0
+	SeekCur = 1
+)
+
+// Lseek implements lseek(2) for SEEK_SET and SEEK_CUR.
+func (ic *Interceptor) Lseek(p *sim.Proc, fd int, offset int64, whence int) (int64, Errno) {
+	e, errno := ic.entry(fd)
+	if errno != EOK {
+		return -1, errno
+	}
+	var target int64
+	switch whence {
+	case SeekSet:
+		target = offset
+	case SeekCur:
+		target = e.pos + offset
+	default:
+		return -1, EINVAL
+	}
+	if target < 0 {
+		return -1, EINVAL
+	}
+	if err := e.file.SeekTo(target); err != nil {
+		return -1, mapErr(err)
+	}
+	e.pos = target
+	return target, EOK
+}
+
+// Fsync implements fsync(2).
+func (ic *Interceptor) Fsync(p *sim.Proc, fd int) Errno {
+	e, errno := ic.entry(fd)
+	if errno != EOK {
+		return errno
+	}
+	return mapErr(e.file.Fsync(p))
+}
+
+// Close implements close(2).
+func (ic *Interceptor) Close(p *sim.Proc, fd int) Errno {
+	e, errno := ic.entry(fd)
+	if errno != EOK {
+		return errno
+	}
+	delete(ic.fds, fd)
+	return mapErr(e.file.Close(p))
+}
+
+// Mkdir implements mkdir(2).
+func (ic *Interceptor) Mkdir(p *sim.Proc, path string, mode uint32) Errno {
+	return mapErr(ic.client.Mkdir(p, path, mode))
+}
+
+// Unlink implements unlink(2).
+func (ic *Interceptor) Unlink(p *sim.Proc, path string) Errno {
+	return mapErr(ic.client.Unlink(p, path))
+}
+
+// Rename implements rename(2).
+func (ic *Interceptor) Rename(p *sim.Proc, oldPath, newPath string) Errno {
+	return mapErr(ic.client.Rename(p, oldPath, newPath))
+}
+
+// ReadDir implements the readdir(3) family, returning all entries at
+// once.
+func (ic *Interceptor) ReadDir(p *sim.Proc, path string) ([]vfs.FileInfo, Errno) {
+	entries, err := ic.client.ReadDir(p, path)
+	return entries, mapErr(err)
+}
+
+// Stat implements stat(2).
+func (ic *Interceptor) Stat(p *sim.Proc, path string) (vfs.FileInfo, Errno) {
+	fi, err := ic.client.Stat(p, path)
+	return fi, mapErr(err)
+}
+
+// OpenFDs returns the number of open descriptors (diagnostics; the
+// runtime's background thread watches the microfs-level count).
+func (ic *Interceptor) OpenFDs() int { return len(ic.fds) }

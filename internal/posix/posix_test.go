@@ -1,0 +1,237 @@
+package posix
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/nvme-cr/nvmecr/internal/microfs"
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/nvme"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/spdk"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+func rig(t *testing.T) (*sim.Env, *Interceptor) {
+	t.Helper()
+	env := sim.NewEnv()
+	params := model.Default()
+	params.SSD.CapacityGB = 1
+	dev := nvme.New(env, "ssd", params.SSD, true)
+	ns, err := dev.CreateNamespace(64 * model.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct := &vfs.Account{}
+	pl, err := spdk.NewPlane(ns, 0, ns.Size(), params.Host, acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := microfs.New(env, microfs.Config{
+		Plane: pl, Account: acct, Host: params.Host,
+		Features: microfs.AllFeatures(), LogBytes: 256 * model.KB, SnapBytes: model.MB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, New(inst)
+}
+
+func run(t *testing.T, env *sim.Env, fn func(p *sim.Proc)) {
+	t.Helper()
+	env.Go("app", fn)
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenWriteReadCloseSyscalls(t *testing.T) {
+	env, ic := rig(t)
+	run(t, env, func(p *sim.Proc) {
+		fd, errno := ic.Open(p, "/ckpt.dat", OCreat|OWronly, 0o644)
+		if errno != EOK {
+			t.Fatalf("open: %v", errno)
+		}
+		payload := []byte("posix interception payload")
+		n, errno := ic.Write(p, fd, payload)
+		if errno != EOK || n != len(payload) {
+			t.Fatalf("write = %d, %v", n, errno)
+		}
+		if errno := ic.Fsync(p, fd); errno != EOK {
+			t.Fatalf("fsync: %v", errno)
+		}
+		if errno := ic.Close(p, fd); errno != EOK {
+			t.Fatalf("close: %v", errno)
+		}
+		// Reopen read-only.
+		fd, errno = ic.Open(p, "/ckpt.dat", ORdonly, 0)
+		if errno != EOK {
+			t.Fatalf("reopen: %v", errno)
+		}
+		buf := make([]byte, len(payload))
+		n, errno = ic.Read(p, fd, buf)
+		if errno != EOK || n != len(payload) || !bytes.Equal(buf, payload) {
+			t.Fatalf("read = %d, %v, %q", n, errno, buf[:n])
+		}
+		ic.Close(p, fd)
+	})
+}
+
+func TestErrnoMapping(t *testing.T) {
+	env, ic := rig(t)
+	run(t, env, func(p *sim.Proc) {
+		if _, errno := ic.Open(p, "/missing", ORdonly, 0); errno != ENOENT {
+			t.Errorf("open missing: %v", errno)
+		}
+		if errno := ic.Mkdir(p, "/d", 0o755); errno != EOK {
+			t.Fatalf("mkdir: %v", errno)
+		}
+		if errno := ic.Mkdir(p, "/d", 0o755); errno != EEXIST {
+			t.Errorf("mkdir dup: %v", errno)
+		}
+		if _, errno := ic.Open(p, "/d", ORdonly, 0); errno != EISDIR {
+			t.Errorf("open dir: %v", errno)
+		}
+		if errno := ic.Unlink(p, "/missing"); errno != ENOENT {
+			t.Errorf("unlink missing: %v", errno)
+		}
+		if _, errno := ic.Write(p, 99, []byte("x")); errno != EBADF {
+			t.Errorf("write bad fd: %v", errno)
+		}
+		if errno := ic.Close(p, 99); errno != EBADF {
+			t.Errorf("close bad fd: %v", errno)
+		}
+		// Writing through a read-only descriptor.
+		fd, _ := ic.Creat(p, "/ro", 0o644)
+		ic.Close(p, fd)
+		fd, errno := ic.Open(p, "/ro", ORdonly, 0)
+		if errno != EOK {
+			t.Fatalf("open ro: %v", errno)
+		}
+		if _, errno := ic.Write(p, fd, []byte("x")); errno != EACCES {
+			t.Errorf("write on RO fd: %v", errno)
+		}
+		ic.Close(p, fd)
+	})
+}
+
+func TestOpenCreatOnExisting(t *testing.T) {
+	env, ic := rig(t)
+	run(t, env, func(p *sim.Proc) {
+		fd, _ := ic.Creat(p, "/f", 0o644)
+		ic.Write(p, fd, []byte("v1"))
+		ic.Close(p, fd)
+		// open(O_CREAT|O_WRONLY) on existing file: succeeds, keeps data.
+		fd, errno := ic.Open(p, "/f", OCreat|OWronly, 0o644)
+		if errno != EOK {
+			t.Fatalf("O_CREAT on existing: %v", errno)
+		}
+		ic.Close(p, fd)
+		fi, errno := ic.Stat(p, "/f")
+		if errno != EOK || fi.Size != 2 {
+			t.Errorf("stat = %+v, %v", fi, errno)
+		}
+	})
+}
+
+func TestLseek(t *testing.T) {
+	env, ic := rig(t)
+	run(t, env, func(p *sim.Proc) {
+		fd, _ := ic.Creat(p, "/f", 0o644)
+		ic.Write(p, fd, []byte("0123456789"))
+		if pos, errno := ic.Lseek(p, fd, 4, SeekSet); errno != EOK || pos != 4 {
+			t.Fatalf("lseek set = %d, %v", pos, errno)
+		}
+		ic.Write(p, fd, []byte("XY"))
+		if pos, errno := ic.Lseek(p, fd, 2, SeekCur); errno != EOK || pos != 8 {
+			t.Fatalf("lseek cur = %d, %v", pos, errno)
+		}
+		if _, errno := ic.Lseek(p, fd, -100, SeekSet); errno != EINVAL {
+			t.Errorf("negative lseek: %v", errno)
+		}
+		if _, errno := ic.Lseek(p, fd, 0, 42); errno != EINVAL {
+			t.Errorf("bad whence: %v", errno)
+		}
+		ic.Close(p, fd)
+		fd, _ = ic.Open(p, "/f", ORdonly, 0)
+		buf := make([]byte, 10)
+		ic.Read(p, fd, buf)
+		if string(buf) != "0123XY6789" {
+			t.Errorf("content = %q", buf)
+		}
+		ic.Close(p, fd)
+	})
+}
+
+func TestOpenFDCount(t *testing.T) {
+	env, ic := rig(t)
+	run(t, env, func(p *sim.Proc) {
+		if ic.OpenFDs() != 0 {
+			t.Fatal("fresh interceptor has FDs")
+		}
+		a, _ := ic.Creat(p, "/a", 0o644)
+		b, _ := ic.Creat(p, "/b", 0o644)
+		if ic.OpenFDs() != 2 {
+			t.Errorf("OpenFDs = %d", ic.OpenFDs())
+		}
+		if a == b {
+			t.Error("duplicate descriptor numbers")
+		}
+		ic.Close(p, a)
+		ic.Close(p, b)
+		if ic.OpenFDs() != 0 {
+			t.Errorf("OpenFDs = %d after closes", ic.OpenFDs())
+		}
+	})
+}
+
+func TestErrnoStrings(t *testing.T) {
+	for _, e := range []Errno{ENOENT, EEXIST, EBADF, EISDIR, ENOTDIR, EACCES, ENOSPC, EINVAL, EIO, Errno(99)} {
+		if e.Error() == "" {
+			t.Errorf("empty message for %d", int(e))
+		}
+	}
+}
+
+func TestRenameAndReadDirSyscalls(t *testing.T) {
+	env, ic := rig(t)
+	run(t, env, func(p *sim.Proc) {
+		ic.Mkdir(p, "/out", 0o755)
+		fd, _ := ic.Open(p, "/out/part.tmp", OCreat|OWronly, 0o644)
+		ic.Write(p, fd, []byte("payload"))
+		ic.Fsync(p, fd)
+		ic.Close(p, fd)
+		if errno := ic.Rename(p, "/out/part.tmp", "/out/final.dat"); errno != EOK {
+			t.Fatalf("rename: %v", errno)
+		}
+		if errno := ic.Rename(p, "/out/part.tmp", "/x"); errno != ENOENT {
+			t.Errorf("rename of gone file: %v", errno)
+		}
+		entries, errno := ic.ReadDir(p, "/out")
+		if errno != EOK || len(entries) != 1 || entries[0].Path != "/out/final.dat" {
+			t.Errorf("readdir = %+v, %v", entries, errno)
+		}
+		if _, errno := ic.ReadDir(p, "/nope"); errno != ENOENT {
+			t.Errorf("readdir missing: %v", errno)
+		}
+	})
+}
+
+func TestWriteN(t *testing.T) {
+	env, ic := rig(t)
+	run(t, env, func(p *sim.Proc) {
+		fd, _ := ic.Creat(p, "/big", 0o644)
+		n, errno := ic.WriteN(p, fd, 4*model.MB)
+		if errno != EOK || n != 4*model.MB {
+			t.Fatalf("WriteN = %d, %v", n, errno)
+		}
+		ic.Close(p, fd)
+		fi, _ := ic.Stat(p, "/big")
+		if fi.Size != 4*model.MB {
+			t.Errorf("size = %d", fi.Size)
+		}
+		if _, errno := ic.WriteN(p, 77, 10); errno != EBADF {
+			t.Errorf("WriteN bad fd: %v", errno)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+// Package sched models the cluster job scheduler's storage integration
+// (paper §III-F's security model, deployed via Slurm's generic-resources
+// plugin on the testbed): storage is granted to jobs at NVMe *namespace*
+// granularity, isolation between concurrent jobs comes from the
+// namespace mechanism itself, and namespaces are created from unused SSD
+// space on demand and reclaimed when the job ends.
+package sched
+
+import (
+	"fmt"
+
+	"github.com/nvme-cr/nvmecr/internal/balancer"
+	"github.com/nvme-cr/nvmecr/internal/nvme"
+	"github.com/nvme-cr/nvmecr/internal/topology"
+)
+
+// Request describes a job's storage ask.
+type Request struct {
+	// JobName identifies the job (diagnostics).
+	JobName string
+	// RankNodes maps each rank to its compute node.
+	RankNodes []*topology.Node
+	// BytesPerRank sizes each rank's partition.
+	BytesPerRank int64
+	// SSDs is the device count (0 = the 56-112 process:SSD policy).
+	SSDs int
+}
+
+// Grant is an active storage allocation: the namespaces a job may touch.
+// Nothing outside the grant is reachable — the namespace is the security
+// boundary.
+type Grant struct {
+	Job        string
+	Allocation *balancer.Allocation
+	Namespaces []*nvme.Namespace // one per allocated SSD
+
+	released bool
+}
+
+// Scheduler owns the cluster's storage inventory.
+type Scheduler struct {
+	balancer *balancer.Balancer
+	devices  []balancer.StorageDevice
+	grants   map[*Grant]bool
+}
+
+// New builds a scheduler over the inventory.
+func New(cluster *topology.Cluster, devices []balancer.StorageDevice) (*Scheduler, error) {
+	b, err := balancer.New(cluster, devices)
+	if err != nil {
+		return nil, err
+	}
+	return &Scheduler{balancer: b, devices: devices, grants: map[*Grant]bool{}}, nil
+}
+
+// ActiveGrants returns the number of live grants.
+func (s *Scheduler) ActiveGrants() int { return len(s.grants) }
+
+// FreeBytes sums unallocated space across the inventory.
+func (s *Scheduler) FreeBytes() int64 {
+	var total int64
+	seen := map[*nvme.Device]bool{}
+	for _, d := range s.devices {
+		if seen[d.Device] {
+			continue
+		}
+		seen[d.Device] = true
+		total += d.Device.FreeBytes()
+	}
+	return total
+}
+
+// Submit allocates storage for a job: the balancer chooses SSDs from
+// partner failure domains, and one namespace per SSD is created, sized
+// for that SSD's share of ranks. Concurrent jobs share SSDs through
+// separate namespaces; a job whose ask cannot be satisfied is rejected
+// (the paper notes an SSD's job count is bounded by bandwidth, not
+// namespace count).
+func (s *Scheduler) Submit(req Request) (*Grant, error) {
+	if len(req.RankNodes) == 0 {
+		return nil, fmt.Errorf("sched: job %q has no ranks", req.JobName)
+	}
+	if req.BytesPerRank <= 0 {
+		return nil, fmt.Errorf("sched: job %q requests %d bytes per rank", req.JobName, req.BytesPerRank)
+	}
+	alloc, err := s.balancer.AllocateSSDs(req.RankNodes, req.SSDs)
+	if err != nil {
+		return nil, fmt.Errorf("sched: job %q: %w", req.JobName, err)
+	}
+	g := &Grant{Job: req.JobName, Allocation: alloc}
+	perSSD := alloc.RanksPerSSD()
+	for i, sd := range alloc.SSDs {
+		size := int64(perSSD[i]) * req.BytesPerRank
+		ns, err := sd.Device.CreateNamespace(size)
+		if err != nil {
+			// Roll back namespaces already created for this grant.
+			s.rollback(g)
+			return nil, fmt.Errorf("sched: job %q on %s: %w", req.JobName, sd.Node.Name, err)
+		}
+		g.Namespaces = append(g.Namespaces, ns)
+	}
+	s.grants[g] = true
+	return g, nil
+}
+
+func (s *Scheduler) rollback(g *Grant) {
+	for i, ns := range g.Namespaces {
+		_ = g.Allocation.SSDs[i].Device.DeleteNamespace(ns)
+	}
+	g.Namespaces = nil
+}
+
+// Release reclaims a grant's namespaces. Checkpoint data is ephemeral —
+// it dies with the job, which is the runtime's design point.
+func (s *Scheduler) Release(g *Grant) error {
+	if g == nil || g.released {
+		return fmt.Errorf("sched: grant already released")
+	}
+	if !s.grants[g] {
+		return fmt.Errorf("sched: unknown grant for job %q", g.Job)
+	}
+	for i, ns := range g.Namespaces {
+		if err := g.Allocation.SSDs[i].Device.DeleteNamespace(ns); err != nil {
+			return err
+		}
+	}
+	g.released = true
+	delete(s.grants, g)
+	return nil
+}

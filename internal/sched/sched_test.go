@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/nvme-cr/nvmecr/internal/balancer"
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/nvme"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/topology"
+)
+
+func inventory(t *testing.T) (*topology.Cluster, []balancer.StorageDevice) {
+	t.Helper()
+	cl, err := topology.New(topology.PaperTestbed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sim.NewEnv()
+	params := model.Default().SSD
+	params.CapacityGB = 16
+	var devs []balancer.StorageDevice
+	for _, sn := range cl.StorageNodes() {
+		devs = append(devs, balancer.StorageDevice{Node: sn, Device: nvme.New(env, sn.Name, params, false)})
+	}
+	return cl, devs
+}
+
+func ranks(cl *topology.Cluster, n int) []*topology.Node {
+	var out []*topology.Node
+	for _, node := range cl.ComputeNodes() {
+		for c := 0; c < node.Cores && len(out) < n; c++ {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+func TestGrantLifecycle(t *testing.T) {
+	cl, devs := inventory(t)
+	s, err := New(cl, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free0 := s.FreeBytes()
+	g, err := s.Submit(Request{
+		JobName: "comd", RankNodes: ranks(cl, 112), BytesPerRank: 128 * model.MB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Namespaces) != 2 { // 112 procs -> 2 SSDs by the ratio policy
+		t.Errorf("namespaces = %d, want 2", len(g.Namespaces))
+	}
+	if s.ActiveGrants() != 1 {
+		t.Errorf("ActiveGrants = %d", s.ActiveGrants())
+	}
+	if got := s.FreeBytes(); got != free0-112*128*model.MB {
+		t.Errorf("FreeBytes = %d, want %d", got, free0-112*128*model.MB)
+	}
+	if err := s.Release(g); err != nil {
+		t.Fatal(err)
+	}
+	if s.FreeBytes() != free0 {
+		t.Errorf("space not reclaimed: %d != %d", s.FreeBytes(), free0)
+	}
+	if err := s.Release(g); err == nil {
+		t.Error("double release accepted")
+	}
+}
+
+func TestConcurrentJobsShareSSDs(t *testing.T) {
+	cl, devs := inventory(t)
+	s, _ := New(cl, devs)
+	a, err := s.Submit(Request{JobName: "a", RankNodes: ranks(cl, 448), BytesPerRank: 128 * model.MB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Submit(Request{JobName: "b", RankNodes: ranks(cl, 448), BytesPerRank: 128 * model.MB})
+	if err != nil {
+		t.Fatalf("second job rejected despite free space: %v", err)
+	}
+	// Both jobs hold distinct namespaces, possibly on the same SSDs.
+	seen := map[*nvme.Namespace]bool{}
+	for _, ns := range append(append([]*nvme.Namespace{}, a.Namespaces...), b.Namespaces...) {
+		if seen[ns] {
+			t.Fatal("namespace shared between jobs")
+		}
+		seen[ns] = true
+	}
+	s.Release(a)
+	s.Release(b)
+}
+
+func TestRejectionAndRollback(t *testing.T) {
+	cl, devs := inventory(t)
+	s, _ := New(cl, devs)
+	free0 := s.FreeBytes()
+	// Ask for more than a 16 GB SSD can hold per device.
+	_, err := s.Submit(Request{JobName: "huge", RankNodes: ranks(cl, 448), BytesPerRank: 10 * model.GB})
+	if err == nil {
+		t.Fatal("oversized job accepted")
+	}
+	if s.FreeBytes() != free0 {
+		t.Errorf("failed submit leaked namespaces: %d != %d", s.FreeBytes(), free0)
+	}
+	if s.ActiveGrants() != 0 {
+		t.Errorf("ActiveGrants = %d after rejection", s.ActiveGrants())
+	}
+	if _, err := s.Submit(Request{JobName: "zero"}); err == nil {
+		t.Error("empty job accepted")
+	}
+}
+
+func TestNamespaceReuseAfterRelease(t *testing.T) {
+	cl, devs := inventory(t)
+	s, _ := New(cl, devs)
+	// Fill, release, fill again: the first-fit allocator must reuse
+	// the reclaimed space.
+	for i := 0; i < 5; i++ {
+		g, err := s.Submit(Request{JobName: "cycle", RankNodes: ranks(cl, 448), BytesPerRank: 256 * model.MB})
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if err := s.Release(g); err != nil {
+			t.Fatalf("cycle %d release: %v", i, err)
+		}
+	}
+}

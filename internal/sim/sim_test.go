@@ -1,0 +1,412 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptyRun(t *testing.T) {
+	e := NewEnv()
+	end, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if end != 0 {
+		t.Fatalf("end = %v, want 0", end)
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := NewEnv()
+	var observed time.Duration
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		observed = p.Now()
+	})
+	end, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if observed != 5*time.Millisecond {
+		t.Errorf("observed = %v, want 5ms", observed)
+	}
+	if end != 5*time.Millisecond {
+		t.Errorf("end = %v, want 5ms", end)
+	}
+}
+
+func TestSleepUntil(t *testing.T) {
+	e := NewEnv()
+	var at time.Duration
+	e.Go("p", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		p.SleepUntil(10 * time.Millisecond)
+		at = p.Now()
+		p.SleepUntil(time.Millisecond) // in the past: must not rewind
+		if p.Now() < at {
+			t.Errorf("clock went backwards: %v < %v", p.Now(), at)
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 10*time.Millisecond {
+		t.Errorf("at = %v, want 10ms", at)
+	}
+}
+
+func TestEventOrderingDeterministic(t *testing.T) {
+	run := func() []string {
+		e := NewEnv()
+		var order []string
+		for i := 0; i < 10; i++ {
+			i := i
+			e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Sleep(time.Duration(10-i) * time.Microsecond)
+				order = append(order, fmt.Sprintf("a%d", i))
+				p.Sleep(time.Duration(i) * time.Microsecond)
+				order = append(order, fmt.Sprintf("b%d", i))
+			})
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return order
+	}
+	first := run()
+	for trial := 0; trial < 20; trial++ {
+		got := run()
+		if len(got) != len(first) {
+			t.Fatalf("trial %d: length %d != %d", trial, len(got), len(first))
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d: order diverged at %d: %q != %q", trial, i, got[i], first[i])
+			}
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEnv()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Go("p", func(p *Proc) {
+			p.Sleep(time.Millisecond) // all wake at the same instant
+			order = append(order, i)
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending registration order", order)
+		}
+	}
+}
+
+func TestNestedGoStartsAtSpawnTime(t *testing.T) {
+	e := NewEnv()
+	var childStart time.Duration
+	e.Go("parent", func(p *Proc) {
+		p.Sleep(3 * time.Millisecond)
+		p.Env().Go("child", func(c *Proc) {
+			childStart = c.Now()
+		})
+		p.Sleep(time.Millisecond)
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if childStart != 3*time.Millisecond {
+		t.Errorf("child started at %v, want 3ms", childStart)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource(1)
+	var ends []time.Duration
+	for i := 0; i < 4; i++ {
+		e.Go("worker", func(p *Proc) {
+			r.Acquire(p)
+			p.Sleep(10 * time.Microsecond)
+			r.Release()
+			ends = append(ends, p.Now())
+		})
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if end != 40*time.Microsecond {
+		t.Errorf("end = %v, want 40µs (serialized)", end)
+	}
+	for i, at := range ends {
+		want := time.Duration(i+1) * 10 * time.Microsecond
+		if at != want {
+			t.Errorf("worker %d finished at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestResourceCapacityParallelism(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource(2)
+	for i := 0; i < 4; i++ {
+		e.Go("worker", func(p *Proc) {
+			r.Acquire(p)
+			p.Sleep(10 * time.Microsecond)
+			r.Release()
+		})
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if end != 20*time.Microsecond {
+		t.Errorf("end = %v, want 20µs (two at a time)", end)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource(1)
+	var order []int
+	for i := 0; i < 6; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Nanosecond) // stagger arrival
+			r.Acquire(p)
+			order = append(order, i)
+			p.Sleep(time.Microsecond)
+			r.Release()
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("admission order = %v, want arrival order", order)
+		}
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource(1)
+	var got, got2 bool
+	e.Go("p", func(p *Proc) {
+		got = r.TryAcquire()
+		got2 = r.TryAcquire()
+		r.Release()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !got || got2 {
+		t.Errorf("TryAcquire = %v, %v; want true, false", got, got2)
+	}
+}
+
+func TestWaitGroupJoin(t *testing.T) {
+	e := NewEnv()
+	wg := e.NewWaitGroup()
+	wg.Add(3)
+	var joined time.Duration
+	for i := 1; i <= 3; i++ {
+		i := i
+		e.Go("child", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond)
+			wg.Done()
+		})
+	}
+	e.Go("joiner", func(p *Proc) {
+		wg.Wait(p)
+		joined = p.Now()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if joined != 3*time.Millisecond {
+		t.Errorf("joined at %v, want 3ms", joined)
+	}
+}
+
+func TestWaitGroupAlreadyZero(t *testing.T) {
+	e := NewEnv()
+	wg := e.NewWaitGroup()
+	var waited bool
+	e.Go("p", func(p *Proc) {
+		wg.Wait(p) // must not block
+		waited = true
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !waited {
+		t.Error("Wait on zero counter blocked")
+	}
+}
+
+func TestSignalFire(t *testing.T) {
+	e := NewEnv()
+	s := e.NewSignal()
+	var woken time.Duration
+	e.Go("waiter", func(p *Proc) {
+		s.Wait(p)
+		woken = p.Now()
+	})
+	e.Go("firer", func(p *Proc) {
+		p.Sleep(7 * time.Millisecond)
+		s.Fire()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if woken != 7*time.Millisecond {
+		t.Errorf("woken at %v, want 7ms", woken)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource(1)
+	e.Go("holder", func(p *Proc) {
+		r.Acquire(p)
+		// never releases; second acquire below deadlocks
+		r.Acquire(p)
+	})
+	_, err := e.Run()
+	if err != ErrDeadlock {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	e := NewEnv()
+	e.Go("bad", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		panic("boom")
+	})
+	_, err := e.Run()
+	if err == nil {
+		t.Fatal("expected error from panicking process")
+	}
+}
+
+func TestRunTwice(t *testing.T) {
+	e := NewEnv()
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if _, err := e.Run(); err == nil {
+		t.Fatal("second Run should error")
+	}
+}
+
+func TestRunForStopsAtLimit(t *testing.T) {
+	e := NewEnv()
+	reached := false
+	e.Go("long", func(p *Proc) {
+		p.Sleep(time.Second)
+		reached = true
+	})
+	end, err := e.RunFor(100 * time.Millisecond)
+	if err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if reached {
+		t.Error("process past the limit ran")
+	}
+	if end > 100*time.Millisecond {
+		t.Errorf("end = %v, exceeds limit", end)
+	}
+}
+
+func TestResourceStats(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource(1)
+	for i := 0; i < 3; i++ {
+		e.Go("w", func(p *Proc) {
+			r.Acquire(p)
+			p.Sleep(time.Microsecond)
+			r.Release()
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	acq, maxQ, wait := r.Stats()
+	if acq != 3 {
+		t.Errorf("acquires = %d, want 3", acq)
+	}
+	if maxQ != 2 {
+		t.Errorf("maxQueue = %d, want 2", maxQ)
+	}
+	// Waiters waited 1µs and 2µs respectively.
+	if wait != int64(3*time.Microsecond) {
+		t.Errorf("waitTotal = %d, want %d", wait, int64(3*time.Microsecond))
+	}
+}
+
+// Property: for any set of sleep durations, the final virtual time equals
+// the maximum duration, and each process observes exactly its own sleep.
+func TestPropertySleepMax(t *testing.T) {
+	f := func(durs []uint16) bool {
+		if len(durs) == 0 {
+			return true
+		}
+		if len(durs) > 64 {
+			durs = durs[:64]
+		}
+		e := NewEnv()
+		var max time.Duration
+		ok := true
+		for _, d := range durs {
+			d := time.Duration(d) * time.Nanosecond
+			if d > max {
+				max = d
+			}
+			e.Go("p", func(p *Proc) {
+				p.Sleep(d)
+				if p.Now() != d {
+					ok = false
+				}
+			})
+		}
+		end, err := e.Run()
+		return err == nil && end == max && ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a unit-capacity resource with fixed service time s and n
+// customers finishes at exactly n*s.
+func TestPropertyMM1Busy(t *testing.T) {
+	f := func(n uint8, svc uint16) bool {
+		customers := int(n%32) + 1
+		s := time.Duration(svc)*time.Nanosecond + 1
+		e := NewEnv()
+		r := e.NewResource(1)
+		for i := 0; i < customers; i++ {
+			e.Go("c", func(p *Proc) {
+				r.Acquire(p)
+				p.Sleep(s)
+				r.Release()
+			})
+		}
+		end, err := e.Run()
+		return err == nil && end == time.Duration(customers)*s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

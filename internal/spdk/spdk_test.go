@@ -1,0 +1,123 @@
+package spdk
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/nvme"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+func setup(t *testing.T, capture bool) (*sim.Env, *Plane, *vfs.Account) {
+	t.Helper()
+	env := sim.NewEnv()
+	params := model.Default()
+	params.SSD.CapacityGB = 1
+	dev := nvme.New(env, "ssd", params.SSD, capture)
+	ns, err := dev.CreateNamespace(64 * model.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct := &vfs.Account{}
+	pl, err := NewPlane(ns, 8*model.MB, 32*model.MB, params.Host, acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, pl, acct
+}
+
+func TestPartitionBounds(t *testing.T) {
+	env, pl, _ := setup(t, false)
+	env.Go("t", func(p *sim.Proc) {
+		if err := pl.Write(p, pl.Size()-10, 20, nil, 0); err == nil {
+			t.Error("write past partition end accepted")
+		}
+		if _, err := pl.Read(p, -1, 10, 0); err == nil {
+			t.Error("negative read offset accepted")
+		}
+		if err := pl.Write(p, 0, 4096, nil, 0); err != nil {
+			t.Errorf("in-bounds write rejected: %v", err)
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadPartitionRejected(t *testing.T) {
+	env := sim.NewEnv()
+	params := model.Default()
+	dev := nvme.New(env, "ssd", params.SSD, false)
+	ns, _ := dev.CreateNamespace(16 * model.MB)
+	acct := &vfs.Account{}
+	if _, err := NewPlane(ns, 0, 32*model.MB, params.Host, acct); err == nil {
+		t.Error("oversized partition accepted")
+	}
+	if _, err := NewPlane(ns, -1, model.MB, params.Host, acct); err == nil {
+		t.Error("negative base accepted")
+	}
+	if _, err := NewPlane(ns, 0, 0, params.Host, acct); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestDataRoundTripWithinPartition(t *testing.T) {
+	env, pl, _ := setup(t, true)
+	env.Go("t", func(p *sim.Proc) {
+		payload := bytes.Repeat([]byte("spdk"), 1024)
+		if err := pl.Write(p, 4096, int64(len(payload)), payload, 32*model.KB); err != nil {
+			t.Fatal(err)
+		}
+		got, err := pl.Read(p, 4096, int64(len(payload)), 32*model.KB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Error("payload mismatch")
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoKernelTime(t *testing.T) {
+	env, pl, acct := setup(t, false)
+	env.Go("t", func(p *sim.Proc) {
+		pl.Write(p, 0, 8*model.MB, nil, 32*model.KB)
+		pl.Flush(p)
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	user, kernel, iowait := acct.Totals()
+	if kernel != 0 {
+		t.Errorf("kernel time = %v on SPDK path", kernel)
+	}
+	if user <= 0 {
+		t.Error("no user (submission) time recorded")
+	}
+	if iowait <= 0 {
+		t.Error("no IO wait recorded")
+	}
+}
+
+func TestSubmissionCostScalesWithCommands(t *testing.T) {
+	timeFor := func(unit int64) time.Duration {
+		env, pl, _ := setup(t, false)
+		env.Go("t", func(p *sim.Proc) {
+			pl.Write(p, 0, 16*model.MB, nil, unit)
+		})
+		end, err := env.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	if small, big := timeFor(4*model.KB), timeFor(1*model.MB); small <= big {
+		t.Errorf("4K-unit write (%v) should cost more than 1M-unit (%v)", small, big)
+	}
+}

@@ -1,0 +1,129 @@
+package vfs
+
+import (
+	"testing"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/sim"
+)
+
+func TestAccountCharging(t *testing.T) {
+	env := sim.NewEnv()
+	var a Account
+	env.Go("t", func(p *sim.Proc) {
+		a.Charge(p, User, 10*time.Microsecond)
+		a.Charge(p, Kernel, 30*time.Microsecond)
+		a.Charge(p, IOWait, 60*time.Microsecond)
+		a.Charge(p, User, -5) // negative: ignored
+	})
+	end, err := env.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 100*time.Microsecond {
+		t.Errorf("charges advanced clock by %v, want 100µs", end)
+	}
+	u, k, io := a.Totals()
+	if u != 10*time.Microsecond || k != 30*time.Microsecond || io != 60*time.Microsecond {
+		t.Errorf("totals = %v/%v/%v", u, k, io)
+	}
+	// CPU-based kernel fraction: 30/(10+30) = 0.75, IOWait excluded.
+	if got := a.KernelFraction(); got != 0.75 {
+		t.Errorf("KernelFraction = %v, want 0.75", got)
+	}
+	a.Reset()
+	if a.KernelFraction() != 0 {
+		t.Error("Reset did not clear account")
+	}
+}
+
+func TestAttributeWithoutSleep(t *testing.T) {
+	var a Account
+	a.Attribute(Kernel, time.Second)
+	a.Attribute(Kernel, -time.Second) // ignored
+	_, k, _ := a.Totals()
+	if k != time.Second {
+		t.Errorf("kernel = %v", k)
+	}
+}
+
+// memFile is a minimal File for exercising the helpers.
+type memFile struct {
+	data []byte
+	pos  int64
+}
+
+func (f *memFile) Write(p *sim.Proc, data []byte) (int, error) {
+	f.data = append(f.data[:f.pos], data...)
+	f.pos += int64(len(data))
+	return len(data), nil
+}
+func (f *memFile) WriteN(p *sim.Proc, n int64) (int64, error) {
+	f.pos += n
+	if f.pos > int64(len(f.data)) {
+		f.data = append(f.data, make([]byte, f.pos-int64(len(f.data)))...)
+	}
+	return n, nil
+}
+func (f *memFile) Read(p *sim.Proc, buf []byte) (int, error) {
+	n := copy(buf, f.data[f.pos:])
+	f.pos += int64(n)
+	return n, nil
+}
+func (f *memFile) ReadN(p *sim.Proc, n int64) (int64, error) {
+	rem := int64(len(f.data)) - f.pos
+	if n > rem {
+		n = rem
+	}
+	f.pos += n
+	return n, nil
+}
+func (f *memFile) SeekTo(off int64) error  { f.pos = off; return nil }
+func (f *memFile) Fsync(p *sim.Proc) error { return nil }
+func (f *memFile) Close(p *sim.Proc) error { return nil }
+
+func TestWriteAllChunks(t *testing.T) {
+	env := sim.NewEnv()
+	f := &memFile{}
+	env.Go("t", func(p *sim.Proc) {
+		payload := make([]byte, 1000)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		n, err := WriteAll(p, f, payload, 64)
+		if err != nil || n != 1000 {
+			t.Errorf("WriteAll = %d, %v", n, err)
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.data) != 1000 {
+		t.Errorf("stored %d bytes", len(f.data))
+	}
+}
+
+func TestWriteAllNAndReadAllN(t *testing.T) {
+	env := sim.NewEnv()
+	f := &memFile{}
+	env.Go("t", func(p *sim.Proc) {
+		n, err := WriteAllN(p, f, 1<<20, 4096)
+		if err != nil || n != 1<<20 {
+			t.Errorf("WriteAllN = %d, %v", n, err)
+		}
+		f.SeekTo(0)
+		got, err := ReadAllN(p, f, 1<<20, 4096)
+		if err != nil || got != 1<<20 {
+			t.Errorf("ReadAllN = %d, %v", got, err)
+		}
+		// Reading past EOF stops at the available bytes.
+		f.SeekTo(0)
+		got, err = ReadAllN(p, f, 2<<20, 4096)
+		if err != nil || got != 1<<20 {
+			t.Errorf("ReadAllN past EOF = %d, %v", got, err)
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,397 @@
+// Package wal implements NVMe-CR's metadata provenance log: a compact
+// operation log stored on the remote SSD that records every
+// metadata-mutating syscall (mkdir, create, write, unlink). Metadata
+// itself lives in compute-node DRAM; the log is what makes it durable.
+//
+// The package also implements the paper's log record coalescing
+// (Figure 5): checkpoint IO is sequential, so a write record that
+// extends the previous write to the same file updates that record in
+// place instead of appending a new one. This slows log fill-up (fewer
+// internal metadata checkpoints) and shrinks replay time to near zero.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Op identifies a logged operation.
+type Op uint8
+
+const (
+	// OpInvalid marks unused log space.
+	OpInvalid Op = iota
+	// OpMkdir records directory creation.
+	OpMkdir
+	// OpCreate records file creation (path -> inode binding).
+	OpCreate
+	// OpWrite records a data extent written to an inode.
+	OpWrite
+	// OpUnlink records file removal.
+	OpUnlink
+	// OpTruncate records truncation of an inode to Length bytes.
+	OpTruncate
+	// OpRename records a path change (path -> path2), the atomic
+	// commit step of the write-to-temp-then-rename checkpoint idiom.
+	OpRename
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpMkdir:
+		return "mkdir"
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpUnlink:
+		return "unlink"
+	case OpTruncate:
+		return "truncate"
+	case OpRename:
+		return "rename"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Record is one provenance log entry. Only the syscall type and its
+// parameters are stored — the paper's "compact log records" — never
+// file data or full inodes.
+type Record struct {
+	Op     Op
+	Path   string // mkdir, create, unlink; rename source
+	Path2  string // rename destination
+	Inode  uint64
+	Offset uint64 // write
+	Length uint64 // write, truncate
+	Mode   uint32 // mkdir, create (low 16 bits)
+}
+
+// header layout:
+//
+//	op(1) epoch(1) pathLen(2) path2Len(2) inode(8) offset(8)
+//	length(8) mode(2) = 32
+//	then path bytes, then path2 bytes, then crc32 (4) over everything
+//	before it.
+const headerSize = 32
+
+// EncodedSize returns the on-log size of a record.
+func EncodedSize(r Record) int { return headerSize + len(r.Path) + len(r.Path2) + 4 }
+
+var (
+	// ErrLogFull is returned by Append when the log region cannot hold
+	// another record; the caller must checkpoint metadata and Reset.
+	ErrLogFull = errors.New("wal: log region full")
+	// ErrCorrupt is returned when decoding hits an invalid record
+	// before the expected end of the log.
+	ErrCorrupt = errors.New("wal: corrupt record")
+)
+
+// WriteFunc persists len(data) bytes at byte offset off within the log
+// region. The Log calls it synchronously on every append — the paper
+// flushes the log before processing a subsequent operation.
+type WriteFunc func(off int64, data []byte) error
+
+// Log is the provenance log for one runtime instance.
+type Log struct {
+	capacity int64
+	pageSize int64
+	window   int
+	write    WriteFunc
+
+	epoch byte
+	image []byte // in-memory mirror of the log region
+	head  int64
+
+	// recent holds the byte offsets of the last `window` records for
+	// the coalescing search.
+	recent []int64
+
+	live int64 // records since the last Reset
+
+	// Stats.
+	appended  int64
+	coalesced int64
+	devWrites int64
+	devBytes  int64
+}
+
+// Options configures a Log.
+type Options struct {
+	// Capacity is the log region size in bytes.
+	Capacity int64
+	// PageSize is the device write granularity (default 4096).
+	PageSize int64
+	// Window is the sliding-window length for coalescing (default 16;
+	// 0 disables coalescing).
+	Window int
+	// NoCoalesce disables log record coalescing (for the ablation
+	// benchmarks); equivalent to Window = 0.
+	NoCoalesce bool
+}
+
+// New creates a log. write may be nil for in-memory use (tests).
+func New(opts Options, write WriteFunc) (*Log, error) {
+	if opts.Capacity <= 0 {
+		return nil, fmt.Errorf("wal: capacity %d", opts.Capacity)
+	}
+	if opts.PageSize <= 0 {
+		opts.PageSize = 4096
+	}
+	w := opts.Window
+	if w == 0 && !opts.NoCoalesce {
+		w = 16
+	}
+	if opts.NoCoalesce {
+		w = 0
+	}
+	return &Log{
+		capacity: opts.Capacity,
+		pageSize: opts.PageSize,
+		window:   w,
+		write:    write,
+		epoch:    1,
+		image:    make([]byte, opts.Capacity),
+	}, nil
+}
+
+// encode writes r into buf (which must be EncodedSize(r) long).
+func (l *Log) encode(buf []byte, r Record) {
+	buf[0] = byte(r.Op)
+	buf[1] = l.epoch
+	binary.LittleEndian.PutUint16(buf[2:], uint16(len(r.Path)))
+	binary.LittleEndian.PutUint16(buf[4:], uint16(len(r.Path2)))
+	binary.LittleEndian.PutUint64(buf[6:], r.Inode)
+	binary.LittleEndian.PutUint64(buf[14:], r.Offset)
+	binary.LittleEndian.PutUint64(buf[22:], r.Length)
+	binary.LittleEndian.PutUint16(buf[30:], uint16(r.Mode))
+	copy(buf[headerSize:], r.Path)
+	copy(buf[headerSize+len(r.Path):], r.Path2)
+	payload := headerSize + len(r.Path) + len(r.Path2)
+	crc := crc32.ChecksumIEEE(buf[:payload])
+	binary.LittleEndian.PutUint32(buf[payload:], crc)
+}
+
+// Append logs r, coalescing sequential writes, and synchronously
+// persists the affected log pages. It reports whether the record was
+// coalesced into an existing one.
+func (l *Log) Append(r Record) (coalesced bool, err error) {
+	if r.Op == OpInvalid {
+		return false, fmt.Errorf("wal: cannot append invalid op")
+	}
+	if len(r.Path) > 0xFFFF || len(r.Path2) > 0xFFFF {
+		return false, fmt.Errorf("wal: path too long (%d/%d bytes)", len(r.Path), len(r.Path2))
+	}
+	if r.Mode > 0xFFFF {
+		return false, fmt.Errorf("wal: mode %#o exceeds 16 bits", r.Mode)
+	}
+	if r.Op == OpWrite && l.window > 0 {
+		if off, ok := l.findCoalesceTarget(r); ok {
+			// Extend the previous record's length in place.
+			length := binary.LittleEndian.Uint64(l.image[off+22:])
+			binary.LittleEndian.PutUint64(l.image[off+22:], length+r.Length)
+			crc := crc32.ChecksumIEEE(l.image[off : off+headerSize])
+			binary.LittleEndian.PutUint32(l.image[off+headerSize:], crc)
+			l.coalesced++
+			return true, l.flushRange(off, int64(headerSize+4))
+		}
+	}
+	size := int64(EncodedSize(r))
+	if l.head+size > l.capacity {
+		return false, ErrLogFull
+	}
+	l.encode(l.image[l.head:l.head+size], r)
+	off := l.head
+	l.head += size
+	l.appended++
+	l.live++
+	l.recent = append(l.recent, off)
+	if l.window > 0 && len(l.recent) > l.window {
+		l.recent = l.recent[len(l.recent)-l.window:]
+	}
+	return false, l.flushRange(off, size)
+}
+
+// findCoalesceTarget scans the sliding window, newest first, for a write
+// record on the same inode whose extent ends where r begins.
+func (l *Log) findCoalesceTarget(r Record) (int64, bool) {
+	for i := len(l.recent) - 1; i >= 0; i-- {
+		off := l.recent[i]
+		if Op(l.image[off]) != OpWrite {
+			continue
+		}
+		inode := binary.LittleEndian.Uint64(l.image[off+6:])
+		if inode != r.Inode {
+			continue
+		}
+		start := binary.LittleEndian.Uint64(l.image[off+14:])
+		length := binary.LittleEndian.Uint64(l.image[off+22:])
+		if start+length == r.Offset {
+			return off, true
+		}
+		// A non-contiguous write to the same inode ends the run; a
+		// newer record for this inode would have matched already.
+		return 0, false
+	}
+	return 0, false
+}
+
+// flushRange persists the log pages covering [off, off+n).
+func (l *Log) flushRange(off, n int64) error {
+	if l.write == nil {
+		return nil
+	}
+	start := off / l.pageSize * l.pageSize
+	end := (off + n + l.pageSize - 1) / l.pageSize * l.pageSize
+	if end > l.capacity {
+		end = l.capacity
+	}
+	l.devWrites++
+	l.devBytes += end - start
+	return l.write(start, l.image[start:end])
+}
+
+// Reset discards all records (after the caller has checkpointed
+// metadata). Old records are invalidated by an epoch bump, so no device
+// zeroing is needed.
+func (l *Log) Reset() {
+	l.epoch++
+	if l.epoch == 0 { // skip the zero epoch, which marks unused space
+		l.epoch = 1
+	}
+	l.head = 0
+	l.live = 0
+	l.recent = nil
+}
+
+// Records returns the number of live records (since the last Reset).
+func (l *Log) Records() int64 { return l.live }
+
+// FillFraction reports how full the log region is (0..1); the
+// background checkpoint thread triggers when this passes its threshold.
+func (l *Log) FillFraction() float64 {
+	return float64(l.head) / float64(l.capacity)
+}
+
+// Head returns the current append offset (diagnostics).
+func (l *Log) Head() int64 { return l.head }
+
+// Stats reports appended records, coalesced records, device writes, and
+// device bytes since creation.
+func (l *Log) Stats() (appended, coalesced, devWrites, devBytes int64) {
+	return l.appended, l.coalesced, l.devWrites, l.devBytes
+}
+
+// Image returns the live log region bytes (what a crashed node's
+// recovery would read back from the SSD).
+func (l *Log) Image() []byte { return l.image }
+
+// Epoch returns the current epoch (diagnostics and tests).
+func (l *Log) Epoch() byte { return l.epoch }
+
+// LocatedRecord is a decoded record together with its byte offset in
+// the log region, so recovery can replay only the suffix written after
+// a metadata snapshot was taken.
+type LocatedRecord struct {
+	Record
+	Off int64
+}
+
+// scan walks a log region image decoding records of the given epoch.
+func scan(image []byte, epoch byte) ([]LocatedRecord, int64, error) {
+	var out []LocatedRecord
+	off := 0
+	for off+headerSize+4 <= len(image) {
+		op := Op(image[off])
+		if op == OpInvalid || op > OpRename {
+			return out, int64(off), nil
+		}
+		if image[off+1] != epoch {
+			return out, int64(off), nil
+		}
+		pathLen := int(binary.LittleEndian.Uint16(image[off+2:]))
+		path2Len := int(binary.LittleEndian.Uint16(image[off+4:]))
+		end := off + headerSize + pathLen + path2Len + 4
+		if end > len(image) {
+			return out, int64(off), ErrCorrupt
+		}
+		payload := off + headerSize + pathLen + path2Len
+		want := binary.LittleEndian.Uint32(image[payload:])
+		got := crc32.ChecksumIEEE(image[off:payload])
+		if want != got {
+			return out, int64(off), ErrCorrupt
+		}
+		out = append(out, LocatedRecord{
+			Off: int64(off),
+			Record: Record{
+				Op:     op,
+				Path:   string(image[off+headerSize : off+headerSize+pathLen]),
+				Path2:  string(image[off+headerSize+pathLen : payload]),
+				Inode:  binary.LittleEndian.Uint64(image[off+6:]),
+				Offset: binary.LittleEndian.Uint64(image[off+14:]),
+				Length: binary.LittleEndian.Uint64(image[off+22:]),
+				Mode:   uint32(binary.LittleEndian.Uint16(image[off+30:])),
+			},
+		})
+		off = end
+	}
+	return out, int64(off), nil
+}
+
+// Decode scans a log region image and returns the records of the given
+// epoch, in append order. Scanning stops cleanly at the first unused or
+// other-epoch slot; a CRC mismatch mid-log returns ErrCorrupt with the
+// records decoded so far (a torn final record is reported as corrupt —
+// callers decide whether to accept the prefix).
+func Decode(image []byte, epoch byte) ([]Record, error) {
+	located, _, err := scan(image, epoch)
+	out := make([]Record, len(located))
+	for i, lr := range located {
+		out[i] = lr.Record
+	}
+	return out, err
+}
+
+// DecodeLocated is Decode with byte offsets attached.
+func DecodeLocated(image []byte, epoch byte) ([]LocatedRecord, error) {
+	located, _, err := scan(image, epoch)
+	return located, err
+}
+
+// NextEpoch returns the epoch the log will use after the next Reset.
+func (l *Log) NextEpoch() byte {
+	e := l.epoch + 1
+	if e == 0 {
+		e = 1
+	}
+	return e
+}
+
+// Load reconstructs a Log from a region image read back from the device
+// after a crash: it decodes the records of the given epoch, positions
+// the append head after the last valid record, and returns the records
+// for replay. Appending to the loaded log continues the same epoch.
+func Load(opts Options, write WriteFunc, image []byte, epoch byte) (*Log, []LocatedRecord, error) {
+	l, err := New(opts, write)
+	if err != nil {
+		return nil, nil, err
+	}
+	if int64(len(image)) > l.capacity {
+		image = image[:l.capacity]
+	}
+	copy(l.image, image)
+	l.epoch = epoch
+	records, head, err := scan(l.image, epoch)
+	if err != nil && err != ErrCorrupt {
+		return nil, nil, err
+	}
+	// A torn final record is expected after a crash: accept the valid
+	// prefix and resume appending over the torn bytes.
+	l.head = head
+	l.live = int64(len(records))
+	l.appended = int64(len(records))
+	return l, records, nil
+}

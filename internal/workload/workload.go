@@ -1,0 +1,104 @@
+// Package workload provides the reusable IO drivers behind the
+// benchmark harness: checkpoint dumps, read-back, create storms, and a
+// fleet runner that measures the makespan of N concurrent client
+// processes — the building blocks of the paper's microbenchmarks
+// (Figures 7a, 7c, 8a, 8b).
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+// Dump writes a fresh checkpoint file of `bytes` in `chunk`-sized write
+// calls, makes it durable, and closes it — the paper's checkpoint dump
+// unit (write syscalls followed by fsync). Before each write call the
+// application packs its state into the buffer, charged as user CPU at
+// model.Host.AppSerializeBW.
+func Dump(p *sim.Proc, client vfs.Client, path string, bytes, chunk int64) error {
+	f, err := client.Create(p, path, 0o644)
+	if err != nil {
+		return fmt.Errorf("workload: create %s: %w", path, err)
+	}
+	host := model.Default().Host
+	if chunk <= 0 {
+		chunk = bytes
+	}
+	var written int64
+	for written < bytes {
+		c := chunk
+		if written+c > bytes {
+			c = bytes - written
+		}
+		client.Account().Charge(p, vfs.User, model.DurFor(c, host.AppSerializeBW))
+		n, err := f.WriteN(p, c)
+		written += n
+		if err != nil {
+			return fmt.Errorf("workload: write %s: %w", path, err)
+		}
+	}
+	if err := f.Fsync(p); err != nil {
+		return err
+	}
+	return f.Close(p)
+}
+
+// ReadBack opens a checkpoint file and reads `bytes` fully — the
+// restart path.
+func ReadBack(p *sim.Proc, client vfs.Client, path string, bytes, chunk int64) error {
+	f, err := client.Open(p, path, vfs.ReadOnly)
+	if err != nil {
+		return fmt.Errorf("workload: open %s: %w", path, err)
+	}
+	n, err := vfs.ReadAllN(p, f, bytes, chunk)
+	if err != nil {
+		return err
+	}
+	if n != bytes {
+		return fmt.Errorf("workload: %s: read %d of %d bytes", path, n, bytes)
+	}
+	return f.Close(p)
+}
+
+// Storm creates n empty files named prefix%06d — the metadata-intensive
+// file-per-process pattern of Figure 8b.
+func Storm(p *sim.Proc, client vfs.Client, prefix string, n int) error {
+	for i := 0; i < n; i++ {
+		f, err := client.Create(p, fmt.Sprintf("%s%06d", prefix, i), 0o644)
+		if err != nil {
+			return err
+		}
+		if err := f.Close(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fleet launches n concurrent client processes running body and drives
+// the simulation to completion, returning the makespan (the time at
+// which the last process finished). The environment must be fresh
+// (Fleet calls Run).
+func Fleet(env *sim.Env, n int, body func(i int, p *sim.Proc) error) (time.Duration, error) {
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		env.Go(fmt.Sprintf("client%04d", i), func(p *sim.Proc) {
+			errs[i] = body(i, p)
+		})
+	}
+	end, err := env.Run()
+	if err != nil {
+		return end, err
+	}
+	for i, e := range errs {
+		if e != nil {
+			return end, fmt.Errorf("workload: client %d: %w", i, e)
+		}
+	}
+	return end, nil
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/microfs"
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/nvme"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/spdk"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+func client(t *testing.T, env *sim.Env, dev *nvme.Device) vfs.Client {
+	t.Helper()
+	ns, err := dev.CreateNamespace(64 * model.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct := &vfs.Account{}
+	pl, err := spdk.NewPlane(ns, 0, ns.Size(), model.Default().Host, acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := microfs.New(env, microfs.Config{
+		Plane: pl, Account: acct, Host: model.Default().Host,
+		Features: microfs.AllFeatures(), LogBytes: 256 * model.KB, SnapBytes: model.MB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestDumpAndReadBack(t *testing.T) {
+	env := sim.NewEnv()
+	dev := nvme.New(env, "ssd", model.Default().SSD, false)
+	c := client(t, env, dev)
+	env.Go("t", func(p *sim.Proc) {
+		if err := Dump(p, c, "/ckpt", 8*model.MB, model.MB); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := ReadBack(p, c, "/ckpt", 8*model.MB, model.MB); err != nil {
+			t.Error(err)
+		}
+		// Short file: ReadBack of more bytes than exist must fail.
+		if err := ReadBack(p, c, "/ckpt", 9*model.MB, model.MB); err == nil {
+			t.Error("ReadBack beyond EOF succeeded")
+		}
+		// Missing file.
+		if err := ReadBack(p, c, "/nope", 10, 10); err == nil {
+			t.Error("ReadBack of missing file succeeded")
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDumpChargesUserTime(t *testing.T) {
+	env := sim.NewEnv()
+	dev := nvme.New(env, "ssd", model.Default().SSD, false)
+	c := client(t, env, dev)
+	env.Go("t", func(p *sim.Proc) {
+		Dump(p, c, "/f", 4*model.MB, model.MB)
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	user, _, _ := c.Account().Totals()
+	if user <= 0 {
+		t.Error("Dump charged no application user time")
+	}
+}
+
+func TestStormCreatesFiles(t *testing.T) {
+	env := sim.NewEnv()
+	dev := nvme.New(env, "ssd", model.Default().SSD, false)
+	c := client(t, env, dev)
+	env.Go("t", func(p *sim.Proc) {
+		if err := Storm(p, c, "/s", 25); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 25; i++ {
+			if _, err := c.Stat(p, fmt.Sprintf("/s%06d", i)); err != nil {
+				t.Errorf("file %d missing: %v", i, err)
+			}
+		}
+		// Re-running the same storm must fail on the first duplicate.
+		if err := Storm(p, c, "/s", 5); err == nil {
+			t.Error("duplicate storm succeeded")
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFleetMakespanAndErrors(t *testing.T) {
+	env := sim.NewEnv()
+	elapsed, err := Fleet(env, 4, func(i int, p *sim.Proc) error {
+		p.Sleep(sleepFor(i))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != sleepFor(3) {
+		t.Errorf("makespan = %v, want %v", elapsed, sleepFor(3))
+	}
+	env2 := sim.NewEnv()
+	_, err = Fleet(env2, 3, func(i int, p *sim.Proc) error {
+		if i == 1 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Error("Fleet swallowed a client error")
+	}
+}
+
+func sleepFor(i int) time.Duration { return time.Duration(i+1) * time.Millisecond }

@@ -1,0 +1,151 @@
+package nvmecr
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+func TestJobQuickstart(t *testing.T) {
+	job, err := NewJob(JobConfig{Ranks: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed, err := job.Run(func(ctx *RankCtx) error {
+		f, err := ctx.FS.Create(ctx.Proc, "/state.dat", 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.WriteN(ctx.Proc, 8*model.MB); err != nil {
+			return err
+		}
+		if err := f.Fsync(ctx.Proc); err != nil {
+			return err
+		}
+		return f.Close(ctx.Proc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Error("job cost no virtual time")
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	if _, err := NewJob(JobConfig{}); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	if _, err := NewJob(JobConfig{Ranks: 1 << 20}); err == nil {
+		t.Error("oversized job accepted")
+	}
+}
+
+func TestJobRankErrorSurfaces(t *testing.T) {
+	job, err := NewJob(JobConfig{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = job.Run(func(ctx *RankCtx) error {
+		if ctx.Rank.ID() == 2 {
+			return fmt.Errorf("injected failure")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("rank error swallowed")
+	}
+}
+
+func TestJobCaptureReadBack(t *testing.T) {
+	job, err := NewJob(JobConfig{Ranks: 4, Capture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("verify"), 10000)
+	_, err = job.Run(func(ctx *RankCtx) error {
+		p := ctx.Proc
+		f, err := ctx.FS.Create(p, "/v.dat", 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(p, payload); err != nil {
+			return err
+		}
+		if err := f.Close(p); err != nil {
+			return err
+		}
+		g, err := ctx.FS.Open(p, "/v.dat", vfs.ReadOnly)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, len(payload))
+		n, err := g.Read(p, buf)
+		if err != nil {
+			return err
+		}
+		if n != len(payload) || !bytes.Equal(buf, payload) {
+			return fmt.Errorf("rank %d: payload mismatch", ctx.Rank.ID())
+		}
+		return g.Close(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExperimentsListed(t *testing.T) {
+	ids := Experiments()
+	if len(ids) != 13 {
+		t.Errorf("Experiments() = %v, want 13 entries", ids)
+	}
+	tab, err := RunExperiment("fig7a", ExperimentOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "fig7a" || len(tab.Rows) == 0 {
+		t.Errorf("RunExperiment returned %+v", tab)
+	}
+}
+
+func TestTCPFacade(t *testing.T) {
+	tgt := NewTarget()
+	if err := tgt.AddNamespace(1, NewMemNamespace(1*model.MB)); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := tgt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tgt.Close()
+	h, err := DialTarget(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := h.WriteAt(0, []byte("facade")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.ReadAt(0, 6)
+	if err != nil || string(got) != "facade" {
+		t.Fatalf("ReadAt = %q, %v", got, err)
+	}
+}
+
+func TestDefaultParamsSane(t *testing.T) {
+	p := DefaultParams()
+	if p.SSD.WriteBW <= 0 || p.Net.NICBW <= p.SSD.WriteBW {
+		t.Errorf("params implausible: %+v", p.SSD)
+	}
+	cfg := PaperTestbed()
+	if cfg.ComputeNodes != 16 || cfg.StorageNodes != 8 {
+		t.Errorf("paper testbed = %+v", cfg)
+	}
+	f := AllFeatures()
+	if !f.Provenance || !f.Hugeblocks {
+		t.Errorf("AllFeatures = %+v", f)
+	}
+}
