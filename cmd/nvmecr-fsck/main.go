@@ -7,6 +7,7 @@
 //
 //	nvmecr-fsck -addr 127.0.0.1:4420 -nsid 1 [-base 0] [-size N]
 //	            [-log-mb 4] [-snap-mb 64] [-hugeblock 32768]
+//	            [-qp 2] [-timeout 30s]
 //
 // The flags must match the runtime configuration that wrote the
 // partition (region sizes define where the log and snapshot live).
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"github.com/nvme-cr/nvmecr/internal/microfs"
 	"github.com/nvme-cr/nvmecr/internal/model"
@@ -32,9 +34,16 @@ func main() {
 	logMB := flag.Int64("log-mb", 4, "provenance log region MiB")
 	snapMB := flag.Int64("snap-mb", 64, "snapshot region MiB")
 	hugeblock := flag.Int64("hugeblock", 32*model.KB, "hugeblock bytes")
+	qp := flag.Int("qp", 2, "queue pairs to the target")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-command deadline (0 disables)")
 	flag.Parse()
 
-	h, err := nvmeof.Dial(*addr, uint32(*nsid))
+	// A pool rather than a single queue pair: fsck is all idempotent
+	// READs, so transient target hiccups retry transparently.
+	h, err := nvmeof.DialPool(*addr, uint32(*nsid), nvmeof.PoolConfig{
+		QueuePairs:     *qp,
+		CommandTimeout: *timeout,
+	})
 	if err != nil {
 		log.Fatalf("nvmecr-fsck: %v", err)
 	}

@@ -24,6 +24,7 @@ func main() {
 	count := flag.Int("namespaces", 2, "number of namespaces to export (NSIDs 1..n)")
 	sizeMB := flag.Int64("size-mb", 256, "size of each namespace in MiB")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
+	qpStats := flag.Bool("qp-stats", false, "also report per-queue-pair stats each interval")
 	flag.Parse()
 
 	tgt := nvmeof.NewTarget()
@@ -40,6 +41,13 @@ func main() {
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
+	shutdown := func() {
+		fmt.Println()
+		qps := tgt.QueuePairStats()
+		log.Printf("nvmecrd: shutting down, draining %d queue pairs", len(qps))
+		tgt.Close() // waits for in-flight commands to complete
+		log.Print("nvmecrd: drained")
+	}
 	if *statsEvery > 0 {
 		ticker := time.NewTicker(*statsEvery)
 		defer ticker.Stop()
@@ -47,15 +55,21 @@ func main() {
 			select {
 			case <-ticker.C:
 				cmds, in, out := tgt.Stats()
-				log.Printf("nvmecrd: %d commands, %d MiB in, %d MiB out", cmds, in>>20, out>>20)
+				qps := tgt.QueuePairStats()
+				log.Printf("nvmecrd: %d queue pairs, %d commands, %d MiB in, %d MiB out",
+					len(qps), cmds, in>>20, out>>20)
+				if *qpStats {
+					for _, qp := range qps {
+						log.Printf("nvmecrd:   qp %d (%s, ns %d): %d commands, %d MiB in, %d MiB out",
+							qp.ID, qp.Remote, qp.NSID, qp.Commands, qp.BytesIn>>20, qp.BytesOut>>20)
+					}
+				}
 			case <-stop:
-				fmt.Println()
-				log.Print("nvmecrd: shutting down")
-				tgt.Close()
+				shutdown()
 				return
 			}
 		}
 	}
 	<-stop
-	tgt.Close()
+	shutdown()
 }

@@ -1,8 +1,8 @@
 // NVMe-oF over TCP: the functional (non-simulated) remote data plane.
-// An in-process target daemon exports two namespaces; multiple host
-// queue pairs connect over real TCP sockets, write checkpoint data with
-// pipelined commands, and read it back. This is the same target that
-// cmd/nvmecrd serves standalone.
+// An in-process target daemon exports two namespaces; each tenant opens
+// a HostPool of queue pairs over real TCP sockets, writes checkpoint
+// data sharded across the pool, and reads it back. This is the same
+// target that cmd/nvmecrd serves standalone.
 package main
 
 import (
@@ -31,6 +31,19 @@ func main() {
 	defer tgt.Close()
 	fmt.Printf("target listening on %s, namespaces 1 and 2\n", addr)
 
+	// One queue-pair pool per tenant, shared by that tenant's ranks —
+	// the paper's scaling model: throughput comes from many independent
+	// queue pairs, not one multiplexed connection.
+	pools := make(map[uint32]*nvmecr.HostPool)
+	for _, nsid := range []uint32{1, 2} {
+		pool, err := nvmecr.DialTargetPool(addr, nsid, nvmecr.PoolConfig{QueuePairs: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer pool.Close()
+		pools[nsid] = pool
+	}
+
 	const ranks = 8
 	const perRank = 2 * model.MB
 	var wg sync.WaitGroup
@@ -39,28 +52,22 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			nsid := uint32(1 + i%2)
-			h, err := nvmecr.DialTarget(addr, nsid)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			defer h.Close()
+			pool := pools[uint32(1+i%2)]
 			// Each "rank" owns a contiguous partition of its
 			// namespace, like the storage balancer assigns.
 			base := int64(i/2) * 8 * model.MB
 			payload := bytes.Repeat([]byte{byte('a' + i)}, int(perRank))
 			for off := int64(0); off < perRank; off += 256 * model.KB {
-				if err := h.WriteAt(base+off, payload[off:off+256*model.KB]); err != nil {
+				if err := pool.WriteAt(base+off, payload[off:off+256*model.KB]); err != nil {
 					errs[i] = err
 					return
 				}
 			}
-			if err := h.Flush(); err != nil {
+			if err := pool.Flush(); err != nil {
 				errs[i] = err
 				return
 			}
-			got, err := h.ReadAt(base, perRank)
+			got, err := pool.ReadAt(base, perRank)
 			if err != nil {
 				errs[i] = err
 				return
@@ -77,8 +84,14 @@ func main() {
 		}
 	}
 	cmds, in, out := tgt.Stats()
-	fmt.Printf("%d queue pairs wrote and verified %d MiB each over TCP NVMe-oF\n",
-		ranks, perRank>>20)
+	fmt.Printf("%d ranks wrote and verified %d MiB each over %d-queue-pair pools\n",
+		ranks, perRank>>20, pools[1].QueuePairs())
 	fmt.Printf("target served %d commands, %d MiB in, %d MiB out\n",
 		cmds, in>>20, out>>20)
+	for _, nsid := range []uint32{1, 2} {
+		for _, st := range pools[nsid].Stats() {
+			fmt.Printf("  ns %d qp %d: %d commands, %d errors, %d reconnects\n",
+				nsid, st.ID, st.Commands, st.Errors, st.Reconnects)
+		}
+	}
 }

@@ -1,6 +1,7 @@
 package nvmeof
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/nvme-cr/nvmecr/internal/model"
@@ -79,6 +80,44 @@ func TestAdminNamespaceLifecycle(t *testing.T) {
 	// Bad size.
 	if _, err := admin.CreateNamespace(0); err == nil {
 		t.Error("zero-size namespace accepted")
+	}
+}
+
+// TestIOQueueCannotDoAdmin is the other direction of the admin/IO
+// separation: a namespace-bound queue pair must not carry the
+// namespace-management command set (DialAdmin documents that model).
+func TestIOQueueCannotDoAdmin(t *testing.T) {
+	tgt := NewTarget()
+	if err := tgt.AddNamespace(1, NewMemNamespace(model.MB)); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := tgt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tgt.Close()
+	h, err := Dial(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := h.CreateNamespace(model.MB); err == nil {
+		t.Error("CREATE-NS on I/O queue pair accepted")
+	} else if want := statusText(StatusWrongQueue); !strings.Contains(err.Error(), want) {
+		t.Errorf("CREATE-NS rejection = %v, want %q", err, want)
+	}
+	if err := h.DeleteNamespace(1); err == nil {
+		t.Error("DELETE-NS on I/O queue pair accepted")
+	}
+	if _, err := h.ListNamespaces(); err == nil {
+		t.Error("LIST-NS on I/O queue pair accepted")
+	}
+	// The namespace must be untouched and the queue pair still usable.
+	if err := h.WriteAt(0, []byte("still-works")); err != nil {
+		t.Errorf("I/O after rejected admin commands: %v", err)
+	}
+	if _, ok := tgt.namespaces[1]; !ok {
+		t.Error("namespace deleted through an I/O queue pair")
 	}
 }
 

@@ -46,6 +46,13 @@ func FuzzReadResponse(f *testing.F) {
 	f.Add(buf.Bytes())
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xAB}, 40))
+	// Regression seed: a READ completion whose declared data length (4
+	// bytes) disagrees with the 64-byte READ that elicited it. The
+	// parser must hand it through intact so the host's length check
+	// (Host.ReadAt → ErrBadResponse) is what rejects it.
+	var mismatched bytes.Buffer
+	WriteResponse(&mismatched, &Response{CID: 9, Status: StatusOK, Data: []byte{1, 2, 3, 4}})
+	f.Add(mismatched.Bytes())
 
 	f.Fuzz(func(t *testing.T, wire []byte) {
 		resp, err := ReadResponse(bytes.NewReader(wire))

@@ -3,10 +3,28 @@ package nvmeof
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
+
+// ErrTimeout reports that a command's deadline expired before its
+// completion arrived. The queue pair itself stays healthy: a late
+// completion is discarded when it eventually arrives.
+var ErrTimeout = errors.New("nvmeof: command deadline exceeded")
+
+// ErrBadResponse reports a protocol violation by the target: a
+// completion whose payload disagrees with what the command requested.
+var ErrBadResponse = errors.New("nvmeof: malformed response from target")
+
+// HostConfig tunes one queue pair.
+type HostConfig struct {
+	// CommandTimeout bounds every command round trip on this queue
+	// pair. Zero means commands wait indefinitely.
+	CommandTimeout time.Duration
+}
 
 // Host is an NVMe-oF initiator over the TCP transport: one queue pair
 // (connection) with pipelined command submission. Commands may be issued
@@ -14,6 +32,10 @@ import (
 type Host struct {
 	conn net.Conn
 	bw   *bufio.Writer
+
+	addr    string
+	nsid    uint32
+	timeout time.Duration
 
 	sendMu   sync.Mutex // serializes capsule writes
 	respMu   sync.Mutex // guards inflight and cid
@@ -33,6 +55,11 @@ func DialAdmin(addr string) (*Host, error) { return Dial(addr, 0) }
 // Dial connects a queue pair to the target at addr and issues CONNECT
 // for the namespace. NSID 0 yields an admin queue pair.
 func Dial(addr string, nsid uint32) (*Host, error) {
+	return DialConfig(addr, nsid, HostConfig{})
+}
+
+// DialConfig is Dial with explicit queue-pair configuration.
+func DialConfig(addr string, nsid uint32, cfg HostConfig) (*Host, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -40,6 +67,9 @@ func Dial(addr string, nsid uint32) (*Host, error) {
 	h := &Host{
 		conn:     conn,
 		bw:       bufio.NewWriterSize(conn, 1<<20),
+		addr:     addr,
+		nsid:     nsid,
+		timeout:  cfg.CommandTimeout,
 		inflight: make(map[uint16]chan *Response),
 		done:     make(chan struct{}),
 	}
@@ -60,6 +90,27 @@ func Dial(addr string, nsid uint32) (*Host, error) {
 // NamespaceSize returns the connected namespace's capacity.
 func (h *Host) NamespaceSize() int64 { return h.nsSize }
 
+// Addr returns the target address this queue pair dialed.
+func (h *Host) Addr() string { return h.addr }
+
+// NSID returns the namespace the queue pair connected to (0 = admin).
+func (h *Host) NSID() uint32 { return h.nsid }
+
+// Healthy reports whether the queue pair can still carry commands.
+func (h *Host) Healthy() bool {
+	h.errMu.Lock()
+	defer h.errMu.Unlock()
+	return h.err == nil
+}
+
+// InFlight returns the number of commands awaiting completion
+// (including abandoned slots of timed-out commands).
+func (h *Host) InFlight() int {
+	h.respMu.Lock()
+	defer h.respMu.Unlock()
+	return len(h.inflight)
+}
+
 // readLoop dispatches completions to waiting submitters.
 func (h *Host) readLoop() {
 	br := bufio.NewReaderSize(h.conn, 1<<20)
@@ -73,7 +124,9 @@ func (h *Host) readLoop() {
 		ch, ok := h.inflight[resp.CID]
 		delete(h.inflight, resp.CID)
 		h.respMu.Unlock()
-		if ok {
+		// A nil channel marks an abandoned (timed-out) command: its
+		// slot is reclaimed here and the late completion dropped.
+		if ok && ch != nil {
 			ch <- resp
 		}
 	}
@@ -90,7 +143,9 @@ func (h *Host) fail(err error) {
 	h.respMu.Lock()
 	for cid, ch := range h.inflight {
 		delete(h.inflight, cid)
-		close(ch)
+		if ch != nil {
+			close(ch)
+		}
 	}
 	h.respMu.Unlock()
 }
@@ -104,11 +159,31 @@ func (h *Host) lastErr() error {
 	return fmt.Errorf("nvmeof: connection closed")
 }
 
-// roundTrip submits one command and waits for its completion.
+// maxInflight caps outstanding commands at the CID space minus the
+// reserved CID 0.
+const maxInflight = 1<<16 - 1
+
+// roundTrip submits one command and waits for its completion, bounded
+// by the queue pair's CommandTimeout if one is configured.
 func (h *Host) roundTrip(cmd *Command) (*Response, error) {
 	ch := make(chan *Response, 1)
 	h.respMu.Lock()
-	h.cid++
+	if len(h.inflight) >= maxInflight {
+		h.respMu.Unlock()
+		return nil, fmt.Errorf("nvmeof: queue full: %d commands in flight", maxInflight)
+	}
+	// Skip CID 0 and any CID still awaiting a completion: a uint16
+	// wraparound must never overwrite a live slot (that would strand
+	// the earlier waiter and mis-route its completion).
+	for {
+		h.cid++
+		if h.cid == 0 {
+			continue
+		}
+		if _, busy := h.inflight[h.cid]; !busy {
+			break
+		}
+	}
 	cmd.CID = h.cid
 	h.inflight[cmd.CID] = ch
 	h.respMu.Unlock()
@@ -124,6 +199,13 @@ func (h *Host) roundTrip(cmd *Command) (*Response, error) {
 		delete(h.inflight, cmd.CID)
 		h.respMu.Unlock()
 		return nil, err
+	}
+
+	var timeoutC <-chan time.Time
+	if h.timeout > 0 {
+		timer := time.NewTimer(h.timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
 	}
 	select {
 	case resp, ok := <-ch:
@@ -141,10 +223,29 @@ func (h *Host) roundTrip(cmd *Command) (*Response, error) {
 		default:
 		}
 		return nil, h.lastErr()
+	case <-timeoutC:
+		// Abandon the slot rather than freeing it: the target may
+		// still be processing, and reissuing this CID would let the
+		// stale completion answer a future command.
+		h.respMu.Lock()
+		if _, live := h.inflight[cmd.CID]; live {
+			h.inflight[cmd.CID] = nil
+		}
+		h.respMu.Unlock()
+		select {
+		case resp, ok := <-ch:
+			if ok {
+				return resp, nil
+			}
+		default:
+		}
+		return nil, fmt.Errorf("%w (%v)", ErrTimeout, h.timeout)
 	}
 }
 
-func (h *Host) check(resp *Response, err error, op string) error {
+// checkResp folds a round-trip error and a completion status into one
+// error (shared by Host and HostPool).
+func checkResp(resp *Response, err error, op string) error {
 	if err != nil {
 		return fmt.Errorf("nvmeof: %s: %w", op, err)
 	}
@@ -154,34 +255,60 @@ func (h *Host) check(resp *Response, err error, op string) error {
 	return nil
 }
 
+// validateReadLength rejects read lengths the protocol cannot carry,
+// before the int64 is truncated into the capsule's uint32 field.
+func validateReadLength(length int64) error {
+	if length < 0 {
+		return fmt.Errorf("nvmeof: read: negative length %d", length)
+	}
+	if length > MaxDataLen {
+		return fmt.Errorf("nvmeof: read: length %d exceeds capsule limit %d", length, MaxDataLen)
+	}
+	return nil
+}
+
+// validateReadData checks a READ completion's payload against the
+// requested length: short, oversized, or missing data is a protocol
+// violation, never silently padded or passed through.
+func validateReadData(resp *Response, length int64) ([]byte, error) {
+	if int64(len(resp.Data)) != length {
+		return nil, fmt.Errorf("nvmeof: read: target returned %d bytes, want %d: %w",
+			len(resp.Data), length, ErrBadResponse)
+	}
+	if resp.Data == nil {
+		return []byte{}, nil
+	}
+	return resp.Data, nil
+}
+
 // WriteAt writes data at the namespace offset.
 func (h *Host) WriteAt(off int64, data []byte) error {
 	resp, err := h.roundTrip(&Command{Opcode: OpWriteCmd, Offset: uint64(off), Data: data})
-	return h.check(resp, err, "write")
+	return checkResp(resp, err, "write")
 }
 
 // ReadAt reads length bytes from the namespace offset.
 func (h *Host) ReadAt(off, length int64) ([]byte, error) {
-	resp, err := h.roundTrip(&Command{Opcode: OpReadCmd, Offset: uint64(off), Length: uint32(length)})
-	if err := h.check(resp, err, "read"); err != nil {
+	if err := validateReadLength(length); err != nil {
 		return nil, err
 	}
-	if resp.Data == nil {
-		return make([]byte, length), nil
+	resp, err := h.roundTrip(&Command{Opcode: OpReadCmd, Offset: uint64(off), Length: uint32(length)})
+	if err := checkResp(resp, err, "read"); err != nil {
+		return nil, err
 	}
-	return resp.Data, nil
+	return validateReadData(resp, length)
 }
 
 // Flush issues a durability barrier.
 func (h *Host) Flush() error {
 	resp, err := h.roundTrip(&Command{Opcode: OpFlushCmd})
-	return h.check(resp, err, "flush")
+	return checkResp(resp, err, "flush")
 }
 
 // Identify re-reads the namespace properties.
 func (h *Host) Identify() (int64, error) {
 	resp, err := h.roundTrip(&Command{Opcode: OpIdentify})
-	if err := h.check(resp, err, "identify"); err != nil {
+	if err := checkResp(resp, err, "identify"); err != nil {
 		return 0, err
 	}
 	return int64(resp.Value), nil
@@ -192,7 +319,7 @@ func (h *Host) Identify() (int64, error) {
 // returns the new NSID.
 func (h *Host) CreateNamespace(size int64) (uint32, error) {
 	resp, err := h.roundTrip(&Command{Opcode: OpCreateNS, Offset: uint64(size)})
-	if err := h.check(resp, err, "create-ns"); err != nil {
+	if err := checkResp(resp, err, "create-ns"); err != nil {
 		return 0, err
 	}
 	return uint32(resp.Value), nil
@@ -201,7 +328,7 @@ func (h *Host) CreateNamespace(size int64) (uint32, error) {
 // DeleteNamespace reclaims a namespace on the target.
 func (h *Host) DeleteNamespace(nsid uint32) error {
 	resp, err := h.roundTrip(&Command{Opcode: OpDeleteNS, NSID: nsid})
-	return h.check(resp, err, "delete-ns")
+	return checkResp(resp, err, "delete-ns")
 }
 
 // NamespaceInfo describes one exported namespace.
@@ -210,23 +337,30 @@ type NamespaceInfo struct {
 	Size int64
 }
 
-// ListNamespaces enumerates the target's exports.
-func (h *Host) ListNamespaces() ([]NamespaceInfo, error) {
-	resp, err := h.roundTrip(&Command{Opcode: OpListNS})
-	if err := h.check(resp, err, "list-ns"); err != nil {
-		return nil, err
+// decodeNamespaceList parses a LIST-NS payload (shared by Host and
+// HostPool).
+func decodeNamespaceList(data []byte) ([]NamespaceInfo, error) {
+	if len(data)%12 != 0 {
+		return nil, fmt.Errorf("nvmeof: list-ns returned %d bytes, not a multiple of 12: %w",
+			len(data), ErrBadResponse)
 	}
-	if len(resp.Data)%12 != 0 {
-		return nil, fmt.Errorf("nvmeof: list-ns returned %d bytes, not a multiple of 12", len(resp.Data))
-	}
-	out := make([]NamespaceInfo, 0, len(resp.Data)/12)
-	for off := 0; off < len(resp.Data); off += 12 {
+	out := make([]NamespaceInfo, 0, len(data)/12)
+	for off := 0; off < len(data); off += 12 {
 		out = append(out, NamespaceInfo{
-			NSID: binary.LittleEndian.Uint32(resp.Data[off:]),
-			Size: int64(binary.LittleEndian.Uint64(resp.Data[off+4:])),
+			NSID: binary.LittleEndian.Uint32(data[off:]),
+			Size: int64(binary.LittleEndian.Uint64(data[off+4:])),
 		})
 	}
 	return out, nil
+}
+
+// ListNamespaces enumerates the target's exports.
+func (h *Host) ListNamespaces() ([]NamespaceInfo, error) {
+	resp, err := h.roundTrip(&Command{Opcode: OpListNS})
+	if err := checkResp(resp, err, "list-ns"); err != nil {
+		return nil, err
+	}
+	return decodeNamespaceList(resp.Data)
 }
 
 // Close tears down the queue pair.

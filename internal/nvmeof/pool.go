@@ -1,0 +1,436 @@
+package nvmeof
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrPoolClosed reports a command issued after HostPool.Close.
+var ErrPoolClosed = errors.New("nvmeof: pool closed")
+
+// ErrNoQueuePairs reports that every queue pair in the pool is down and
+// awaiting reconnection.
+var ErrNoQueuePairs = errors.New("nvmeof: all queue pairs down")
+
+// maxReconnectBackoff caps the exponential reconnect backoff.
+const maxReconnectBackoff = time.Second
+
+// PoolConfig tunes a HostPool. The zero value gets sensible defaults.
+type PoolConfig struct {
+	// QueuePairs is the number of connections opened to the target
+	// (default 4). More queue pairs remove head-of-line blocking: one
+	// slow READ no longer stalls every other command.
+	QueuePairs int
+	// CommandTimeout bounds each command round trip on every queue
+	// pair (default 0 = no deadline).
+	CommandTimeout time.Duration
+	// MaxRetries is how many extra attempts idempotent commands
+	// (READ, IDENTIFY, LIST-NS) get after a transport failure or
+	// timeout (default 2). Non-idempotent commands never retry.
+	MaxRetries int
+	// RetryBackoff is the initial delay between retries; it doubles
+	// per attempt (default 2ms).
+	RetryBackoff time.Duration
+	// ReconnectBackoff is the initial delay between reconnect
+	// attempts for a failed queue pair; it doubles per attempt up to
+	// one second (default 10ms).
+	ReconnectBackoff time.Duration
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.QueuePairs <= 0 {
+		c.QueuePairs = 4
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 2 * time.Millisecond
+	}
+	if c.ReconnectBackoff <= 0 {
+		c.ReconnectBackoff = 10 * time.Millisecond
+	}
+	return c
+}
+
+// qpSlot is one pool position. The Host occupying it is replaced on
+// reconnect; a nil host means the slot is down.
+type qpSlot struct {
+	id int
+
+	mu           sync.Mutex
+	host         *Host
+	reconnecting bool
+
+	// Counters (atomic).
+	commands   uint64
+	errors     uint64
+	reconnects uint64
+}
+
+// QPStats is a snapshot of one pool slot.
+type QPStats struct {
+	ID         int
+	Healthy    bool
+	InFlight   int
+	Commands   uint64
+	Errors     uint64
+	Reconnects uint64
+}
+
+// HostPool is an NVMe-oF initiator that shards commands across several
+// queue pairs to one target namespace — the paper's many-independent-
+// queue-pairs scaling model (§III, Fig. 4). Selection is round-robin
+// biased toward the shallowest queue; failed queue pairs are re-dialed
+// in the background with exponential backoff instead of poisoning the
+// pool, and idempotent commands transparently retry on a sibling queue
+// pair. Safe for concurrent use.
+type HostPool struct {
+	addr string
+	nsid uint32
+	cfg  PoolConfig
+
+	slots  []*qpSlot
+	rr     uint32 // atomic round-robin cursor
+	nsSize int64
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	closeMu   sync.Mutex // orders reconnector spawns against Close
+	isClosed  bool
+	wg        sync.WaitGroup // background reconnectors
+}
+
+// DialPool opens cfg.QueuePairs connections to the target namespace.
+// Every queue pair must connect for DialPool to succeed; after that,
+// individual failures are repaired in the background.
+func DialPool(addr string, nsid uint32, cfg PoolConfig) (*HostPool, error) {
+	cfg = cfg.withDefaults()
+	p := &HostPool{
+		addr:   addr,
+		nsid:   nsid,
+		cfg:    cfg,
+		closed: make(chan struct{}),
+	}
+	for i := 0; i < cfg.QueuePairs; i++ {
+		h, err := DialConfig(addr, nsid, HostConfig{CommandTimeout: cfg.CommandTimeout})
+		if err != nil {
+			for _, s := range p.slots {
+				s.host.Close()
+			}
+			return nil, fmt.Errorf("nvmeof: pool: queue pair %d: %w", i, err)
+		}
+		p.slots = append(p.slots, &qpSlot{id: i, host: h})
+	}
+	p.nsSize = p.slots[0].host.NamespaceSize()
+	return p, nil
+}
+
+// NamespaceSize returns the connected namespace's capacity.
+func (p *HostPool) NamespaceSize() int64 { return p.nsSize }
+
+// QueuePairs returns the pool width.
+func (p *HostPool) QueuePairs() int { return len(p.slots) }
+
+// Stats snapshots every slot.
+func (p *HostPool) Stats() []QPStats {
+	out := make([]QPStats, 0, len(p.slots))
+	for _, s := range p.slots {
+		s.mu.Lock()
+		h := s.host
+		s.mu.Unlock()
+		st := QPStats{
+			ID:         s.id,
+			Commands:   atomic.LoadUint64(&s.commands),
+			Errors:     atomic.LoadUint64(&s.errors),
+			Reconnects: atomic.LoadUint64(&s.reconnects),
+		}
+		if h != nil && h.Healthy() {
+			st.Healthy = true
+			st.InFlight = h.InFlight()
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// acquire picks a queue pair: scan round-robin from a moving cursor,
+// take the first idle queue pair, otherwise the shallowest. Dead queue
+// pairs encountered on the way are handed to the reconnector.
+func (p *HostPool) acquire() (*qpSlot, *Host, error) {
+	select {
+	case <-p.closed:
+		return nil, nil, ErrPoolClosed
+	default:
+	}
+	n := len(p.slots)
+	start := int(atomic.AddUint32(&p.rr, 1))
+	var best *qpSlot
+	var bestHost *Host
+	bestDepth := 0
+	for i := 0; i < n; i++ {
+		s := p.slots[(start+i)%n]
+		s.mu.Lock()
+		h := s.host
+		s.mu.Unlock()
+		if h == nil || !h.Healthy() {
+			p.noteFailure(s, h)
+			continue
+		}
+		d := h.InFlight()
+		if best == nil || d < bestDepth {
+			best, bestHost, bestDepth = s, h, d
+		}
+		if d == 0 {
+			break // idle queue pair: no need to keep probing
+		}
+	}
+	if best == nil {
+		return nil, nil, ErrNoQueuePairs
+	}
+	return best, bestHost, nil
+}
+
+// noteFailure marks a slot's host dead (if it still occupies the slot)
+// and starts the background reconnector once per outage.
+func (p *HostPool) noteFailure(s *qpSlot, h *Host) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h != nil && s.host == h {
+		s.host = nil
+		h.Close()
+	}
+	if s.host == nil && !s.reconnecting && p.startReconnector(s) {
+		s.reconnecting = true
+	}
+}
+
+// startReconnector spawns the background re-dial goroutine unless the
+// pool is closing (spawning after Close's wg.Wait would race).
+func (p *HostPool) startReconnector(s *qpSlot) bool {
+	p.closeMu.Lock()
+	defer p.closeMu.Unlock()
+	if p.isClosed {
+		return false
+	}
+	p.wg.Add(1)
+	go p.reconnect(s)
+	return true
+}
+
+// reconnect re-CONNECTs a failed queue pair and re-registers it in its
+// slot, backing off exponentially until it succeeds or the pool closes.
+func (p *HostPool) reconnect(s *qpSlot) {
+	defer p.wg.Done()
+	backoff := p.cfg.ReconnectBackoff
+	for {
+		select {
+		case <-p.closed:
+			s.mu.Lock()
+			s.reconnecting = false
+			s.mu.Unlock()
+			return
+		default:
+		}
+		h, err := DialConfig(p.addr, p.nsid, HostConfig{CommandTimeout: p.cfg.CommandTimeout})
+		if err == nil {
+			s.mu.Lock()
+			select {
+			case <-p.closed:
+				s.reconnecting = false
+				s.mu.Unlock()
+				h.Close()
+				return
+			default:
+			}
+			s.host = h
+			s.reconnecting = false
+			atomic.AddUint64(&s.reconnects, 1)
+			s.mu.Unlock()
+			return
+		}
+		timer := time.NewTimer(backoff)
+		select {
+		case <-p.closed:
+			timer.Stop()
+			s.mu.Lock()
+			s.reconnecting = false
+			s.mu.Unlock()
+			return
+		case <-timer.C:
+		}
+		if backoff *= 2; backoff > maxReconnectBackoff {
+			backoff = maxReconnectBackoff
+		}
+	}
+}
+
+// do runs one command on a selected queue pair; idempotent commands are
+// retried with backoff on transport failures and timeouts. A completion
+// with a non-OK status is a definitive answer, not a transport failure,
+// and is returned without retrying.
+func (p *HostPool) do(cmd *Command, idempotent bool) (*Response, error) {
+	attempts := 1
+	if idempotent {
+		attempts += p.cfg.MaxRetries
+	}
+	backoff := p.cfg.RetryBackoff
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			timer := time.NewTimer(backoff)
+			select {
+			case <-p.closed:
+				timer.Stop()
+				return nil, ErrPoolClosed
+			case <-timer.C:
+			}
+			backoff *= 2
+		}
+		s, h, err := p.acquire()
+		if err != nil {
+			if errors.Is(err, ErrPoolClosed) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		atomic.AddUint64(&s.commands, 1)
+		resp, err := h.roundTrip(cmd)
+		if err == nil {
+			return resp, nil
+		}
+		atomic.AddUint64(&s.errors, 1)
+		lastErr = err
+		if !errors.Is(err, ErrTimeout) {
+			// The queue pair is dead; a timed-out queue pair stays up
+			// (its command was abandoned, not its connection).
+			p.noteFailure(s, h)
+		}
+	}
+	return nil, lastErr
+}
+
+// WriteAt writes data at the namespace offset. WRITE is not retried:
+// the pool cannot know whether a failed round trip mutated the
+// namespace, so the error surfaces to the caller.
+func (p *HostPool) WriteAt(off int64, data []byte) error {
+	resp, err := p.do(&Command{Opcode: OpWriteCmd, Offset: uint64(off), Data: data}, false)
+	return checkResp(resp, err, "write")
+}
+
+// ReadAt reads length bytes from the namespace offset, retrying on
+// transient transport failures.
+func (p *HostPool) ReadAt(off, length int64) ([]byte, error) {
+	if err := validateReadLength(length); err != nil {
+		return nil, err
+	}
+	resp, err := p.do(&Command{Opcode: OpReadCmd, Offset: uint64(off), Length: uint32(length)}, true)
+	if err := checkResp(resp, err, "read"); err != nil {
+		return nil, err
+	}
+	return validateReadData(resp, length)
+}
+
+// Flush issues a durability barrier on every healthy queue pair, so
+// writes sharded across the pool are all covered.
+func (p *HostPool) Flush() error {
+	select {
+	case <-p.closed:
+		return ErrPoolClosed
+	default:
+	}
+	var firstErr error
+	flushed := 0
+	for _, s := range p.slots {
+		s.mu.Lock()
+		h := s.host
+		s.mu.Unlock()
+		if h == nil || !h.Healthy() {
+			p.noteFailure(s, h)
+			continue
+		}
+		atomic.AddUint64(&s.commands, 1)
+		resp, err := h.roundTrip(&Command{Opcode: OpFlushCmd})
+		if err != nil {
+			atomic.AddUint64(&s.errors, 1)
+			if !errors.Is(err, ErrTimeout) {
+				p.noteFailure(s, h)
+			}
+		}
+		if cerr := checkResp(resp, err, "flush"); cerr != nil {
+			if firstErr == nil {
+				firstErr = cerr
+			}
+			continue
+		}
+		flushed++
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if flushed == 0 {
+		return fmt.Errorf("nvmeof: flush: %w", ErrNoQueuePairs)
+	}
+	return nil
+}
+
+// Identify re-reads the namespace properties (idempotent; retried).
+func (p *HostPool) Identify() (int64, error) {
+	resp, err := p.do(&Command{Opcode: OpIdentify}, true)
+	if err := checkResp(resp, err, "identify"); err != nil {
+		return 0, err
+	}
+	return int64(resp.Value), nil
+}
+
+// CreateNamespace creates a namespace on the target (admin pool only;
+// not retried — a duplicate grant would leak capacity).
+func (p *HostPool) CreateNamespace(size int64) (uint32, error) {
+	resp, err := p.do(&Command{Opcode: OpCreateNS, Offset: uint64(size)}, false)
+	if err := checkResp(resp, err, "create-ns"); err != nil {
+		return 0, err
+	}
+	return uint32(resp.Value), nil
+}
+
+// DeleteNamespace reclaims a namespace on the target (not retried).
+func (p *HostPool) DeleteNamespace(nsid uint32) error {
+	resp, err := p.do(&Command{Opcode: OpDeleteNS, NSID: nsid}, false)
+	return checkResp(resp, err, "delete-ns")
+}
+
+// ListNamespaces enumerates the target's exports (idempotent; retried).
+func (p *HostPool) ListNamespaces() ([]NamespaceInfo, error) {
+	resp, err := p.do(&Command{Opcode: OpListNS}, true)
+	if err := checkResp(resp, err, "list-ns"); err != nil {
+		return nil, err
+	}
+	return decodeNamespaceList(resp.Data)
+}
+
+// Close tears down every queue pair and stops all reconnectors.
+func (p *HostPool) Close() error {
+	p.closeMu.Lock()
+	p.isClosed = true
+	p.closeOnce.Do(func() { close(p.closed) })
+	p.closeMu.Unlock()
+	p.wg.Wait()
+	var firstErr error
+	for _, s := range p.slots {
+		s.mu.Lock()
+		if s.host != nil {
+			if err := s.host.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			s.host = nil
+		}
+		s.mu.Unlock()
+	}
+	return firstErr
+}

@@ -1,0 +1,373 @@
+package nvmeof
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+)
+
+// fakeTarget starts a raw listener whose connections are handled by fn,
+// for tests that need a misbehaving or stalled target.
+func fakeTarget(t *testing.T, fn func(net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go fn(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestPoolWriteReadAcrossQueuePairs(t *testing.T) {
+	_, addr := startTarget(t, map[uint32]int64{1: 64 * model.MB})
+	pool, err := DialPool(addr, 1, PoolConfig{QueuePairs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if pool.NamespaceSize() != 64*model.MB {
+		t.Errorf("NamespaceSize = %d", pool.NamespaceSize())
+	}
+	if pool.QueuePairs() != 4 {
+		t.Errorf("QueuePairs = %d", pool.QueuePairs())
+	}
+
+	const workers = 8
+	const writes = 32
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			base := int64(i) * 4 * model.MB
+			for j := 0; j < writes; j++ {
+				payload := []byte(fmt.Sprintf("worker%02d-write%03d", i, j))
+				off := base + int64(j)*64
+				if err := pool.WriteAt(off, payload); err != nil {
+					errs[i] = err
+					return
+				}
+				got, err := pool.ReadAt(off, int64(len(payload)))
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					errs[i] = fmt.Errorf("worker %d write %d mismatch", i, j)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if size, err := pool.Identify(); err != nil || size != 64*model.MB {
+		t.Errorf("Identify = %d, %v", size, err)
+	}
+
+	// The load must actually shard: more than one queue pair carried
+	// commands.
+	used := 0
+	var total uint64
+	for _, st := range pool.Stats() {
+		if st.Commands > 0 {
+			used++
+		}
+		total += st.Commands
+		if !st.Healthy {
+			t.Errorf("queue pair %d unhealthy after clean run", st.ID)
+		}
+	}
+	if used < 2 {
+		t.Errorf("only %d of 4 queue pairs carried commands", used)
+	}
+	if want := uint64(workers*writes*2 + 4 + 1); total != want {
+		t.Errorf("pool issued %d commands, want %d", total, want)
+	}
+}
+
+func TestPoolRetryAfterQueuePairFailure(t *testing.T) {
+	_, addr := startTarget(t, map[uint32]int64{1: model.MB})
+	pool, err := DialPool(addr, 1, PoolConfig{
+		QueuePairs:       2,
+		MaxRetries:       3,
+		RetryBackoff:     time.Millisecond,
+		ReconnectBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if err := pool.WriteAt(0, []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sever one queue pair's connection out from under the pool. Reads
+	// are idempotent and must succeed via retry on the sibling.
+	pool.slots[0].mu.Lock()
+	dead := pool.slots[0].host
+	pool.slots[0].mu.Unlock()
+	dead.conn.Close()
+	for i := 0; i < 20; i++ {
+		got, err := pool.ReadAt(0, 8)
+		if err != nil {
+			t.Fatalf("read %d failed despite healthy sibling: %v", i, err)
+		}
+		if string(got) != "survives" {
+			t.Fatalf("read %d = %q", i, got)
+		}
+	}
+
+	// The dead queue pair is re-dialed and re-registered, not poisoned.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		healthy, reconnects := 0, uint64(0)
+		for _, st := range pool.Stats() {
+			if st.Healthy {
+				healthy++
+			}
+			reconnects += st.Reconnects
+		}
+		if healthy == 2 && reconnects >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue pair never reconnected: %+v", pool.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestPoolReconnectAfterTargetRestart(t *testing.T) {
+	tgt := NewTarget()
+	if err := tgt.AddNamespace(1, NewMemNamespace(model.MB)); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := tgt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := DialPool(addr, 1, PoolConfig{
+		QueuePairs:       2,
+		CommandTimeout:   500 * time.Millisecond,
+		RetryBackoff:     time.Millisecond,
+		ReconnectBackoff: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if err := pool.WriteAt(0, []byte("before-restart")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the target; the pool must report errors, not hang.
+	tgt.Close()
+	if err := pool.WriteAt(0, []byte("during-outage")); err == nil {
+		t.Fatal("write succeeded against a dead target")
+	}
+
+	// Restart a fresh target on the same address and namespace.
+	tgt2 := NewTarget()
+	if err := tgt2.AddNamespace(1, NewMemNamespace(model.MB)); err != nil {
+		t.Fatal(err)
+	}
+	var listenErr error
+	for i := 0; i < 100; i++ {
+		if _, listenErr = tgt2.Listen(addr); listenErr == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if listenErr != nil {
+		t.Fatalf("restart listen: %v", listenErr)
+	}
+	defer tgt2.Close()
+
+	// The pool re-CONNECTs in the background and service resumes.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := pool.WriteAt(0, []byte("after-restart")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never recovered after target restart: %+v", pool.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	got, err := pool.ReadAt(0, 13)
+	if err != nil || string(got) != "after-restart" {
+		t.Fatalf("read after recovery = %q, %v", got, err)
+	}
+	var reconnects uint64
+	for _, st := range pool.Stats() {
+		reconnects += st.Reconnects
+	}
+	if reconnects == 0 {
+		t.Error("recovery happened without any recorded reconnect")
+	}
+}
+
+// stalledTarget acks CONNECT and then swallows every further command
+// without completing it.
+func stalledTarget(t *testing.T, size int64) string {
+	return fakeTarget(t, func(c net.Conn) {
+		defer c.Close()
+		br := bufio.NewReader(c)
+		cmd, err := ReadCommand(br)
+		if err != nil || cmd.Opcode != OpConnect {
+			return
+		}
+		WriteResponse(c, &Response{CID: cmd.CID, Status: StatusOK, Value: uint64(size)})
+		for {
+			if _, err := ReadCommand(br); err != nil {
+				return
+			}
+		}
+	})
+}
+
+func TestPoolCommandTimeout(t *testing.T) {
+	addr := stalledTarget(t, model.MB)
+	pool, err := DialPool(addr, 1, PoolConfig{
+		QueuePairs:     2,
+		CommandTimeout: 30 * time.Millisecond,
+		MaxRetries:     1,
+		RetryBackoff:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	start := time.Now()
+	_, err = pool.ReadAt(0, 16)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("read against stalled target: %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timeout took %v", elapsed)
+	}
+	// Timeouts abandon the command but keep the queue pairs: both must
+	// still be connected (the target is stalled, not dead).
+	for _, st := range pool.Stats() {
+		if !st.Healthy {
+			t.Errorf("queue pair %d marked dead by a timeout", st.ID)
+		}
+	}
+}
+
+func TestPoolClosedErrors(t *testing.T) {
+	_, addr := startTarget(t, map[uint32]int64{1: model.MB})
+	pool, err := DialPool(addr, 1, PoolConfig{QueuePairs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.WriteAt(0, []byte("x")); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("write after close: %v, want ErrPoolClosed", err)
+	}
+	if err := pool.Flush(); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("flush after close: %v, want ErrPoolClosed", err)
+	}
+	if err := pool.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestPoolAdminLifecycle(t *testing.T) {
+	tgt := NewTargetWithCapacity(16 * model.MB)
+	addr, err := tgt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tgt.Close()
+	// NSID 0: an admin pool, every queue pair unbound.
+	pool, err := DialPool(addr, 0, PoolConfig{QueuePairs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	nsid, err := pool.CreateNamespace(4 * model.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list, err := pool.ListNamespaces()
+	if err != nil || len(list) != 1 || list[0].NSID != nsid {
+		t.Fatalf("ListNamespaces = %+v, %v", list, err)
+	}
+	if err := pool.DeleteNamespace(nsid); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkHostPool measures aggregate write throughput versus queue
+// pair count on a loopback target: the pool's point is that independent
+// queue pairs lift the single-connection head-of-line bottleneck. The
+// namespace models the paper's SSD service time (~20µs per command) —
+// a single queue pair serializes it command after command, while a
+// pool overlaps it, which is exactly why the paper scales initiators
+// by queue pairs (§III, Fig. 4).
+func BenchmarkHostPool(b *testing.B) {
+	const payloadSize = 16 * 1024
+	const deviceLatency = 20 * time.Microsecond
+	for _, qps := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("qp=%d", qps), func(b *testing.B) {
+			tgt := NewTarget()
+			if err := tgt.AddNamespace(1, NewMemNamespaceWithLatency(256*model.MB, deviceLatency)); err != nil {
+				b.Fatal(err)
+			}
+			addr, err := tgt.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			pool, err := DialPool(addr, 1, PoolConfig{QueuePairs: qps})
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := bytes.Repeat([]byte{0xCF}, payloadSize)
+			var slot uint64
+			b.SetBytes(payloadSize)
+			b.SetParallelism(4)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				off := int64(atomic.AddUint64(&slot, 1)%1024) * payloadSize
+				for pb.Next() {
+					if err := pool.WriteAt(off, payload); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			pool.Close()
+			tgt.Close()
+		})
+	}
+}

@@ -52,6 +52,7 @@ const (
 	StatusNotConnected
 	StatusInternal
 	StatusNoCapacity
+	StatusWrongQueue
 )
 
 // statusText maps status codes to messages.
@@ -71,6 +72,8 @@ func statusText(s uint16) string {
 		return "internal error"
 	case StatusNoCapacity:
 		return "no capacity for namespace"
+	case StatusWrongQueue:
+		return "wrong queue type for command"
 	default:
 		return fmt.Sprintf("status %d", s)
 	}

@@ -3,36 +3,72 @@ package nvmeof
 import (
 	"bufio"
 	"encoding/binary"
-	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/nvme-cr/nvmecr/internal/extent"
 )
 
-// MemNamespace is one exported namespace backed by an in-memory extent
-// store (the target-side analogue of an SSD namespace; on the paper's
-// testbed this is an SPDK bdev).
+// stripeBytes is the lock-striping granularity of a MemNamespace: each
+// stripe has its own extent store and mutex, so queue pairs writing
+// disjoint regions never contend on one namespace-wide lock.
+const stripeBytes = 1 << 20
+
+// nsStripe is one independently locked region of a namespace.
+type nsStripe struct {
+	mu    sync.Mutex
+	store *extent.Store
+}
+
+// MemNamespace is one exported namespace backed by lock-striped
+// in-memory extent stores (the target-side analogue of an SSD
+// namespace; on the paper's testbed this is an SPDK bdev). An optional
+// modeled device service latency is charged per command outside any
+// lock, so commands on different queue pairs overlap their service
+// time the way they would on real hardware — commands on the same
+// queue pair serialize, which is exactly the head-of-line cost a
+// HostPool exists to remove.
 type MemNamespace struct {
-	mu      sync.Mutex
-	store   *extent.Store
 	size    int64
-	deleted bool
+	delay   time.Duration
+	deleted atomic.Bool
+	stripes []nsStripe
 }
 
 func (ns *MemNamespace) markDeleted() {
-	ns.mu.Lock()
-	ns.deleted = true
-	ns.store.Reset()
-	ns.mu.Unlock()
+	ns.deleted.Store(true)
+	for i := range ns.stripes {
+		s := &ns.stripes[i]
+		s.mu.Lock()
+		s.store.Reset()
+		s.mu.Unlock()
+	}
 }
 
-// NewMemNamespace creates a namespace of the given size.
+// NewMemNamespace creates a namespace of the given size with no modeled
+// device latency.
 func NewMemNamespace(size int64) *MemNamespace {
-	return &MemNamespace{store: extent.New(), size: size}
+	return NewMemNamespaceWithLatency(size, 0)
+}
+
+// NewMemNamespaceWithLatency creates a namespace whose READ and WRITE
+// commands each cost the given modeled device service time (the SSD the
+// in-memory store stands in for is not free; the paper's drives program
+// a page in tens of microseconds).
+func NewMemNamespaceWithLatency(size int64, delay time.Duration) *MemNamespace {
+	n := int((size + stripeBytes - 1) / stripeBytes)
+	if n < 1 {
+		n = 1
+	}
+	ns := &MemNamespace{size: size, delay: delay, stripes: make([]nsStripe, n)}
+	for i := range ns.stripes {
+		ns.stripes[i].store = extent.New()
+	}
+	return ns
 }
 
 // Size returns the namespace capacity.
@@ -40,22 +76,41 @@ func (ns *MemNamespace) Size() int64 { return ns.size }
 
 // StoredBytes returns the payload bytes held.
 func (ns *MemNamespace) StoredBytes() int64 {
-	ns.mu.Lock()
-	defer ns.mu.Unlock()
-	return ns.store.Bytes()
+	var total int64
+	for i := range ns.stripes {
+		s := &ns.stripes[i]
+		s.mu.Lock()
+		total += s.store.Bytes()
+		s.mu.Unlock()
+	}
+	return total
 }
 
 func (ns *MemNamespace) writeAt(off int64, data []byte) uint16 {
 	if off < 0 || off+int64(len(data)) > ns.size {
 		return StatusOutOfRange
 	}
-	ns.mu.Lock()
-	defer ns.mu.Unlock()
-	if ns.deleted {
+	if ns.deleted.Load() {
 		return StatusInvalidNamespace
 	}
-	if err := ns.store.Write(off, data); err != nil {
-		return StatusInternal
+	if ns.delay > 0 {
+		time.Sleep(ns.delay)
+	}
+	for len(data) > 0 {
+		si := off / stripeBytes
+		n := (si+1)*stripeBytes - off
+		if n > int64(len(data)) {
+			n = int64(len(data))
+		}
+		s := &ns.stripes[si]
+		s.mu.Lock()
+		err := s.store.Write(off, data[:n])
+		s.mu.Unlock()
+		if err != nil {
+			return StatusInternal
+		}
+		off += n
+		data = data[n:]
 	}
 	return StatusOK
 }
@@ -64,14 +119,55 @@ func (ns *MemNamespace) readAt(off, length int64) ([]byte, uint16) {
 	if off < 0 || length < 0 || off+length > ns.size {
 		return nil, StatusOutOfRange
 	}
-	ns.mu.Lock()
-	defer ns.mu.Unlock()
-	if ns.deleted {
+	if ns.deleted.Load() {
 		return nil, StatusInvalidNamespace
 	}
-	data, _ := ns.store.Read(off, length)
-	return data, StatusOK
+	if ns.delay > 0 {
+		time.Sleep(ns.delay)
+	}
+	buf := make([]byte, length)
+	for covered := int64(0); covered < length; {
+		cur := off + covered
+		si := cur / stripeBytes
+		n := (si+1)*stripeBytes - cur
+		if n > length-covered {
+			n = length - covered
+		}
+		s := &ns.stripes[si]
+		s.mu.Lock()
+		data, _ := s.store.Read(cur, n)
+		s.mu.Unlock()
+		copy(buf[covered:], data)
+		covered += n
+	}
+	return buf, StatusOK
 }
+
+// qpConn is the target's bookkeeping for one accepted queue pair. The
+// counters are atomic so the per-command path never takes Target.mu.
+type qpConn struct {
+	id   int
+	conn net.Conn
+
+	nsid     atomic.Uint32 // namespace bound by CONNECT (0 = admin / none)
+	commands atomic.Int64
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+}
+
+// TargetQPStats is a snapshot of one queue pair's activity.
+type TargetQPStats struct {
+	ID       int
+	Remote   string
+	NSID     uint32
+	Commands int64
+	BytesIn  int64
+	BytesOut int64
+}
+
+// drainWriteGrace bounds how long a draining queue pair may spend
+// writing its final responses to a peer that has stopped reading.
+const drainWriteGrace = 5 * time.Second
 
 // Target is a multi-tenant NVMe-oF target daemon serving namespaces
 // over TCP. Each accepted connection is one queue pair.
@@ -83,16 +179,22 @@ type Target struct {
 	ln         net.Listener
 	wg         sync.WaitGroup
 	closed     bool
+	conns      map[int]*qpConn
+	nextQPID   int
 
-	// Stats.
-	commands int64
-	bytesIn  int64
-	bytesOut int64
+	// Stats (atomic: bumped on every command, off the t.mu path).
+	commands atomic.Int64
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
 }
 
 // NewTarget creates an empty target with unlimited capacity.
 func NewTarget() *Target {
-	return &Target{namespaces: make(map[uint32]*MemNamespace), nextNSID: 1}
+	return &Target{
+		namespaces: make(map[uint32]*MemNamespace),
+		nextNSID:   1,
+		conns:      make(map[int]*qpConn),
+	}
 }
 
 // NewTargetWithCapacity bounds the total bytes exportable as namespaces
@@ -209,41 +311,70 @@ func (t *Target) acceptLoop(ln net.Listener) {
 	}
 }
 
+// register tracks a new queue pair; it refuses connections that race
+// with Close so that drain never waits on a late arrival.
+func (t *Target) register(conn net.Conn) (*qpConn, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, false
+	}
+	t.nextQPID++
+	qp := &qpConn{id: t.nextQPID, conn: conn}
+	t.conns[qp.id] = qp
+	return qp, true
+}
+
+func (t *Target) deregister(qp *qpConn) {
+	t.mu.Lock()
+	delete(t.conns, qp.id)
+	t.mu.Unlock()
+}
+
 // serve handles one queue pair.
 func (t *Target) serve(conn net.Conn) {
 	defer conn.Close()
+	qp, ok := t.register(conn)
+	if !ok {
+		return
+	}
+	defer t.deregister(qp)
 	br := bufio.NewReaderSize(conn, 1<<20)
 	bw := bufio.NewWriterSize(conn, 1<<20)
 	var connected *MemNamespace
+	admin := false // CONNECT with NSID 0 makes this an admin queue pair
 	for {
 		cmd, err := ReadCommand(br)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
-				// Protocol violation: drop the queue pair.
-				return
-			}
+			// EOF, a read deadline from a draining Close, or a
+			// protocol violation: flush any pipelined responses and
+			// drop the queue pair.
+			bw.Flush()
 			return
 		}
-		t.mu.Lock()
-		t.commands++
-		t.bytesIn += int64(len(cmd.Data))
-		t.mu.Unlock()
+		t.commands.Add(1)
+		t.bytesIn.Add(int64(len(cmd.Data)))
+		qp.commands.Add(1)
+		qp.bytesIn.Add(int64(len(cmd.Data)))
 		resp := &Response{CID: cmd.CID, Status: StatusOK}
 		switch cmd.Opcode {
 		case OpConnect:
 			if cmd.NSID == 0 {
 				// Admin queue pair: no namespace bound.
 				connected = nil
+				admin = true
 				break
 			}
 			t.mu.Lock()
-			ns, ok := t.namespaces[cmd.NSID]
+			ns, nsOK := t.namespaces[cmd.NSID]
 			t.mu.Unlock()
-			if !ok {
+			if !nsOK {
 				resp.Status = StatusInvalidNamespace
 			} else {
 				connected = ns
+				admin = false
 				resp.Value = uint64(ns.Size())
+				qp.nsid.Store(cmd.NSID)
 			}
 		case OpIdentify:
 			if connected == nil {
@@ -271,19 +402,30 @@ func (t *Target) serve(conn net.Conn) {
 			}
 			// Data is durable on arrival (capacitor-backed model).
 		case OpCreateNS:
+			if status := adminOnly(connected, admin); status != StatusOK {
+				resp.Status = status
+				break
+			}
 			nsid, status := t.createNamespace(int64(cmd.Offset))
 			resp.Status = status
 			resp.Value = uint64(nsid)
 		case OpDeleteNS:
+			if status := adminOnly(connected, admin); status != StatusOK {
+				resp.Status = status
+				break
+			}
 			resp.Status = t.deleteNamespace(cmd.NSID)
 		case OpListNS:
+			if status := adminOnly(connected, admin); status != StatusOK {
+				resp.Status = status
+				break
+			}
 			resp.Data = t.listNamespaces()
 		default:
 			resp.Status = StatusInvalidOpcode
 		}
-		t.mu.Lock()
-		t.bytesOut += int64(len(resp.Data))
-		t.mu.Unlock()
+		t.bytesOut.Add(int64(len(resp.Data)))
+		qp.bytesOut.Add(int64(len(resp.Data)))
 		if err := WriteResponse(bw, resp); err != nil {
 			return
 		}
@@ -295,15 +437,50 @@ func (t *Target) serve(conn net.Conn) {
 	}
 }
 
-// Stats reports served commands and payload byte counts.
-func (t *Target) Stats() (commands, bytesIn, bytesOut int64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.commands, t.bytesIn, t.bytesOut
+// adminOnly gates the namespace-management command set to admin queue
+// pairs: I/O queue pairs (namespace bound) get StatusWrongQueue, and a
+// connection that never issued CONNECT gets StatusNotConnected.
+func adminOnly(connected *MemNamespace, admin bool) uint16 {
+	if connected != nil {
+		return StatusWrongQueue
+	}
+	if !admin {
+		return StatusNotConnected
+	}
+	return StatusOK
 }
 
-// Close stops the listener and waits for active queue pairs to drain
-// their current command. Connected hosts observe EOF.
+// Stats reports served commands and payload byte counts.
+func (t *Target) Stats() (commands, bytesIn, bytesOut int64) {
+	return t.commands.Load(), t.bytesIn.Load(), t.bytesOut.Load()
+}
+
+// QueuePairStats snapshots the live queue pairs, ordered by ID.
+func (t *Target) QueuePairStats() []TargetQPStats {
+	t.mu.Lock()
+	qps := make([]*qpConn, 0, len(t.conns))
+	for _, qp := range t.conns {
+		qps = append(qps, qp)
+	}
+	t.mu.Unlock()
+	out := make([]TargetQPStats, 0, len(qps))
+	for _, qp := range qps {
+		out = append(out, TargetQPStats{
+			ID:       qp.id,
+			Remote:   qp.conn.RemoteAddr().String(),
+			NSID:     qp.nsid.Load(),
+			Commands: qp.commands.Load(),
+			BytesIn:  qp.bytesIn.Load(),
+			BytesOut: qp.bytesOut.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Close stops the listener and waits for active queue pairs to drain:
+// every command already received completes and its response is flushed
+// before Close returns. Connected hosts then observe EOF.
 func (t *Target) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -312,9 +489,22 @@ func (t *Target) Close() error {
 	}
 	t.closed = true
 	ln := t.ln
+	conns := make([]net.Conn, 0, len(t.conns))
+	for _, qp := range t.conns {
+		conns = append(conns, qp.conn)
+	}
 	t.mu.Unlock()
 	if ln != nil {
 		ln.Close()
 	}
+	now := time.Now()
+	for _, c := range conns {
+		// Wake queue pairs blocked waiting for their next command;
+		// commands already buffered keep draining. The write deadline
+		// is a backstop against peers that stopped reading responses.
+		c.SetReadDeadline(now)
+		c.SetWriteDeadline(now.Add(drainWriteGrace))
+	}
+	t.wg.Wait()
 	return nil
 }

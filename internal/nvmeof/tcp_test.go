@@ -1,11 +1,15 @@
 package nvmeof
 
 import (
+	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"github.com/nvme-cr/nvmecr/internal/model"
 )
@@ -286,6 +290,256 @@ func TestPropertyResponseCodec(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCIDWraparoundSkipsOccupied pins the wraparound fix: when the
+// uint16 CID counter laps, CIDs still awaiting completions must be
+// skipped, never reassigned (reassignment would strand the earlier
+// waiter and mis-route its completion).
+func TestCIDWraparoundSkipsOccupied(t *testing.T) {
+	_, addr := startTarget(t, map[uint32]int64{1: model.MB})
+	h, err := Dial(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	occupied := []uint16{0xFFFE, 0xFFFF, 1, 2}
+	h.respMu.Lock()
+	h.cid = 0xFFFD
+	for _, cid := range occupied {
+		h.inflight[cid] = nil // abandoned slots, still awaiting completions
+	}
+	h.respMu.Unlock()
+	// Each command must land on a fresh CID across the wraparound and
+	// complete normally.
+	for i := 0; i < 5; i++ {
+		if _, err := h.Identify(); err != nil {
+			t.Fatalf("identify %d across CID wraparound: %v", i, err)
+		}
+	}
+	h.respMu.Lock()
+	defer h.respMu.Unlock()
+	for _, cid := range occupied {
+		if _, ok := h.inflight[cid]; !ok {
+			t.Errorf("occupied CID %d was reassigned", cid)
+		}
+	}
+}
+
+func TestQueueFullRejected(t *testing.T) {
+	_, addr := startTarget(t, map[uint32]int64{1: model.MB})
+	h, err := Dial(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	h.respMu.Lock()
+	for cid := uint16(1); ; cid++ {
+		h.inflight[cid] = nil
+		if cid == 0xFFFF {
+			break
+		}
+	}
+	h.respMu.Unlock()
+	if _, err := h.Identify(); err == nil {
+		t.Fatal("command accepted with a full CID space")
+	}
+	h.respMu.Lock()
+	h.inflight = make(map[uint16]chan *Response)
+	h.respMu.Unlock()
+	if _, err := h.Identify(); err != nil {
+		t.Fatalf("identify after queue drained: %v", err)
+	}
+}
+
+// misbehavingReadTarget acks CONNECT and answers every READ with a
+// payload whose length is transformed by fn (nil return = no payload).
+func misbehavingReadTarget(t *testing.T, fn func(length uint32) []byte) string {
+	return fakeTarget(t, func(c net.Conn) {
+		defer c.Close()
+		br := bufio.NewReader(c)
+		for {
+			cmd, err := ReadCommand(br)
+			if err != nil {
+				return
+			}
+			resp := &Response{CID: cmd.CID, Status: StatusOK}
+			switch cmd.Opcode {
+			case OpConnect:
+				resp.Value = uint64(model.MB)
+			case OpReadCmd:
+				resp.Data = fn(cmd.Length)
+			}
+			if err := WriteResponse(c, resp); err != nil {
+				return
+			}
+		}
+	})
+}
+
+func TestReadResponseLengthValidated(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(length uint32) []byte
+	}{
+		{"short", func(l uint32) []byte { return make([]byte, l-1) }},
+		{"oversized", func(l uint32) []byte { return make([]byte, l+1) }},
+		{"missing", func(l uint32) []byte { return nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addr := misbehavingReadTarget(t, tc.fn)
+			h, err := Dial(addr, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer h.Close()
+			if _, err := h.ReadAt(0, 64); !errors.Is(err, ErrBadResponse) {
+				t.Errorf("read of %s response: %v, want ErrBadResponse", tc.name, err)
+			}
+		})
+	}
+}
+
+func TestReadLengthValidatedClientSide(t *testing.T) {
+	// These must be rejected before any capsule is built: a negative
+	// length would truncate into the uint32 wire field, and an
+	// over-limit length could never be answered.
+	_, addr := startTarget(t, map[uint32]int64{1: model.MB})
+	h, err := Dial(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := h.ReadAt(0, -5); err == nil {
+		t.Error("negative read length accepted")
+	}
+	if _, err := h.ReadAt(0, MaxDataLen+1); err == nil {
+		t.Error("read length above MaxDataLen accepted")
+	}
+	// The queue pair stays usable.
+	if _, err := h.ReadAt(0, 16); err != nil {
+		t.Errorf("read after rejected lengths: %v", err)
+	}
+}
+
+func TestHostCommandTimeout(t *testing.T) {
+	addr := stalledTarget(t, model.MB)
+	h, err := DialConfig(addr, 1, HostConfig{CommandTimeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := h.ReadAt(0, 16); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("read against stalled target: %v, want ErrTimeout", err)
+	}
+	// The timed-out command's CID slot is abandoned, not freed, so a
+	// late completion can never answer a future command.
+	if n := h.InFlight(); n != 1 {
+		t.Errorf("InFlight = %d after timeout, want 1 abandoned slot", n)
+	}
+	if !h.Healthy() {
+		t.Error("timeout poisoned the queue pair")
+	}
+}
+
+// TestCloseDrainsInflightWrite pins the Target.Close contract: a WRITE
+// already received by the target completes — and its completion reaches
+// the host — before Close returns.
+func TestCloseDrainsInflightWrite(t *testing.T) {
+	tgt := NewTarget()
+	ns := NewMemNamespace(model.MB)
+	if err := tgt.AddNamespace(1, ns); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := tgt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Dial(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// Stall the namespace (via its first stripe lock) so the WRITE
+	// wedges mid-processing inside the target's serve loop.
+	ns.stripes[0].mu.Lock()
+	writeDone := make(chan error, 1)
+	go func() { writeDone <- h.WriteAt(0, []byte("in-flight-at-close")) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if cmds, _, _ := tgt.Stats(); cmds >= 2 { // CONNECT + WRITE received
+			break
+		}
+		if time.Now().After(deadline) {
+			ns.stripes[0].mu.Unlock()
+			t.Fatal("WRITE never reached the target")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	closeDone := make(chan struct{})
+	go func() { tgt.Close(); close(closeDone) }()
+	select {
+	case <-closeDone:
+		t.Fatal("Close returned while a WRITE was still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	ns.stripes[0].mu.Unlock()
+	if err := <-writeDone; err != nil {
+		t.Fatalf("in-flight write failed during drain: %v", err)
+	}
+	select {
+	case <-closeDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never returned after the WRITE drained")
+	}
+	if got, _ := ns.readAt(0, 18); string(got) != "in-flight-at-close" {
+		t.Errorf("drained write not durable: %q", got)
+	}
+}
+
+// TestConcurrentSubmittersDuringFail hammers one queue pair from many
+// goroutines while its connection is severed; every submitter must get
+// an error promptly (no strand, no deadlock). Run under -race.
+func TestConcurrentSubmittersDuringFail(t *testing.T) {
+	_, addr := startTarget(t, map[uint32]int64{1: 16 * model.MB})
+	h, err := Dial(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	const submitters = 16
+	var wg sync.WaitGroup
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			off := int64(i) * model.MB
+			for {
+				if err := h.WriteAt(off, []byte("storm")); err != nil {
+					return
+				}
+				if _, err := h.ReadAt(off, 5); err != nil {
+					return
+				}
+			}
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond)
+	h.conn.Close()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("submitters stranded after connection failure")
+	}
+	if err := h.WriteAt(0, []byte("after")); err == nil {
+		t.Error("write succeeded on a failed queue pair")
 	}
 }
 

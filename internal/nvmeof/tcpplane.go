@@ -6,21 +6,37 @@ import (
 	"github.com/nvme-cr/nvmecr/internal/sim"
 )
 
-// TCPPlane adapts a TCP NVMe-oF queue pair to the plane.Plane interface,
-// so the full microfs control plane (provenance log, snapshots, crash
-// recovery) runs against a real remote target over real sockets. It is
-// the functional counterpart of RemotePlane: commands cost wall-clock
-// network time rather than modeled virtual time, so it is used for
-// integration and durability testing, not for the timed experiments.
+// Queue is the data-plane command surface shared by a single queue
+// pair (Host) and a multi-queue-pair initiator (HostPool): everything
+// TCPPlane needs to move bytes to and from a connected namespace.
+type Queue interface {
+	NamespaceSize() int64
+	WriteAt(off int64, data []byte) error
+	ReadAt(off, length int64) ([]byte, error)
+	Flush() error
+}
+
+var (
+	_ Queue = (*Host)(nil)
+	_ Queue = (*HostPool)(nil)
+)
+
+// TCPPlane adapts a TCP NVMe-oF initiator (one queue pair or a pool of
+// them) to the plane.Plane interface, so the full microfs control plane
+// (provenance log, snapshots, crash recovery) runs against a real
+// remote target over real sockets. It is the functional counterpart of
+// RemotePlane: commands cost wall-clock network time rather than
+// modeled virtual time, so it is used for integration and durability
+// testing, not for the timed experiments.
 type TCPPlane struct {
-	host *Host
+	host Queue
 	base int64
 	size int64
 }
 
 // NewTCPPlane opens a partition [base, base+size) of the connected
 // namespace.
-func NewTCPPlane(host *Host, base, size int64) (*TCPPlane, error) {
+func NewTCPPlane(host Queue, base, size int64) (*TCPPlane, error) {
 	if base < 0 || size <= 0 || base+size > host.NamespaceSize() {
 		return nil, fmt.Errorf("nvmeof: partition [%d,+%d) outside namespace of %d bytes",
 			base, size, host.NamespaceSize())

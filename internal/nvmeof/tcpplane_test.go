@@ -32,6 +32,38 @@ func TestTCPPlaneBounds(t *testing.T) {
 	}
 }
 
+// TestTCPPlaneOverPool runs the plane over a HostPool instead of a
+// single queue pair: the same partition semantics, sharded transport.
+func TestTCPPlaneOverPool(t *testing.T) {
+	_, addr := startTarget(t, map[uint32]int64{1: 16 * model.MB})
+	pool, err := DialPool(addr, 1, PoolConfig{QueuePairs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	pl, err := NewTCPPlane(pool, 2*model.MB, 8*model.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("pooled-plane:"), 1024)
+	if err := pl.Write(nil, 4096, int64(len(payload)), payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pl.Read(nil, 4096, int64(len(payload)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch through pooled plane")
+	}
+	if err := pl.Write(nil, pl.Size()-10, 20, nil, 0); err == nil {
+		t.Error("out-of-partition write accepted")
+	}
+}
+
 // TestMicrofsOverRealTCP runs the full microfs stack — provenance log,
 // metadata snapshot, crash recovery — against a real TCP NVMe-oF target:
 // a genuine end-to-end durability test over actual sockets.

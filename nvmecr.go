@@ -231,3 +231,17 @@ func NewMemNamespace(size int64) *nvmeof.MemNamespace { return nvmeof.NewMemName
 
 // DialTarget connects a queue pair to a TCP target.
 func DialTarget(addr string, nsid uint32) (*Host, error) { return nvmeof.Dial(addr, nsid) }
+
+// HostPool is a multi-queue-pair TCP NVMe-oF initiator: commands shard
+// across independent connections, idempotent commands retry, and failed
+// queue pairs reconnect in the background.
+type HostPool = nvmeof.HostPool
+
+// PoolConfig tunes DialTargetPool (queue pairs, deadlines, retry and
+// reconnect backoff).
+type PoolConfig = nvmeof.PoolConfig
+
+// DialTargetPool connects a pool of queue pairs to a TCP target.
+func DialTargetPool(addr string, nsid uint32, cfg PoolConfig) (*HostPool, error) {
+	return nvmeof.DialPool(addr, nsid, cfg)
+}
