@@ -240,7 +240,7 @@ func verifyOverTCP(ckptBytes int64, queuePairs int) error {
 	bw := metrics.Bandwidth(ckptBytes, elapsed)
 	fmt.Printf("  tcp-verify: %d MiB over %d queue pairs in %v (%.2f GB/s wall clock), read back ok\n",
 		ckptBytes>>20, queuePairs, elapsed.Round(time.Millisecond), bw/1e9)
-	for _, st := range pool.Stats() {
+	for _, st := range pool.Snapshot() {
 		fmt.Printf("    qp %d: %d commands, %d errors, %d reconnects\n",
 			st.ID, st.Commands, st.Errors, st.Reconnects)
 	}

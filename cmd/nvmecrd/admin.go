@@ -1,0 +1,49 @@
+// Admin HTTP listener: live metrics, health, and profiling for a
+// running target. Off by default; enable with -admin host:port. The
+// listener binds before serving so a bad address fails fast at startup.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/nvmeof"
+)
+
+// startAdmin serves /metrics (Prometheus text exposition of the
+// target's registry), /healthz, and the standard pprof endpoints on
+// addr. It returns the bound address (useful with ":0").
+func startAdmin(addr string, tgt *nvmeof.Target) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("admin listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := tgt.Telemetry().WritePrometheus(w); err != nil {
+			log.Printf("nvmecrd: /metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		snap := tgt.Snapshot()
+		fmt.Fprintf(w, "ok\nqueue_pairs %d\ncommands %d\nerrors %d\n",
+			len(snap.QueuePairs), snap.Commands, snap.Errors)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("nvmecrd: admin server: %v", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}

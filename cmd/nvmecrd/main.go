@@ -25,6 +25,7 @@ func main() {
 	sizeMB := flag.Int64("size-mb", 256, "size of each namespace in MiB")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
 	qpStats := flag.Bool("qp-stats", false, "also report per-queue-pair stats each interval")
+	admin := flag.String("admin", "", "admin HTTP listen address for /metrics, /healthz, pprof (empty disables)")
 	flag.Parse()
 
 	tgt := nvmeof.NewTarget()
@@ -38,13 +39,20 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("nvmecrd: serving %d namespaces of %d MiB on %s", *count, *sizeMB, bound)
+	if *admin != "" {
+		adminAddr, err := startAdmin(*admin, tgt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("nvmecrd: admin on http://%s (/metrics, /healthz, /debug/pprof)", adminAddr)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
 	shutdown := func() {
 		fmt.Println()
-		qps := tgt.QueuePairStats()
-		log.Printf("nvmecrd: shutting down, draining %d queue pairs", len(qps))
+		snap := tgt.Snapshot()
+		log.Printf("nvmecrd: shutting down, draining %d queue pairs", len(snap.QueuePairs))
 		tgt.Close() // waits for in-flight commands to complete
 		log.Print("nvmecrd: drained")
 	}
@@ -54,14 +62,14 @@ func main() {
 		for {
 			select {
 			case <-ticker.C:
-				cmds, in, out := tgt.Stats()
-				qps := tgt.QueuePairStats()
-				log.Printf("nvmecrd: %d queue pairs, %d commands, %d MiB in, %d MiB out",
-					len(qps), cmds, in>>20, out>>20)
+				snap := tgt.Snapshot()
+				log.Printf("nvmecrd: %d queue pairs, %d commands, %d errors, %d MiB in, %d MiB out, p99 %v",
+					len(snap.QueuePairs), snap.Commands, snap.Errors,
+					snap.BytesIn>>20, snap.BytesOut>>20, snap.Latency.P99)
 				if *qpStats {
-					for _, qp := range qps {
-						log.Printf("nvmecrd:   qp %d (%s, ns %d): %d commands, %d MiB in, %d MiB out",
-							qp.ID, qp.Remote, qp.NSID, qp.Commands, qp.BytesIn>>20, qp.BytesOut>>20)
+					for _, qp := range snap.QueuePairs {
+						log.Printf("nvmecrd:   qp %d (%s, ns %d): %d commands, %d errors, %d MiB in, %d MiB out",
+							qp.ID, qp.Remote, qp.NSID, qp.Commands, qp.Errors, qp.BytesIn>>20, qp.BytesOut>>20)
 					}
 				}
 			case <-stop:

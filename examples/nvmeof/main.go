@@ -33,8 +33,9 @@ func main() {
 
 	// One queue-pair pool per tenant, shared by that tenant's ranks —
 	// the paper's scaling model: throughput comes from many independent
-	// queue pairs, not one multiplexed connection.
-	pools := make(map[uint32]*nvmecr.HostPool)
+	// queue pairs, not one multiplexed connection. Tenants hold the
+	// Queue interface; the pool behind it is an implementation detail.
+	pools := make(map[uint32]nvmecr.Queue)
 	for _, nsid := range []uint32{1, 2} {
 		pool, err := nvmecr.DialTargetPool(addr, nsid, nvmecr.PoolConfig{QueuePairs: 4})
 		if err != nil {
@@ -83,13 +84,13 @@ func main() {
 			log.Fatalf("rank %d: %v", i, err)
 		}
 	}
-	cmds, in, out := tgt.Stats()
+	tsnap := tgt.Snapshot()
 	fmt.Printf("%d ranks wrote and verified %d MiB each over %d-queue-pair pools\n",
-		ranks, perRank>>20, pools[1].QueuePairs())
-	fmt.Printf("target served %d commands, %d MiB in, %d MiB out\n",
-		cmds, in>>20, out>>20)
+		ranks, perRank>>20, len(pools[1].Snapshot()))
+	fmt.Printf("target served %d commands, %d MiB in, %d MiB out, p99 latency %v\n",
+		tsnap.Commands, tsnap.BytesIn>>20, tsnap.BytesOut>>20, tsnap.Latency.P99)
 	for _, nsid := range []uint32{1, 2} {
-		for _, st := range pools[nsid].Stats() {
+		for _, st := range pools[nsid].Snapshot() {
 			fmt.Printf("  ns %d qp %d: %d commands, %d errors, %d reconnects\n",
 				nsid, st.ID, st.Commands, st.Errors, st.Reconnects)
 		}

@@ -26,6 +26,7 @@ import (
 	"github.com/nvme-cr/nvmecr/internal/plane"
 	"github.com/nvme-cr/nvmecr/internal/sim"
 	"github.com/nvme-cr/nvmecr/internal/spdk"
+	"github.com/nvme-cr/nvmecr/internal/telemetry"
 	"github.com/nvme-cr/nvmecr/internal/topology"
 	"github.com/nvme-cr/nvmecr/internal/vfs"
 )
@@ -92,7 +93,35 @@ type Options struct {
 	// Host overrides userspace cost constants (defaults to
 	// model.Default().Host).
 	Host model.Host
+	// Telemetry, when non-nil, receives the job's live metrics:
+	// per-device queue depth and throughput, and the balancer's
+	// ranks-per-SSD placement.
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, receives virtual-time spans for every
+	// rank's writes, fsyncs, snapshots, and restarts.
+	Tracer *telemetry.Tracer
+
+	// defaulted marks an Options built by DefaultOptions, so NewJob
+	// can tell the blessed defaults from a deliberate zero value.
+	defaulted bool
 }
+
+// DefaultOptions returns the production configuration: the remote SPDK
+// data plane with every paper optimization and the background snapshot
+// thread enabled. Callers tweak fields from here instead of guessing
+// which zero values are meaningful.
+func DefaultOptions() Options {
+	return Options{
+		Mode:       RemoteSPDK,
+		Features:   microfs.AllFeatures(),
+		Background: true,
+		defaulted:  true,
+	}
+}
+
+// IsDefaulted reports whether o came from DefaultOptions (possibly
+// modified since).
+func (o Options) IsDefaulted() bool { return o.defaulted }
 
 func (o *Options) setDefaults() {
 	if o.BytesPerRank == 0 {
@@ -169,6 +198,7 @@ func NewRuntime(env *sim.Env, world *mpi.World, fab *fabric.Fabric, devices []ba
 	if opts.GlobalNamespace {
 		rt.globalNS = microfs.NewGlobalNamespace(env, 100*time.Microsecond)
 	}
+	alloc.Instrument(opts.Telemetry)
 	rt.namespaces = make([]*nvme.Namespace, len(alloc.SSDs))
 	for i, sd := range alloc.SSDs {
 		size := int64(rt.ranksPerSSD[i]) * opts.BytesPerRank
@@ -193,6 +223,7 @@ func (rt *Runtime) Options() Options { return rt.opts }
 // instance. Coordination happens here and only here.
 func (rt *Runtime) InitRank(p *sim.Proc, r *mpi.Rank) (*Client, error) {
 	rank := r.ID()
+	initStart := p.Now()
 	ssdIdx := rt.alloc.RankSSD[rank]
 	commCR, err := rt.world.Comm().Split(p, r, ssdIdx, rank)
 	if err != nil {
@@ -224,6 +255,8 @@ func (rt *Runtime) InitRank(p *sim.Proc, r *mpi.Rank) (*Client, error) {
 		SnapThreshold: rt.opts.SnapThreshold,
 		NoCoalesce:    rt.opts.NoCoalesce,
 		GlobalNS:      rt.globalNS,
+		Tracer:        rt.opts.Tracer,
+		Rank:          rank,
 	})
 	if err != nil {
 		return nil, err
@@ -244,6 +277,7 @@ func (rt *Runtime) InitRank(p *sim.Proc, r *mpi.Rank) (*Client, error) {
 	if err := rt.world.Comm().Barrier(p, r); err != nil {
 		return nil, err
 	}
+	rt.opts.Tracer.SpanVirt("core.init-rank", rank, initStart, p.Now(), nil)
 	return c, nil
 }
 

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/mpi"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/telemetry"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+// TestRuntimeTelemetry checks that a job with a registry attached
+// publishes the balancer's placement gauges and the allocated devices'
+// queue-depth and throughput instruments.
+func TestRuntimeTelemetry(t *testing.T) {
+	env, world, fab, devs := testJob(t, 16, false)
+	reg := telemetry.New()
+	opts := smallOpts()
+	opts.Telemetry = reg
+	rt, err := NewRuntime(env, world, fab, devs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRank := int64(4 * model.MB)
+	world.Launch(func(r *mpi.Rank, p *sim.Proc) {
+		c, err := rt.InitRank(p, r)
+		if err != nil {
+			t.Errorf("rank %d init: %v", r.ID(), err)
+			return
+		}
+		f, err := c.Create(p, fmt.Sprintf("/ckpt-rank%04d.dat", r.ID()), 0o644)
+		if err != nil {
+			t.Errorf("rank %d create: %v", r.ID(), err)
+			return
+		}
+		if _, err := vfs.WriteAllN(p, f, perRank, 1*model.MB); err != nil {
+			t.Errorf("rank %d write: %v", r.ID(), err)
+		}
+		f.Fsync(p)
+		f.Close(p)
+		if err := rt.Finalize(p, r); err != nil {
+			t.Errorf("rank %d finalize: %v", r.ID(), err)
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	var ranks, written int64
+	for _, sd := range rt.Allocation().SSDs {
+		l := telemetry.Labels{"device": sd.Device.Name}
+		ranks += reg.Gauge("nvmecr_balancer_ranks_per_ssd", l).Value()
+		written += int64(reg.Counter("nvmecr_device_bytes_written_total", l).Value())
+		if d := reg.Gauge("nvmecr_device_inflight", l).Value(); d != 0 {
+			t.Errorf("device %s inflight = %d after the job drained", sd.Device.Name, d)
+		}
+	}
+	if ranks != 16 {
+		t.Errorf("ranks-per-ssd gauges sum to %d, want 16", ranks)
+	}
+	// Payload plus log/snapshot metadata all land on the devices.
+	if written < 16*perRank {
+		t.Errorf("device bytes written = %d, want >= %d", written, 16*perRank)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "nvmecr_balancer_ranks_per_ssd") {
+		t.Error("exposition missing balancer gauges")
+	}
+}
+
+// TestDefaultOptions pins the blessed default configuration.
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if !o.IsDefaulted() {
+		t.Fatal("DefaultOptions().IsDefaulted() = false")
+	}
+	if o.Mode != RemoteSPDK || !o.Background || !o.Features.Provenance || !o.Features.Hugeblocks {
+		t.Fatalf("DefaultOptions() = %+v, want remote-spdk with all features and background thread", o)
+	}
+	if (Options{}).IsDefaulted() {
+		t.Fatal("zero Options claims to be defaulted")
+	}
+}

@@ -10,7 +10,6 @@ import (
 	"github.com/nvme-cr/nvmecr/internal/core"
 	"github.com/nvme-cr/nvmecr/internal/fabric"
 	"github.com/nvme-cr/nvmecr/internal/metrics"
-	"github.com/nvme-cr/nvmecr/internal/microfs"
 	"github.com/nvme-cr/nvmecr/internal/model"
 	"github.com/nvme-cr/nvmecr/internal/mpi"
 	"github.com/nvme-cr/nvmecr/internal/nvme"
@@ -157,6 +156,9 @@ func runCoMD(spec jobSpec) (*jobResult, error) {
 	switch spec.system {
 	case SysNVMeCR:
 		opts := spec.coreOpts
+		if opts.Tracer == nil {
+			opts.Tracer = currentTracer()
+		}
 		if opts.BytesPerRank == 0 {
 			opts.BytesPerRank = spec.cfg.CheckpointBytesPerRank*int64(maxInt(spec.cfg.Checkpoints, 1)) + 256*model.MB
 		}
@@ -258,13 +260,7 @@ func checkpointEfficiency(res *comd.Result, peak float64) float64 {
 }
 
 // nvmecrOpts returns the production NVMe-CR configuration.
-func nvmecrOpts() core.Options {
-	return core.Options{
-		Mode:       core.RemoteSPDK,
-		Features:   microfs.AllFeatures(),
-		Background: true,
-	}
-}
+func nvmecrOpts() core.Options { return core.DefaultOptions() }
 
 func maxInt(a, b int) int {
 	if a > b {

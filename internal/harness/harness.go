@@ -11,12 +11,40 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+
+	"github.com/nvme-cr/nvmecr/internal/telemetry"
 )
 
 // Options configures a harness run.
 type Options struct {
 	// Quick shrinks scales so every experiment finishes fast.
 	Quick bool
+	// Trace, when non-nil, receives a JSONL event stream of the run:
+	// one experiment marker per table plus a virtual-time span for
+	// every rank's writes, fsyncs, snapshots, and restarts. The same
+	// simulated workload produces the same virtual-time trace.
+	Trace io.Writer
+}
+
+// activeTracer is the tracer for the experiment currently inside Run.
+// Experiments build their runtimes several layers below Run, so the
+// tracer is published here rather than threaded through every runner.
+var (
+	tracerMu     sync.Mutex
+	activeTracer *telemetry.Tracer
+)
+
+func setActiveTracer(t *telemetry.Tracer) {
+	tracerMu.Lock()
+	activeTracer = t
+	tracerMu.Unlock()
+}
+
+func currentTracer() *telemetry.Tracer {
+	tracerMu.Lock()
+	defer tracerMu.Unlock()
+	return activeTracer
 }
 
 // Table is one reproduced figure or table.
@@ -88,6 +116,15 @@ func Run(id string, opts Options) (*Table, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, IDs())
+	}
+	if opts.Trace != nil {
+		tr := telemetry.NewTracer(opts.Trace)
+		tr.Emit(telemetry.Event{
+			Name: "harness.experiment", Rank: -1,
+			Attrs: map[string]any{"id": id, "quick": opts.Quick},
+		})
+		setActiveTracer(tr)
+		defer setActiveTracer(nil)
 	}
 	return r(opts)
 }

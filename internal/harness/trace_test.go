@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"github.com/nvme-cr/nvmecr/internal/telemetry"
+)
+
+// TestTraceJSONL runs one quick experiment with tracing attached and
+// checks the stream: an experiment marker, then virtual-time spans from
+// the microfs layer with rank attribution.
+func TestTraceJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Run("tab2", Options{Quick: true, Trace: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	counts := map[string]int{}
+	var first telemetry.Event
+	n := 0
+	for sc.Scan() {
+		var ev telemetry.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v", n, err)
+		}
+		if n == 0 {
+			first = ev
+		}
+		counts[ev.Name]++
+		if ev.Kind == "span" && ev.VirtEndNS < ev.VirtStartNS {
+			t.Fatalf("span %q ends before it starts: %+v", ev.Name, ev)
+		}
+		n++
+	}
+	if first.Name != "harness.experiment" || first.Attrs["id"] != "tab2" {
+		t.Fatalf("first event = %+v, want harness.experiment id=tab2", first)
+	}
+	for _, want := range []string{"microfs.write", "microfs.fsync", "microfs.restart-model", "core.init-rank"} {
+		if counts[want] == 0 {
+			t.Errorf("trace has no %q spans (saw %v)", want, counts)
+		}
+	}
+	// Tracing must be scoped to the traced run: a subsequent untraced
+	// run appends nothing.
+	mark := buf.Len()
+	if _, err := Run("tab2", Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != mark {
+		t.Error("untraced run wrote trace events")
+	}
+}
+
+// TestTraceDeterministic: the same simulated workload yields the same
+// virtual-time spans run to run (wall-clock fields differ).
+func TestTraceDeterministic(t *testing.T) {
+	digest := func() []string {
+		var buf bytes.Buffer
+		if _, err := Run("fig8a", Options{Quick: true, Trace: &buf}); err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(&buf)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		var out []string
+		for sc.Scan() {
+			var ev telemetry.Event
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, fmt.Sprintf("%s/%d@%d-%d", ev.Name, ev.Rank, ev.VirtStartNS, ev.VirtEndNS))
+		}
+		return out
+	}
+	a, b := digest(), digest()
+	if len(a) == 0 {
+		t.Fatal("no events traced")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("run 1 traced %d events, run 2 traced %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+

@@ -30,6 +30,7 @@ func (f *file) WriteN(p *sim.Proc, n int64) (int64, error) {
 
 func (f *file) write(p *sim.Proc, data []byte, n int64) (int64, error) {
 	inst := f.inst
+	defer inst.traceSpan(p, "microfs.write", n)()
 	defer inst.enter(p)()
 	if f.closed {
 		return 0, vfs.ErrClosed
@@ -158,6 +159,7 @@ func (f *file) SeekTo(offset int64) error {
 // Fsync implements vfs.File. NVMe-CR never buffers writes and flushes
 // the log on every operation, so fsync is a single device flush command.
 func (f *file) Fsync(p *sim.Proc) error {
+	defer f.inst.traceSpan(p, "microfs.fsync", -1)()
 	defer f.inst.enter(p)()
 	if f.closed {
 		return vfs.ErrClosed

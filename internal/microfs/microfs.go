@@ -26,6 +26,7 @@ import (
 	"github.com/nvme-cr/nvmecr/internal/model"
 	"github.com/nvme-cr/nvmecr/internal/plane"
 	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/telemetry"
 	"github.com/nvme-cr/nvmecr/internal/vfs"
 	"github.com/nvme-cr/nvmecr/internal/wal"
 )
@@ -95,6 +96,11 @@ type Config struct {
 	// Account, when non-nil, is shared with the data plane so that
 	// kernel/user/IO time lands in one ledger (default: a fresh one).
 	Account *vfs.Account
+	// Tracer, when non-nil, receives a virtual-time span for every
+	// write, fsync, snapshot, and restart on this instance.
+	Tracer *telemetry.Tracer
+	// Rank labels the instance's trace events (its MPI world rank).
+	Rank int
 }
 
 func (c *Config) setDefaults() error {
@@ -245,6 +251,28 @@ func (inst *Instance) logWrite(off int64, data []byte) error {
 		return nil
 	}
 	return inst.cfg.Plane.Write(inst.curProc, off, int64(len(data)), data, 4*model.KB)
+}
+
+// noopSpan is returned by traceSpan when tracing is off, so hot paths
+// pay one nil check and no allocation.
+var noopSpan = func() {}
+
+// traceSpan opens a virtual-time span; invoking the returned func
+// closes it at the process's then-current virtual time. bytes < 0
+// omits the payload attribute.
+func (inst *Instance) traceSpan(p *sim.Proc, name string, bytes int64) func() {
+	tr := inst.cfg.Tracer
+	if tr == nil {
+		return noopSpan
+	}
+	t0 := p.Now()
+	return func() {
+		var attrs map[string]any
+		if bytes >= 0 {
+			attrs = map[string]any{"bytes": bytes}
+		}
+		tr.SpanVirt(name, inst.cfg.Rank, t0, p.Now(), attrs)
+	}
 }
 
 // Account returns the instance's time accounting.

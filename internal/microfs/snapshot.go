@@ -70,6 +70,7 @@ type snapPath struct {
 // background thread between application checkpoints, or synchronously
 // when the log fills.
 func (inst *Instance) SnapshotNow(p *sim.Proc) error {
+	defer inst.traceSpan(p, "microfs.snapshot", -1)()
 	defer inst.enter(p)()
 	if inst.snapBusy {
 		// Another process (background thread vs. forced path) is
@@ -207,6 +208,7 @@ func (inst *Instance) StopBackground(p *sim.Proc) {
 // must capture payloads (functional mode); use ModelRecovery for
 // timing-only estimates at benchmark scale.
 func (inst *Instance) Recover(p *sim.Proc) error {
+	defer inst.traceSpan(p, "microfs.restart", -1)()
 	defer inst.enter(p)()
 	hb := inst.pool.BlockSize()
 	snapBase := inst.cfg.LogBytes
@@ -351,6 +353,7 @@ func (inst *Instance) replay(rec wal.Record) error {
 // would take (snapshot read + log read + replay CPU) without requiring
 // payload capture. Used by benchmark-scale experiments (Table II).
 func (inst *Instance) ModelRecovery(p *sim.Proc) error {
+	defer inst.traceSpan(p, "microfs.restart-model", -1)()
 	defer inst.enter(p)()
 	hb := inst.pool.BlockSize()
 	snapBase := inst.cfg.LogBytes

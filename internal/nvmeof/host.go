@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/telemetry"
 )
 
 // ErrTimeout reports that a command's deadline expired before its
@@ -24,6 +26,12 @@ type HostConfig struct {
 	// CommandTimeout bounds every command round trip on this queue
 	// pair. Zero means commands wait indefinitely.
 	CommandTimeout time.Duration
+	// Telemetry is the registry the queue pair records into. Nil gets
+	// a private registry, so Snapshot always reports live counts.
+	Telemetry *telemetry.Registry
+	// TelemetryQP is the queue-pair label for this host's series
+	// (a HostPool passes the slot index; standalone hosts use 0).
+	TelemetryQP int
 }
 
 // Host is an NVMe-oF initiator over the TCP transport: one queue pair
@@ -46,6 +54,10 @@ type Host struct {
 	err    error
 	errMu  sync.Mutex
 	done   chan struct{}
+
+	reg  *telemetry.Registry
+	tel  qpTelemetry
+	qpID int
 }
 
 // DialAdmin connects an admin queue pair (no namespace bound): only the
@@ -64,6 +76,10 @@ func DialConfig(addr string, nsid uint32, cfg HostConfig) (*Host, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.New()
+	}
 	h := &Host{
 		conn:     conn,
 		bw:       bufio.NewWriterSize(conn, 1<<20),
@@ -72,6 +88,9 @@ func DialConfig(addr string, nsid uint32, cfg HostConfig) (*Host, error) {
 		timeout:  cfg.CommandTimeout,
 		inflight: make(map[uint16]chan *Response),
 		done:     make(chan struct{}),
+		reg:      reg,
+		tel:      newQPTelemetry(reg, cfg.TelemetryQP),
+		qpID:     cfg.TelemetryQP,
 	}
 	go h.readLoop()
 	resp, err := h.roundTrip(&Command{Opcode: OpConnect, NSID: nsid})
@@ -109,6 +128,16 @@ func (h *Host) InFlight() int {
 	h.respMu.Lock()
 	defer h.respMu.Unlock()
 	return len(h.inflight)
+}
+
+// Telemetry returns the registry this queue pair records into, for
+// exposition (e.g. the nvmecrd admin listener's /metrics).
+func (h *Host) Telemetry() *telemetry.Registry { return h.reg }
+
+// Snapshot reports the queue pair's live counters and latency
+// quantiles in the unified snapshot form.
+func (h *Host) Snapshot() []telemetry.HostQPSnapshot {
+	return []telemetry.HostQPSnapshot{h.tel.snapshot(h.qpID, h.Healthy(), h.InFlight())}
 }
 
 // readLoop dispatches completions to waiting submitters.
@@ -163,9 +192,18 @@ func (h *Host) lastErr() error {
 // reserved CID 0.
 const maxInflight = 1<<16 - 1
 
-// roundTrip submits one command and waits for its completion, bounded
-// by the queue pair's CommandTimeout if one is configured.
+// roundTrip submits one command and records its outcome in the queue
+// pair's telemetry series.
 func (h *Host) roundTrip(cmd *Command) (*Response, error) {
+	start := time.Now()
+	resp, err := h.submit(cmd)
+	h.tel.observe(cmd, resp, err, time.Since(start))
+	return resp, err
+}
+
+// submit sends one command and waits for its completion, bounded by
+// the queue pair's CommandTimeout if one is configured.
+func (h *Host) submit(cmd *Command) (*Response, error) {
 	ch := make(chan *Response, 1)
 	h.respMu.Lock()
 	if len(h.inflight) >= maxInflight {

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/telemetry"
 )
 
 // ErrPoolClosed reports a command issued after HostPool.Close.
@@ -38,6 +40,9 @@ type PoolConfig struct {
 	// attempts for a failed queue pair; it doubles per attempt up to
 	// one second (default 10ms).
 	ReconnectBackoff time.Duration
+	// Telemetry is the registry every queue pair records into. Nil
+	// gets a private registry, so Snapshot always reports live counts.
+	Telemetry *telemetry.Registry
 }
 
 func (c PoolConfig) withDefaults() PoolConfig {
@@ -59,21 +64,23 @@ func (c PoolConfig) withDefaults() PoolConfig {
 }
 
 // qpSlot is one pool position. The Host occupying it is replaced on
-// reconnect; a nil host means the slot is down.
+// reconnect; a nil host means the slot is down. Commands, errors, and
+// latency are recorded by the Host itself inside roundTrip; the slot's
+// instruments share those series (same registry, same qp label) and
+// additionally count pool-level events: retries and reconnects.
 type qpSlot struct {
-	id int
+	id  int
+	tel qpTelemetry
 
 	mu           sync.Mutex
 	host         *Host
 	reconnecting bool
-
-	// Counters (atomic).
-	commands   uint64
-	errors     uint64
-	reconnects uint64
 }
 
 // QPStats is a snapshot of one pool slot.
+//
+// Deprecated: use HostPool.Snapshot, which returns the unified
+// telemetry.HostQPSnapshot with latency quantiles and retry counts.
 type QPStats struct {
 	ID         int
 	Healthy    bool
@@ -98,6 +105,7 @@ type HostPool struct {
 	slots  []*qpSlot
 	rr     uint32 // atomic round-robin cursor
 	nsSize int64
+	reg    *telemetry.Registry
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -111,24 +119,40 @@ type HostPool struct {
 // individual failures are repaired in the background.
 func DialPool(addr string, nsid uint32, cfg PoolConfig) (*HostPool, error) {
 	cfg = cfg.withDefaults()
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.New()
+	}
 	p := &HostPool{
 		addr:   addr,
 		nsid:   nsid,
 		cfg:    cfg,
 		closed: make(chan struct{}),
+		reg:    reg,
 	}
 	for i := 0; i < cfg.QueuePairs; i++ {
-		h, err := DialConfig(addr, nsid, HostConfig{CommandTimeout: cfg.CommandTimeout})
+		h, err := p.dialSlot(i)
 		if err != nil {
 			for _, s := range p.slots {
 				s.host.Close()
 			}
 			return nil, fmt.Errorf("nvmeof: pool: queue pair %d: %w", i, err)
 		}
-		p.slots = append(p.slots, &qpSlot{id: i, host: h})
+		p.slots = append(p.slots, &qpSlot{id: i, tel: newQPTelemetry(reg, i), host: h})
 	}
 	p.nsSize = p.slots[0].host.NamespaceSize()
+	reg.Gauge(MetricPoolQueuePairs, nil).Set(int64(cfg.QueuePairs))
 	return p, nil
+}
+
+// dialSlot opens the queue pair for slot i against the shared registry,
+// so a replacement Host dialed after an outage lands on the same series.
+func (p *HostPool) dialSlot(i int) (*Host, error) {
+	return DialConfig(p.addr, p.nsid, HostConfig{
+		CommandTimeout: p.cfg.CommandTimeout,
+		Telemetry:      p.reg,
+		TelemetryQP:    i,
+	})
 }
 
 // NamespaceSize returns the connected namespace's capacity.
@@ -137,24 +161,44 @@ func (p *HostPool) NamespaceSize() int64 { return p.nsSize }
 // QueuePairs returns the pool width.
 func (p *HostPool) QueuePairs() int { return len(p.slots) }
 
-// Stats snapshots every slot.
-func (p *HostPool) Stats() []QPStats {
-	out := make([]QPStats, 0, len(p.slots))
+// Telemetry returns the registry the pool's queue pairs record into,
+// for exposition (e.g. the nvmecrd admin listener's /metrics).
+func (p *HostPool) Telemetry() *telemetry.Registry { return p.reg }
+
+// Snapshot reports every queue pair's live counters and latency
+// quantiles in the unified snapshot form, ordered by slot ID.
+func (p *HostPool) Snapshot() []telemetry.HostQPSnapshot {
+	out := make([]telemetry.HostQPSnapshot, 0, len(p.slots))
 	for _, s := range p.slots {
 		s.mu.Lock()
 		h := s.host
 		s.mu.Unlock()
-		st := QPStats{
-			ID:         s.id,
-			Commands:   atomic.LoadUint64(&s.commands),
-			Errors:     atomic.LoadUint64(&s.errors),
-			Reconnects: atomic.LoadUint64(&s.reconnects),
-		}
+		healthy, inflight := false, 0
 		if h != nil && h.Healthy() {
-			st.Healthy = true
-			st.InFlight = h.InFlight()
+			healthy = true
+			inflight = h.InFlight()
 		}
-		out = append(out, st)
+		out = append(out, s.tel.snapshot(s.id, healthy, inflight))
+	}
+	return out
+}
+
+// Stats snapshots every slot.
+//
+// Deprecated: use Snapshot, which adds retries, byte counts, and
+// latency quantiles.
+func (p *HostPool) Stats() []QPStats {
+	snaps := p.Snapshot()
+	out := make([]QPStats, 0, len(snaps))
+	for _, s := range snaps {
+		out = append(out, QPStats{
+			ID:         s.ID,
+			Healthy:    s.Healthy,
+			InFlight:   s.InFlight,
+			Commands:   s.Commands,
+			Errors:     s.Errors,
+			Reconnects: s.Reconnects,
+		})
 	}
 	return out
 }
@@ -237,7 +281,7 @@ func (p *HostPool) reconnect(s *qpSlot) {
 			return
 		default:
 		}
-		h, err := DialConfig(p.addr, p.nsid, HostConfig{CommandTimeout: p.cfg.CommandTimeout})
+		h, err := p.dialSlot(s.id)
 		if err == nil {
 			s.mu.Lock()
 			select {
@@ -250,7 +294,7 @@ func (p *HostPool) reconnect(s *qpSlot) {
 			}
 			s.host = h
 			s.reconnecting = false
-			atomic.AddUint64(&s.reconnects, 1)
+			s.tel.reconnects.Inc()
 			s.mu.Unlock()
 			return
 		}
@@ -300,12 +344,14 @@ func (p *HostPool) do(cmd *Command, idempotent bool) (*Response, error) {
 			lastErr = err
 			continue
 		}
-		atomic.AddUint64(&s.commands, 1)
+		if a > 0 {
+			s.tel.retries.Inc()
+		}
+		// roundTrip records commands, errors, bytes, and latency.
 		resp, err := h.roundTrip(cmd)
 		if err == nil {
 			return resp, nil
 		}
-		atomic.AddUint64(&s.errors, 1)
 		lastErr = err
 		if !errors.Is(err, ErrTimeout) {
 			// The queue pair is dead; a timed-out queue pair stays up
@@ -355,10 +401,8 @@ func (p *HostPool) Flush() error {
 			p.noteFailure(s, h)
 			continue
 		}
-		atomic.AddUint64(&s.commands, 1)
 		resp, err := h.roundTrip(&Command{Opcode: OpFlushCmd})
 		if err != nil {
-			atomic.AddUint64(&s.errors, 1)
 			if !errors.Is(err, ErrTimeout) {
 				p.noteFailure(s, h)
 			}

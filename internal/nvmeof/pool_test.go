@@ -106,7 +106,9 @@ func TestPoolWriteReadAcrossQueuePairs(t *testing.T) {
 	if used < 2 {
 		t.Errorf("only %d of 4 queue pairs carried commands", used)
 	}
-	if want := uint64(workers*writes*2 + 4 + 1); total != want {
+	// Every round trip counts, including each queue pair's CONNECT at
+	// dial and its FLUSH at the barrier.
+	if want := uint64(workers*writes*2 + 4 + 4 + 1); total != want {
 		t.Errorf("pool issued %d commands, want %d", total, want)
 	}
 }

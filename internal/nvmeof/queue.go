@@ -1,0 +1,34 @@
+package nvmeof
+
+import "github.com/nvme-cr/nvmecr/internal/telemetry"
+
+// Queue is the canonical initiator type: the command surface shared by
+// a single queue pair (Host) and a multi-queue-pair initiator
+// (HostPool). Callers that only move bytes to and from a connected
+// namespace — TCPPlane, the CLIs, applications — program against
+// Queue; the concrete types stay exported for callers that need
+// pool-specific tuning or admin commands.
+type Queue interface {
+	// NamespaceSize returns the connected namespace's capacity.
+	NamespaceSize() int64
+	// WriteAt writes data at the namespace offset.
+	WriteAt(off int64, data []byte) error
+	// ReadAt reads length bytes from the namespace offset.
+	ReadAt(off, length int64) ([]byte, error)
+	// Flush issues a durability barrier.
+	Flush() error
+	// Identify re-reads the namespace properties from the target.
+	Identify() (int64, error)
+	// Snapshot reports live per-queue-pair counters and latency
+	// quantiles (one element per queue pair, ordered by slot).
+	Snapshot() []telemetry.HostQPSnapshot
+	// Telemetry returns the registry the initiator records into.
+	Telemetry() *telemetry.Registry
+	// Close tears down every queue pair.
+	Close() error
+}
+
+var (
+	_ Queue = (*Host)(nil)
+	_ Queue = (*HostPool)(nil)
+)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/nvme-cr/nvmecr/internal/extent"
+	"github.com/nvme-cr/nvmecr/internal/telemetry"
 )
 
 // stripeBytes is the lock-striping granularity of a MemNamespace: each
@@ -144,18 +145,25 @@ func (ns *MemNamespace) readAt(off, length int64) ([]byte, uint16) {
 }
 
 // qpConn is the target's bookkeeping for one accepted queue pair. The
-// counters are atomic so the per-command path never takes Target.mu.
+// counters live in the target's registry (one series per accepted
+// queue pair, labeled by ID) so the per-command path never takes
+// Target.mu and /metrics sees every queue pair that ever connected.
 type qpConn struct {
 	id   int
 	conn net.Conn
 
-	nsid     atomic.Uint32 // namespace bound by CONNECT (0 = admin / none)
-	commands atomic.Int64
-	bytesIn  atomic.Int64
-	bytesOut atomic.Int64
+	nsid atomic.Uint32 // namespace bound by CONNECT (0 = admin / none)
+
+	commands *telemetry.Counter
+	errors   *telemetry.Counter
+	bytesIn  *telemetry.Counter
+	bytesOut *telemetry.Counter
 }
 
 // TargetQPStats is a snapshot of one queue pair's activity.
+//
+// Deprecated: use Target.Snapshot, which returns the unified
+// telemetry.TargetSnapshot with error counts and latency quantiles.
 type TargetQPStats struct {
 	ID       int
 	Remote   string
@@ -182,18 +190,29 @@ type Target struct {
 	conns      map[int]*qpConn
 	nextQPID   int
 
-	// Stats (atomic: bumped on every command, off the t.mu path).
-	commands atomic.Int64
-	bytesIn  atomic.Int64
-	bytesOut atomic.Int64
+	// Registry-backed stats (bumped on every command, off the t.mu
+	// path; counters are atomic internally).
+	reg      *telemetry.Registry
+	commands *telemetry.Counter
+	errors   *telemetry.Counter
+	bytesIn  *telemetry.Counter
+	bytesOut *telemetry.Counter
+	latency  *telemetry.Histogram
 }
 
 // NewTarget creates an empty target with unlimited capacity.
 func NewTarget() *Target {
+	reg := telemetry.New()
 	return &Target{
 		namespaces: make(map[uint32]*MemNamespace),
 		nextNSID:   1,
 		conns:      make(map[int]*qpConn),
+		reg:        reg,
+		commands:   reg.Counter(MetricTargetCommands, nil),
+		errors:     reg.Counter(MetricTargetErrors, nil),
+		bytesIn:    reg.Counter(MetricTargetBytesIn, nil),
+		bytesOut:   reg.Counter(MetricTargetBytesOut, nil),
+		latency:    reg.Histogram(MetricTargetLatency, nil, nil),
 	}
 }
 
@@ -320,7 +339,15 @@ func (t *Target) register(conn net.Conn) (*qpConn, bool) {
 		return nil, false
 	}
 	t.nextQPID++
-	qp := &qpConn{id: t.nextQPID, conn: conn}
+	l := telemetry.Labels{"qp": fmt.Sprint(t.nextQPID)}
+	qp := &qpConn{
+		id:       t.nextQPID,
+		conn:     conn,
+		commands: t.reg.Counter(MetricTargetQPCommands, l),
+		errors:   t.reg.Counter(MetricTargetQPErrors, l),
+		bytesIn:  t.reg.Counter(MetricTargetQPBytesIn, l),
+		bytesOut: t.reg.Counter(MetricTargetQPBytesOut, l),
+	}
 	t.conns[qp.id] = qp
 	return qp, true
 }
@@ -352,10 +379,11 @@ func (t *Target) serve(conn net.Conn) {
 			bw.Flush()
 			return
 		}
-		t.commands.Add(1)
-		t.bytesIn.Add(int64(len(cmd.Data)))
-		qp.commands.Add(1)
-		qp.bytesIn.Add(int64(len(cmd.Data)))
+		start := time.Now()
+		t.commands.Inc()
+		t.bytesIn.Add(uint64(len(cmd.Data)))
+		qp.commands.Inc()
+		qp.bytesIn.Add(uint64(len(cmd.Data)))
 		resp := &Response{CID: cmd.CID, Status: StatusOK}
 		switch cmd.Opcode {
 		case OpConnect:
@@ -424,8 +452,13 @@ func (t *Target) serve(conn net.Conn) {
 		default:
 			resp.Status = StatusInvalidOpcode
 		}
-		t.bytesOut.Add(int64(len(resp.Data)))
-		qp.bytesOut.Add(int64(len(resp.Data)))
+		if resp.Status != StatusOK {
+			t.errors.Inc()
+			qp.errors.Inc()
+		}
+		t.bytesOut.Add(uint64(len(resp.Data)))
+		qp.bytesOut.Add(uint64(len(resp.Data)))
+		t.latency.ObserveDuration(time.Since(start))
 		if err := WriteResponse(bw, resp); err != nil {
 			return
 		}
@@ -450,31 +483,68 @@ func adminOnly(connected *MemNamespace, admin bool) uint16 {
 	return StatusOK
 }
 
-// Stats reports served commands and payload byte counts.
-func (t *Target) Stats() (commands, bytesIn, bytesOut int64) {
-	return t.commands.Load(), t.bytesIn.Load(), t.bytesOut.Load()
-}
+// Telemetry returns the target's registry, for exposition (the
+// nvmecrd admin listener serves it at /metrics).
+func (t *Target) Telemetry() *telemetry.Registry { return t.reg }
 
-// QueuePairStats snapshots the live queue pairs, ordered by ID.
-func (t *Target) QueuePairStats() []TargetQPStats {
+// Snapshot reports the target's totals, command latency quantiles, and
+// the live queue pairs (ordered by ID) in the unified snapshot form.
+func (t *Target) Snapshot() telemetry.TargetSnapshot {
 	t.mu.Lock()
 	qps := make([]*qpConn, 0, len(t.conns))
 	for _, qp := range t.conns {
 		qps = append(qps, qp)
 	}
 	t.mu.Unlock()
-	out := make([]TargetQPStats, 0, len(qps))
+	snap := telemetry.TargetSnapshot{
+		Commands: t.commands.Value(),
+		Errors:   t.errors.Value(),
+		BytesIn:  t.bytesIn.Value(),
+		BytesOut: t.bytesOut.Value(),
+		Latency:  t.latency.Latency(),
+	}
 	for _, qp := range qps {
-		out = append(out, TargetQPStats{
+		snap.QueuePairs = append(snap.QueuePairs, telemetry.TargetQPSnapshot{
 			ID:       qp.id,
 			Remote:   qp.conn.RemoteAddr().String(),
 			NSID:     qp.nsid.Load(),
-			Commands: qp.commands.Load(),
-			BytesIn:  qp.bytesIn.Load(),
-			BytesOut: qp.bytesOut.Load(),
+			Commands: qp.commands.Value(),
+			Errors:   qp.errors.Value(),
+			BytesIn:  qp.bytesIn.Value(),
+			BytesOut: qp.bytesOut.Value(),
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	sort.Slice(snap.QueuePairs, func(i, j int) bool {
+		return snap.QueuePairs[i].ID < snap.QueuePairs[j].ID
+	})
+	return snap
+}
+
+// Stats reports served commands and payload byte counts.
+//
+// Deprecated: use Snapshot, which adds errors and latency quantiles.
+func (t *Target) Stats() (commands, bytesIn, bytesOut int64) {
+	s := t.Snapshot()
+	return int64(s.Commands), int64(s.BytesIn), int64(s.BytesOut)
+}
+
+// QueuePairStats snapshots the live queue pairs, ordered by ID.
+//
+// Deprecated: use Snapshot, whose QueuePairs field carries the same
+// rows plus error counts.
+func (t *Target) QueuePairStats() []TargetQPStats {
+	snap := t.Snapshot()
+	out := make([]TargetQPStats, 0, len(snap.QueuePairs))
+	for _, qp := range snap.QueuePairs {
+		out = append(out, TargetQPStats{
+			ID:       qp.ID,
+			Remote:   qp.Remote,
+			NSID:     qp.NSID,
+			Commands: int64(qp.Commands),
+			BytesIn:  int64(qp.BytesIn),
+			BytesOut: int64(qp.BytesOut),
+		})
+	}
 	return out
 }
 

@@ -6,21 +6,6 @@ import (
 	"github.com/nvme-cr/nvmecr/internal/sim"
 )
 
-// Queue is the data-plane command surface shared by a single queue
-// pair (Host) and a multi-queue-pair initiator (HostPool): everything
-// TCPPlane needs to move bytes to and from a connected namespace.
-type Queue interface {
-	NamespaceSize() int64
-	WriteAt(off int64, data []byte) error
-	ReadAt(off, length int64) ([]byte, error)
-	Flush() error
-}
-
-var (
-	_ Queue = (*Host)(nil)
-	_ Queue = (*HostPool)(nil)
-)
-
 // TCPPlane adapts a TCP NVMe-oF initiator (one queue pair or a pool of
 // them) to the plane.Plane interface, so the full microfs control plane
 // (provenance log, snapshots, crash recovery) runs against a real

@@ -1,0 +1,95 @@
+package nvmeof
+
+import (
+	"strconv"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/telemetry"
+)
+
+// Metric names exported by this package. Initiator-side series are
+// labeled by queue-pair slot ("qp"); target-side totals are unlabeled
+// and per-connection series are labeled by the accepted queue pair id.
+const (
+	MetricQPCommands   = "nvmecr_qp_commands_total"
+	MetricQPErrors     = "nvmecr_qp_errors_total"
+	MetricQPRetries    = "nvmecr_qp_retries_total"
+	MetricQPReconnects = "nvmecr_qp_reconnects_total"
+	MetricQPBytesOut   = "nvmecr_qp_bytes_out_total"
+	MetricQPBytesIn    = "nvmecr_qp_bytes_in_total"
+	MetricQPLatency    = "nvmecr_qp_command_latency_seconds"
+
+	MetricPoolQueuePairs = "nvmecr_pool_queue_pairs"
+
+	MetricTargetCommands = "nvmecr_target_commands_total"
+	MetricTargetErrors   = "nvmecr_target_errors_total"
+	MetricTargetBytesIn  = "nvmecr_target_bytes_in_total"
+	MetricTargetBytesOut = "nvmecr_target_bytes_out_total"
+	MetricTargetLatency  = "nvmecr_target_command_latency_seconds"
+
+	MetricTargetQPCommands = "nvmecr_target_qp_commands_total"
+	MetricTargetQPErrors   = "nvmecr_target_qp_errors_total"
+	MetricTargetQPBytesIn  = "nvmecr_target_qp_bytes_in_total"
+	MetricTargetQPBytesOut = "nvmecr_target_qp_bytes_out_total"
+)
+
+// qpTelemetry caches one queue pair's registry instruments so the
+// per-command path never takes the registry lock. The zero value is a
+// valid no-op set (every instrument nil).
+type qpTelemetry struct {
+	commands   *telemetry.Counter
+	errors     *telemetry.Counter
+	retries    *telemetry.Counter
+	reconnects *telemetry.Counter
+	bytesOut   *telemetry.Counter
+	bytesIn    *telemetry.Counter
+	latency    *telemetry.Histogram
+}
+
+// newQPTelemetry binds (or re-binds, after a reconnect) the instruments
+// for initiator queue-pair slot qp. Get-or-create semantics mean a
+// replacement Host dialed into the same slot continues the same series.
+func newQPTelemetry(reg *telemetry.Registry, qp int) qpTelemetry {
+	l := telemetry.Labels{"qp": strconv.Itoa(qp)}
+	return qpTelemetry{
+		commands:   reg.Counter(MetricQPCommands, l),
+		errors:     reg.Counter(MetricQPErrors, l),
+		retries:    reg.Counter(MetricQPRetries, l),
+		reconnects: reg.Counter(MetricQPReconnects, l),
+		bytesOut:   reg.Counter(MetricQPBytesOut, l),
+		bytesIn:    reg.Counter(MetricQPBytesIn, l),
+		latency:    reg.Histogram(MetricQPLatency, nil, l),
+	}
+}
+
+// observe records one completed round trip.
+func (q *qpTelemetry) observe(cmd *Command, resp *Response, err error, elapsed time.Duration) {
+	q.commands.Inc()
+	if err != nil {
+		q.errors.Inc()
+		return
+	}
+	q.latency.ObserveDuration(elapsed)
+	if cmd.Data != nil {
+		q.bytesOut.Add(uint64(len(cmd.Data)))
+	}
+	if resp != nil && resp.Data != nil {
+		q.bytesIn.Add(uint64(len(resp.Data)))
+	}
+}
+
+// snapshot renders the instruments as the unified snapshot type.
+func (q *qpTelemetry) snapshot(id int, healthy bool, inflight int) telemetry.HostQPSnapshot {
+	return telemetry.HostQPSnapshot{
+		ID:         id,
+		Healthy:    healthy,
+		InFlight:   inflight,
+		Commands:   q.commands.Value(),
+		Errors:     q.errors.Value(),
+		Retries:    q.retries.Value(),
+		Reconnects: q.reconnects.Value(),
+		BytesOut:   q.bytesOut.Value(),
+		BytesIn:    q.bytesIn.Value(),
+		Latency:    q.latency.Latency(),
+	}
+}

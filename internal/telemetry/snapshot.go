@@ -1,0 +1,57 @@
+package telemetry
+
+import "time"
+
+// This file defines the unified snapshot surface: every component that
+// reports per-queue-pair activity (initiator pools, targets) returns
+// these types, with one naming convention — Commands, Errors, Retries,
+// Reconnects — instead of each package inventing its own stats struct.
+
+// LatencySnapshot summarizes a latency histogram at one instant.
+type LatencySnapshot struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// HostQPSnapshot is the initiator-side view of one queue pair (one
+// slot of a HostPool, or a standalone Host as slot 0).
+type HostQPSnapshot struct {
+	ID       int
+	Healthy  bool
+	InFlight int
+
+	Commands   uint64
+	Errors     uint64
+	Retries    uint64
+	Reconnects uint64
+	BytesOut   uint64 // payload sent to the target (writes)
+	BytesIn    uint64 // payload received from the target (reads)
+
+	Latency LatencySnapshot
+}
+
+// TargetQPSnapshot is the target-side view of one accepted queue pair.
+type TargetQPSnapshot struct {
+	ID       int
+	Remote   string
+	NSID     uint32
+	Commands uint64
+	Errors   uint64
+	BytesIn  uint64
+	BytesOut uint64
+}
+
+// TargetSnapshot aggregates a target's activity: totals plus the live
+// queue pairs, ordered by ID.
+type TargetSnapshot struct {
+	Commands uint64
+	Errors   uint64
+	BytesIn  uint64
+	BytesOut uint64
+
+	Latency    LatencySnapshot
+	QueuePairs []TargetQPSnapshot
+}

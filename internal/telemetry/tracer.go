@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one trace record. Spans carry both clocks: virtual time
+// (the simulation's deterministic clock, replayable run-to-run) and
+// wall time (when the hosting process actually executed it). Events
+// from real-TCP components carry wall time only.
+type Event struct {
+	// Name identifies the operation, dot-scoped by layer
+	// (e.g. "microfs.write", "core.init-rank", "harness.experiment").
+	Name string `json:"name"`
+	// Kind is "span" (has an end) or "point".
+	Kind string `json:"kind"`
+	// Rank is the MPI rank the event belongs to (-1 when not rank-scoped).
+	Rank int `json:"rank"`
+	// VirtStartNS/VirtEndNS are simulation virtual time in nanoseconds.
+	VirtStartNS int64 `json:"virt_start_ns,omitempty"`
+	VirtEndNS   int64 `json:"virt_end_ns,omitempty"`
+	// WallNS is the wall-clock instant the event was emitted (UnixNano).
+	WallNS int64 `json:"wall_ns"`
+	// WallDurNS is the wall-clock duration for wall-time spans.
+	WallDurNS int64 `json:"wall_dur_ns,omitempty"`
+	// Attrs carries operation-specific payload (bytes, path, status).
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Tracer appends events as JSON Lines to a writer. All methods are
+// safe for concurrent use and nil-safe: a nil *Tracer discards
+// everything, so call sites never branch on tracing being enabled.
+type Tracer struct {
+	mu     sync.Mutex
+	enc    *json.Encoder
+	events uint64
+	err    error
+}
+
+// NewTracer wraps w (typically an *os.File); each event is one JSON
+// line, flushed per event so a crash loses at most the line in flight.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{enc: json.NewEncoder(w)}
+}
+
+// Emit appends one event, stamping WallNS if unset.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	if ev.WallNS == 0 {
+		ev.WallNS = time.Now().UnixNano()
+	}
+	if ev.Kind == "" {
+		ev.Kind = "point"
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err := t.enc.Encode(&ev); err != nil {
+		t.err = err // sink broken: stop writing, keep the run alive
+		return
+	}
+	t.events++
+}
+
+// SpanVirt records a span measured on the simulation's virtual clock.
+func (t *Tracer) SpanVirt(name string, rank int, start, end time.Duration, attrs map[string]any) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{
+		Name: name, Kind: "span", Rank: rank,
+		VirtStartNS: int64(start), VirtEndNS: int64(end),
+		Attrs: attrs,
+	})
+}
+
+// SpanWall records a span measured on the wall clock (real TCP paths).
+func (t *Tracer) SpanWall(name string, rank int, start time.Time, dur time.Duration, attrs map[string]any) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{
+		Name: name, Kind: "span", Rank: rank,
+		WallNS: start.UnixNano(), WallDurNS: int64(dur),
+		Attrs: attrs,
+	})
+}
+
+// Events returns how many events have been written.
+func (t *Tracer) Events() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// Err reports the first write error, if the sink failed.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}

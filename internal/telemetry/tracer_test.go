@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.SpanVirt("microfs.write", 3, 10*time.Microsecond, 25*time.Microsecond, map[string]any{"bytes": 4096})
+	tr.SpanWall("nvmeof.write", -1, time.Unix(100, 0), 2*time.Millisecond, nil)
+	tr.Emit(Event{Name: "harness.experiment", Attrs: map[string]any{"id": "fig7b"}})
+	if got := tr.Events(); got != 3 {
+		t.Fatalf("Events = %d, want 3", got)
+	}
+	sc := bufio.NewScanner(&buf)
+	var events []Event
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 3 {
+		t.Fatalf("decoded %d events, want 3", len(events))
+	}
+	if events[0].Name != "microfs.write" || events[0].Kind != "span" || events[0].Rank != 3 {
+		t.Fatalf("span 0 = %+v", events[0])
+	}
+	if events[0].VirtStartNS != 10_000 || events[0].VirtEndNS != 25_000 {
+		t.Fatalf("virtual clock not recorded: %+v", events[0])
+	}
+	if events[1].WallNS != time.Unix(100, 0).UnixNano() || events[1].WallDurNS != int64(2*time.Millisecond) {
+		t.Fatalf("wall clock not recorded: %+v", events[1])
+	}
+	if events[2].Kind != "point" || events[2].WallNS == 0 {
+		t.Fatalf("point event not stamped: %+v", events[2])
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.SpanVirt("op", w, 0, time.Microsecond, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Events(); got != 4000 {
+		t.Fatalf("Events = %d, want 4000", got)
+	}
+	// Every line must still be valid JSON (no interleaving).
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d corrupt: %v", n, err)
+		}
+		n++
+	}
+	if n != 4000 {
+		t.Fatalf("wrote %d lines, want 4000", n)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Name: "x"})
+	tr.SpanVirt("x", 0, 0, 0, nil)
+	tr.SpanWall("x", 0, time.Now(), 0, nil)
+	if tr.Events() != 0 || tr.Err() != nil {
+		t.Fatal("nil tracer must read zero")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n > 1 {
+		return 0, errors.New("sink full")
+	}
+	return len(p), nil
+}
+
+func TestTracerSinkFailureIsSticky(t *testing.T) {
+	tr := NewTracer(&failWriter{})
+	tr.Emit(Event{Name: "a"})
+	tr.Emit(Event{Name: "b"}) // fails
+	tr.Emit(Event{Name: "c"}) // dropped silently
+	if tr.Events() != 1 {
+		t.Fatalf("Events = %d, want 1", tr.Events())
+	}
+	if tr.Err() == nil {
+		t.Fatal("Err must report the sink failure")
+	}
+}

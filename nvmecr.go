@@ -26,6 +26,7 @@ package nvmecr
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"github.com/nvme-cr/nvmecr/internal/balancer"
@@ -38,6 +39,7 @@ import (
 	"github.com/nvme-cr/nvmecr/internal/nvme"
 	"github.com/nvme-cr/nvmecr/internal/nvmeof"
 	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/telemetry"
 	"github.com/nvme-cr/nvmecr/internal/topology"
 	"github.com/nvme-cr/nvmecr/internal/vfs"
 )
@@ -66,6 +68,35 @@ type (
 	Proc = sim.Proc
 )
 
+// Telemetry (metrics registry, snapshots, and JSONL tracing).
+type (
+	// Registry is a concurrency-safe metrics registry: counters,
+	// gauges, and latency histograms with a Prometheus text
+	// exposition. Attach one via Options.Telemetry (simulated jobs) or
+	// read the registry every Target/Queue creates for itself.
+	Registry = telemetry.Registry
+	// MetricLabels distinguishes series of the same metric name.
+	MetricLabels = telemetry.Labels
+	// Tracer writes a JSONL event stream (one telemetry.Event per
+	// line). Attach via Options.Tracer or ExperimentOptions.Trace.
+	Tracer = telemetry.Tracer
+	// TraceEvent is one point or span in a trace stream.
+	TraceEvent = telemetry.Event
+	// LatencySnapshot summarizes a latency histogram (count, mean,
+	// p50/p95/p99).
+	LatencySnapshot = telemetry.LatencySnapshot
+	// QueueSnapshot is one initiator queue pair's counters.
+	QueueSnapshot = telemetry.HostQPSnapshot
+	// TargetSnapshot is a target's aggregate and per-QP counters.
+	TargetSnapshot = telemetry.TargetSnapshot
+)
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry { return telemetry.New() }
+
+// NewTracer creates a tracer writing JSONL events to w.
+func NewTracer(w io.Writer) *Tracer { return telemetry.NewTracer(w) }
+
 // Plane modes.
 const (
 	// RemoteSPDK is the production NVMe-oF userspace path.
@@ -89,6 +120,12 @@ func PaperTestbed() ClusterConfig { return topology.PaperTestbed() }
 // hugeblocks).
 func AllFeatures() Features { return microfs.AllFeatures() }
 
+// DefaultOptions returns the production runtime configuration: remote
+// NVMe-oF userspace plane, all features, background provenance thread.
+// Modify the returned value to diverge from one blessed default instead
+// of constructing Options field by field.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
 // JobConfig configures NewJob.
 type JobConfig struct {
 	// Ranks is the number of MPI processes (required).
@@ -97,8 +134,9 @@ type JobConfig struct {
 	Topology ClusterConfig
 	// Params overrides model constants (default: DefaultParams).
 	Params *Params
-	// Options configures the runtime; zero value = production remote
-	// NVMe-oF with all features.
+	// Options configures the runtime; the zero value and
+	// DefaultOptions() both mean production remote NVMe-oF with all
+	// features. Start from DefaultOptions() to override single fields.
 	Options Options
 	// Capture stores real payload bytes on the simulated devices so
 	// files can be read back verbatim (slower; for functional use).
@@ -157,13 +195,8 @@ func NewJob(cfg JobConfig) (*Job, error) {
 		}
 	}
 	opts := cfg.Options
-	zero := core.Options{}
-	if opts == zero {
-		opts = core.Options{
-			Mode:       core.RemoteSPDK,
-			Features:   microfs.AllFeatures(),
-			Background: true,
-		}
+	if !opts.IsDefaulted() && opts == (core.Options{}) {
+		opts = core.DefaultOptions()
 	}
 	rt, err := core.NewRuntime(env, world, fab, devices, opts)
 	if err != nil {
@@ -217,10 +250,18 @@ func Experiments() []string { return harness.IDs() }
 
 // TCP NVMe-oF (functional remote data plane; see internal/nvmeof).
 
+// Queue is the canonical NVMe-oF initiator: namespace-aware reads,
+// writes, and flushes plus a telemetry snapshot, whether backed by one
+// queue pair (DialTarget) or a sharded pool (DialTargetPool). Write
+// code against Queue; reach for the concrete Host/HostPool types only
+// when you need their extra knobs.
+type Queue = nvmeof.Queue
+
 // Target is a TCP NVMe-oF target daemon.
 type Target = nvmeof.Target
 
-// Host is a TCP NVMe-oF initiator.
+// Host is a single-queue-pair TCP NVMe-oF initiator (advanced; most
+// code should hold a Queue).
 type Host = nvmeof.Host
 
 // NewTarget creates an empty TCP NVMe-oF target.
@@ -229,19 +270,20 @@ func NewTarget() *Target { return nvmeof.NewTarget() }
 // NewMemNamespace creates a target-side namespace of the given size.
 func NewMemNamespace(size int64) *nvmeof.MemNamespace { return nvmeof.NewMemNamespace(size) }
 
-// DialTarget connects a queue pair to a TCP target.
-func DialTarget(addr string, nsid uint32) (*Host, error) { return nvmeof.Dial(addr, nsid) }
+// DialTarget connects a single queue pair to a TCP target.
+func DialTarget(addr string, nsid uint32) (Queue, error) { return nvmeof.Dial(addr, nsid) }
 
 // HostPool is a multi-queue-pair TCP NVMe-oF initiator: commands shard
 // across independent connections, idempotent commands retry, and failed
-// queue pairs reconnect in the background.
+// queue pairs reconnect in the background (advanced; most code should
+// hold a Queue).
 type HostPool = nvmeof.HostPool
 
 // PoolConfig tunes DialTargetPool (queue pairs, deadlines, retry and
-// reconnect backoff).
+// reconnect backoff, shared telemetry registry).
 type PoolConfig = nvmeof.PoolConfig
 
 // DialTargetPool connects a pool of queue pairs to a TCP target.
-func DialTargetPool(addr string, nsid uint32, cfg PoolConfig) (*HostPool, error) {
+func DialTargetPool(addr string, nsid uint32, cfg PoolConfig) (Queue, error) {
 	return nvmeof.DialPool(addr, nsid, cfg)
 }

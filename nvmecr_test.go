@@ -3,6 +3,7 @@ package nvmecr
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"testing"
 
 	"github.com/nvme-cr/nvmecr/internal/model"
@@ -132,6 +133,51 @@ func TestTCPFacade(t *testing.T) {
 	got, err := h.ReadAt(0, 6)
 	if err != nil || string(got) != "facade" {
 		t.Fatalf("ReadAt = %q, %v", got, err)
+	}
+	// Single-QP dial and pooled dial both satisfy Queue and report
+	// through the same snapshot surface.
+	var q Queue = h
+	snaps := q.Snapshot()
+	if len(snaps) != 1 || snaps[0].Commands == 0 {
+		t.Fatalf("Snapshot() = %+v, want one active queue pair", snaps)
+	}
+	pool, err := DialTargetPool(addr, 1, PoolConfig{QueuePairs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if err := pool.WriteAt(64, []byte("pooled")); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(pool.Snapshot()); got != 2 {
+		t.Fatalf("pool Snapshot() has %d entries, want 2", got)
+	}
+	var sb strings.Builder
+	if err := pool.Telemetry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "nvmecr_qp_commands_total") {
+		t.Error("pool registry exposition missing per-QP command counters")
+	}
+	if tgt.Snapshot().Commands == 0 {
+		t.Error("target snapshot counted no commands")
+	}
+}
+
+func TestDefaultOptionsFacade(t *testing.T) {
+	o := DefaultOptions()
+	if !o.IsDefaulted() || o.Mode != RemoteSPDK || !o.Background {
+		t.Fatalf("DefaultOptions() = %+v", o)
+	}
+	// A job built from DefaultOptions with one field changed keeps that
+	// field (the zero-value rescue in NewJob must not overwrite it).
+	o.Background = false
+	job, err := NewJob(JobConfig{Ranks: 2, Options: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Runtime.Options().Background {
+		t.Error("NewJob overwrote an explicitly defaulted Options value")
 	}
 }
 

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Tier-1 verification gate. Run from the repo root.
+#
+# The shadow-variable check needs the standalone analyzer binary
+# (golang.org/x/tools/go/analysis/passes/shadow/cmd/shadow); it is
+# skipped with a note when the binary is not installed, so this script
+# never requires network access or new dependencies.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+if command -v shadow >/dev/null 2>&1; then
+	echo "== go vet -vettool=shadow"
+	go vet -vettool="$(command -v shadow)" ./...
+else
+	echo "== shadow analyzer not installed; skipping shadow check"
+fi
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (concurrent transport + telemetry)"
+go test -race ./internal/nvmeof ./internal/telemetry
+
+echo "tier-1 verify: OK"
