@@ -2,13 +2,14 @@
 //
 // Usage:
 //
-//	nvmecr-bench [-quick] [experiment ...]
+//	nvmecr-bench [-quick] [-trace file] [experiment ...]
 //
 // With no arguments it runs every experiment (fig1, fig7a-d, fig8a-b,
 // fig9strong, fig9weak, tab1, tab2). -quick shrinks scales so the whole
 // suite completes in seconds; the default reproduces paper scale (448
 // processes, hundreds of GB of simulated checkpoint IO) and takes
-// correspondingly longer.
+// correspondingly longer. -trace appends every experiment's span
+// events as JSON Lines to file, for analysis with nvmecr-trace.
 package main
 
 import (
@@ -24,8 +25,9 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale (seconds instead of minutes)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	trace := flag.String("trace", "", "write span events as JSON Lines to `file` (see nvmecr-trace)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: nvmecr-bench [-quick] [-list] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: nvmecr-bench [-quick] [-list] [-trace file] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(harness.IDs(), " "))
 		flag.PrintDefaults()
 	}
@@ -38,6 +40,15 @@ func main() {
 		return
 	}
 	opts := harness.Options{Quick: *quick}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmecr-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opts.Trace = f
+	}
 	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = harness.IDs()

@@ -4,18 +4,21 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"github.com/nvme-cr/nvmecr/internal/nvmeof"
 )
 
 // startAdmin serves /metrics (Prometheus text exposition of the
-// target's registry), /healthz, and the standard pprof endpoints on
+// target's registry), /healthz, /debug/flight (the flight recorder's
+// last commands per queue pair), and the standard pprof endpoints on
 // addr. It returns the bound address (useful with ":0").
 func startAdmin(addr string, tgt *nvmeof.Target) (string, error) {
 	ln, err := net.Listen("tcp", addr)
@@ -33,6 +36,25 @@ func startAdmin(addr string, tgt *nvmeof.Target) (string, error) {
 		snap := tgt.Snapshot()
 		fmt.Fprintf(w, "ok\nqueue_pairs %d\ncommands %d\nerrors %d\n",
 			len(snap.QueuePairs), snap.Commands, snap.Errors)
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if q := r.URL.Query().Get("qp"); q != "" {
+			qp, err := strconv.Atoi(q)
+			if err != nil {
+				http.Error(w, "bad qp: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := enc.Encode(tgt.Flight().QueuePair(qp)); err != nil {
+				log.Printf("nvmecrd: /debug/flight: %v", err)
+			}
+			return
+		}
+		if err := enc.Encode(tgt.Flight().Snapshot()); err != nil {
+			log.Printf("nvmecrd: /debug/flight: %v", err)
+		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

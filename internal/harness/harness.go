@@ -117,16 +117,23 @@ func Run(id string, opts Options) (*Table, error) {
 	if !ok {
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, IDs())
 	}
-	if opts.Trace != nil {
-		tr := telemetry.NewTracer(opts.Trace)
-		tr.Emit(telemetry.Event{
-			Name: "harness.experiment", Rank: -1,
-			Attrs: map[string]any{"id": id, "quick": opts.Quick},
-		})
-		setActiveTracer(tr)
-		defer setActiveTracer(nil)
+	if opts.Trace == nil {
+		return r(opts)
 	}
-	return r(opts)
+	tr := telemetry.NewTracer(opts.Trace)
+	tr.Emit(telemetry.Event{
+		Name: "harness.experiment", Rank: -1,
+		Attrs: map[string]any{"id": id, "quick": opts.Quick},
+	})
+	setActiveTracer(tr)
+	defer setActiveTracer(nil)
+	tbl, err := r(opts)
+	// A broken trace sink fails the run: a trace that silently lost
+	// events is worse than no trace, because it parses and misleads.
+	if cerr := tr.Close(); cerr != nil && err == nil {
+		return nil, fmt.Errorf("harness: trace sink: %w", cerr)
+	}
+	return tbl, err
 }
 
 // RunAll executes every experiment, printing each table to w.

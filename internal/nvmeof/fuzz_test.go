@@ -33,8 +33,128 @@ func FuzzReadCommand(f *testing.F) {
 			t.Fatalf("re-parse failed: %v", err)
 		}
 		if again.Opcode != cmd.Opcode || again.CID != cmd.CID || again.NSID != cmd.NSID ||
-			again.Offset != cmd.Offset || again.Length != cmd.Length || !bytes.Equal(again.Data, cmd.Data) {
+			again.Offset != cmd.Offset || again.Length != cmd.Length ||
+			again.ProposeVersion != cmd.ProposeVersion || !bytes.Equal(again.Data, cmd.Data) {
 			t.Fatal("command round trip diverged")
+		}
+	})
+}
+
+// FuzzReadCommandVersioned hardens the versioned parser: arbitrary
+// bytes on a VersionTrace queue pair must never panic, the trace-ID
+// extension must round-trip, and a traced capsule must be rejected —
+// not misparsed — by a legacy (version-0) parser.
+func FuzzReadCommandVersioned(f *testing.F) {
+	// Traced WRITE with the 8-byte trace-ID extension.
+	var traced bytes.Buffer
+	WriteCommandV(&traced, &Command{
+		Opcode: OpWriteCmd, CID: 7, NSID: 1, Offset: 4096,
+		Traced: true, TraceID: 0xDEADBEEFCAFE, Data: []byte("payload"),
+	}, VersionTrace)
+	f.Add(traced.Bytes())
+	// Untraced capsule on a v1 queue pair (extension absent).
+	var plain bytes.Buffer
+	WriteCommandV(&plain, &Command{Opcode: OpReadCmd, CID: 9, Length: 64}, VersionTrace)
+	f.Add(plain.Bytes())
+	// Truncated extension: header promises a trace ID, stream ends.
+	f.Add(traced.Bytes()[:cmdHdrLen+3])
+	// CONNECT carrying a proposed version.
+	var connect bytes.Buffer
+	WriteCommandV(&connect, &Command{Opcode: OpConnect, NSID: 1, ProposeVersion: MaxVersion}, VersionLegacy)
+	f.Add(connect.Bytes())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		cmd, err := ReadCommandV(bytes.NewReader(wire), VersionTrace)
+		if err != nil {
+			return
+		}
+		if int64(len(cmd.Data)) > MaxDataLen {
+			t.Fatalf("parser accepted %d bytes of in-capsule data", len(cmd.Data))
+		}
+		// Round trip at the negotiated version preserves everything,
+		// trace ID included.
+		var out bytes.Buffer
+		if err := WriteCommandV(&out, cmd, VersionTrace); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		encoded := out.Bytes()
+		again, err := ReadCommandV(bytes.NewReader(encoded), VersionTrace)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if again.Traced != cmd.Traced || again.TraceID != cmd.TraceID ||
+			again.ProposeVersion != cmd.ProposeVersion ||
+			again.Opcode != cmd.Opcode || again.CID != cmd.CID || !bytes.Equal(again.Data, cmd.Data) {
+			t.Fatal("versioned command round trip diverged")
+		}
+		// A legacy parser must reject the traced form outright: the
+		// flags byte is unknown to version 0, and silently dropping the
+		// extension would desynchronise the stream.
+		if cmd.Traced {
+			if _, err := ReadCommand(bytes.NewReader(encoded)); err == nil {
+				t.Fatal("version-0 parser accepted a traced capsule")
+			}
+		} else {
+			// Without the extension the wire format is identical.
+			legacy, err := ReadCommand(bytes.NewReader(encoded))
+			if err != nil {
+				t.Fatalf("version-0 parse of untraced capsule failed: %v", err)
+			}
+			if legacy.Opcode != cmd.Opcode || legacy.CID != cmd.CID {
+				t.Fatal("untraced capsule diverged across versions")
+			}
+		}
+	})
+}
+
+// FuzzReadResponseVersioned does the same for completion capsules with
+// the phase-timing extension.
+func FuzzReadResponseVersioned(f *testing.F) {
+	var phased bytes.Buffer
+	WriteResponseV(&phased, &Response{
+		CID: 3, Status: StatusOK, Value: 42,
+		Phases: &PhaseTimings{WireReadNS: 100, QueueNS: 200, ServiceNS: 300, WireWriteNS: 400},
+		Data:   []byte("x"),
+	}, VersionTrace)
+	f.Add(phased.Bytes())
+	// Truncated phase extension.
+	f.Add(phased.Bytes()[:rspHdrLen+7])
+	var plain bytes.Buffer
+	WriteResponseV(&plain, &Response{CID: 5, Status: StatusInvalidOpcode}, VersionTrace)
+	f.Add(plain.Bytes())
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		resp, err := ReadResponseV(bytes.NewReader(wire), VersionTrace)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteResponseV(&out, resp, VersionTrace); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		encoded := out.Bytes()
+		again, err := ReadResponseV(bytes.NewReader(encoded), VersionTrace)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if again.CID != resp.CID || again.Status != resp.Status || again.Value != resp.Value ||
+			!bytes.Equal(again.Data, resp.Data) {
+			t.Fatal("versioned response round trip diverged")
+		}
+		if (again.Phases == nil) != (resp.Phases == nil) {
+			t.Fatal("phase extension lost in round trip")
+		}
+		if resp.Phases != nil {
+			if *again.Phases != *resp.Phases {
+				t.Fatal("phase timings diverged")
+			}
+			// Legacy parsers must reject, not misparse, a phased capsule.
+			if _, err := ReadResponse(bytes.NewReader(encoded)); err == nil {
+				t.Fatal("version-0 parser accepted a phased capsule")
+			}
 		}
 	})
 }

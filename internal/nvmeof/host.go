@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/nvme-cr/nvmecr/internal/telemetry"
@@ -32,6 +33,18 @@ type HostConfig struct {
 	// TelemetryQP is the queue-pair label for this host's series
 	// (a HostPool passes the slot index; standalone hosts use 0).
 	TelemetryQP int
+	// Tracer, when non-nil, makes the queue pair offer the trace
+	// capsule extension at CONNECT and, once negotiated, stamp every
+	// command with a trace ID and emit one correlated "nvmeof.cmd"
+	// span per completion carrying the target-reported wire/queue/
+	// service phase breakdown. Nil keeps the legacy wire format and
+	// adds zero bytes to any capsule.
+	Tracer *telemetry.Tracer
+	// Flight is the flight recorder completed commands are logged to
+	// (a HostPool passes its shared, lock-striped recorder so every
+	// slot lands in its own ring). Nil gets a private recorder of
+	// DefaultFlightDepth.
+	Flight *FlightRecorder
 }
 
 // Host is an NVMe-oF initiator over the TCP transport: one queue pair
@@ -58,7 +71,36 @@ type Host struct {
 	reg  *telemetry.Registry
 	tel  qpTelemetry
 	qpID int
+
+	// version is the negotiated capsule version. Written by DialConfig
+	// after the CONNECT round trip, read by the read loop and by every
+	// submit; atomic because the read loop is already parsing when
+	// negotiation completes.
+	version atomic.Uint32
+	tracer  *telemetry.Tracer
+	flight  *FlightRecorder
 }
+
+// traceSeq and traceBase generate process-unique trace IDs: the base
+// distinguishes processes (so host and target logs from different runs
+// do not collide), the sequence distinguishes commands.
+var (
+	traceSeq  atomic.Uint64
+	traceBase = uint64(time.Now().UnixNano()) << 20
+)
+
+// nextTraceID returns a non-zero trace ID (zero means "untraced").
+func nextTraceID() uint64 {
+	for {
+		if id := traceBase ^ traceSeq.Add(1); id != 0 {
+			return id
+		}
+	}
+}
+
+// traceIDString renders a trace ID for span attributes: hex, because
+// JSON numbers above 2^53 lose precision in most consumers.
+func traceIDString(id uint64) string { return fmt.Sprintf("%016x", id) }
 
 // DialAdmin connects an admin queue pair (no namespace bound): only the
 // admin command set (create/delete/list namespace) is usable on it.
@@ -80,6 +122,10 @@ func DialConfig(addr string, nsid uint32, cfg HostConfig) (*Host, error) {
 	if reg == nil {
 		reg = telemetry.New()
 	}
+	flight := cfg.Flight
+	if flight == nil {
+		flight = NewFlightRecorder(0)
+	}
 	h := &Host{
 		conn:     conn,
 		bw:       bufio.NewWriterSize(conn, 1<<20),
@@ -91,9 +137,17 @@ func DialConfig(addr string, nsid uint32, cfg HostConfig) (*Host, error) {
 		reg:      reg,
 		tel:      newQPTelemetry(reg, cfg.TelemetryQP),
 		qpID:     cfg.TelemetryQP,
+		tracer:   cfg.Tracer,
+		flight:   flight,
 	}
 	go h.readLoop()
-	resp, err := h.roundTrip(&Command{Opcode: OpConnect, NSID: nsid})
+	// Offer the trace extension only when a tracer will consume it, so
+	// untraced queue pairs keep the legacy wire format bit-for-bit.
+	var propose uint16
+	if cfg.Tracer != nil {
+		propose = MaxVersion
+	}
+	resp, err := h.roundTrip(&Command{Opcode: OpConnect, NSID: nsid, ProposeVersion: propose})
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("nvmeof: connect: %w", err)
@@ -102,6 +156,12 @@ func DialConfig(addr string, nsid uint32, cfg HostConfig) (*Host, error) {
 		conn.Close()
 		return nil, fmt.Errorf("nvmeof: connect: %s", statusText(resp.Status))
 	}
+	negotiated := DecodeNegotiatedVersion(resp.Data)
+	if negotiated > MaxVersion {
+		conn.Close()
+		return nil, fmt.Errorf("nvmeof: connect: target negotiated unsupported capsule version %d", negotiated)
+	}
+	h.version.Store(uint32(negotiated))
 	h.nsSize = int64(resp.Value)
 	return h, nil
 }
@@ -134,6 +194,13 @@ func (h *Host) InFlight() int {
 // exposition (e.g. the nvmecrd admin listener's /metrics).
 func (h *Host) Telemetry() *telemetry.Registry { return h.reg }
 
+// CapsuleVersion reports the capsule version negotiated at CONNECT.
+func (h *Host) CapsuleVersion() uint16 { return uint16(h.version.Load()) }
+
+// Flight returns the flight recorder holding this queue pair's last
+// completed commands.
+func (h *Host) Flight() *FlightRecorder { return h.flight }
+
 // Snapshot reports the queue pair's live counters and latency
 // quantiles in the unified snapshot form.
 func (h *Host) Snapshot() []telemetry.HostQPSnapshot {
@@ -143,8 +210,14 @@ func (h *Host) Snapshot() []telemetry.HostQPSnapshot {
 // readLoop dispatches completions to waiting submitters.
 func (h *Host) readLoop() {
 	br := bufio.NewReaderSize(h.conn, 1<<20)
+	// The version is consulted lazily, after each response's fixed
+	// header is read: the CONNECT completion is parsed while the
+	// negotiated version is still being decided, but any response that
+	// could carry an extension arrives strictly after DialConfig
+	// stored it.
+	version := func() uint16 { return uint16(h.version.Load()) }
 	for {
-		resp, err := ReadResponse(br)
+		resp, err := readResponseFn(br, version)
 		if err != nil {
 			h.fail(err)
 			return
@@ -193,12 +266,90 @@ func (h *Host) lastErr() error {
 const maxInflight = 1<<16 - 1
 
 // roundTrip submits one command and records its outcome in the queue
-// pair's telemetry series.
+// pair's telemetry series, its flight ring, and (when tracing) the
+// trace stream.
 func (h *Host) roundTrip(cmd *Command) (*Response, error) {
+	if h.tracer != nil && uint16(h.version.Load()) >= VersionTrace {
+		cmd.Traced = true
+		cmd.TraceID = nextTraceID()
+	}
 	start := time.Now()
 	resp, err := h.submit(cmd)
-	h.tel.observe(cmd, resp, err, time.Since(start))
+	rtt := time.Since(start)
+	h.tel.observe(cmd, resp, err, rtt)
+	h.observeFlight(cmd, resp, err, start, rtt)
 	return resp, err
+}
+
+// observeFlight logs one completed round trip into the queue pair's
+// flight ring, emits the correlated span for traced completions, and
+// dumps the ring on the failure modes worth a postmortem.
+func (h *Host) observeFlight(cmd *Command, resp *Response, err error, start time.Time, rtt time.Duration) {
+	rec := FlightRecord{
+		TraceID:   cmd.TraceID,
+		QP:        h.qpID,
+		Op:        cmd.Opcode.String(),
+		Opcode:    cmd.Opcode,
+		CID:       cmd.CID,
+		Bytes:     len(cmd.Data),
+		WallNS:    start.UnixNano(),
+		ElapsedNS: int64(rtt),
+	}
+	if resp != nil {
+		rec.Status = resp.Status
+		rec.Phases = resp.Phases
+		rec.Bytes += len(resp.Data)
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	h.flight.Record(h.qpID, rec)
+	if err == nil && resp != nil && resp.Phases != nil && h.tracer != nil {
+		p := resp.Phases
+		wire := int64(hostWirePhase(rtt, p))
+		h.tracer.SpanWall("nvmeof.cmd", -1, start, rtt, map[string]any{
+			"trace_id":      traceIDString(cmd.TraceID),
+			"op":            cmd.Opcode.String(),
+			"qp":            h.qpID,
+			"status":        resp.Status,
+			"bytes":         rec.Bytes,
+			"wire_ns":       wire,
+			"queue_ns":      p.QueueNS,
+			"service_ns":    p.ServiceNS,
+			"wire_read_ns":  p.WireReadNS,
+			"wire_write_ns": p.WireWriteNS,
+		})
+	}
+	if errors.Is(err, ErrTimeout) {
+		h.dumpFlight("timeout")
+	}
+}
+
+// dumpFlight emits this queue pair's flight ring into the trace stream
+// (the automatic postmortem on timeout, retry exhaustion, and protocol
+// violations). Only this queue pair's ring is dumped: the failure is
+// queue-pair-local and the siblings' rings keep rolling.
+func (h *Host) dumpFlight(reason string) {
+	if h.tracer == nil {
+		return
+	}
+	recs := h.flight.QueuePair(h.qpID)
+	if len(recs) == 0 {
+		return
+	}
+	h.tracer.Emit(telemetry.Event{
+		Name: "nvmeof.flight", Rank: -1,
+		Attrs: map[string]any{"qp": h.qpID, "reason": reason, "records": recs},
+	})
+}
+
+// noteBadResponse dumps the flight ring when the target violated the
+// protocol, then hands the error back unchanged.
+func (h *Host) noteBadResponse(err error) error {
+	if errors.Is(err, ErrBadResponse) {
+		h.dumpFlight("bad-response")
+	}
+	return err
 }
 
 // submit sends one command and waits for its completion, bounded by
@@ -227,7 +378,7 @@ func (h *Host) submit(cmd *Command) (*Response, error) {
 	h.respMu.Unlock()
 
 	h.sendMu.Lock()
-	err := WriteCommand(h.bw, cmd)
+	err := WriteCommandV(h.bw, cmd, uint16(h.version.Load()))
 	if err == nil {
 		err = h.bw.Flush()
 	}
@@ -334,7 +485,11 @@ func (h *Host) ReadAt(off, length int64) ([]byte, error) {
 	if err := checkResp(resp, err, "read"); err != nil {
 		return nil, err
 	}
-	return validateReadData(resp, length)
+	data, err := validateReadData(resp, length)
+	if err != nil {
+		return nil, h.noteBadResponse(err)
+	}
+	return data, nil
 }
 
 // Flush issues a durability barrier.
@@ -398,7 +553,11 @@ func (h *Host) ListNamespaces() ([]NamespaceInfo, error) {
 	if err := checkResp(resp, err, "list-ns"); err != nil {
 		return nil, err
 	}
-	return decodeNamespaceList(resp.Data)
+	out, err := decodeNamespaceList(resp.Data)
+	if err != nil {
+		return nil, h.noteBadResponse(err)
+	}
+	return out, nil
 }
 
 // Close tears down the queue pair.

@@ -43,6 +43,15 @@ type PoolConfig struct {
 	// Telemetry is the registry every queue pair records into. Nil
 	// gets a private registry, so Snapshot always reports live counts.
 	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, makes every queue pair negotiate the trace
+	// capsule extension and emit correlated "nvmeof.cmd" spans with the
+	// target-reported phase breakdown (see HostConfig.Tracer). Nil
+	// keeps the legacy wire format.
+	Tracer *telemetry.Tracer
+	// FlightDepth is the per-queue-pair flight-recorder ring size
+	// (default DefaultFlightDepth). Every slot records into its own
+	// lock-striped ring of one shared recorder, exposed via Flight.
+	FlightDepth int
 }
 
 func (c PoolConfig) withDefaults() PoolConfig {
@@ -77,19 +86,6 @@ type qpSlot struct {
 	reconnecting bool
 }
 
-// QPStats is a snapshot of one pool slot.
-//
-// Deprecated: use HostPool.Snapshot, which returns the unified
-// telemetry.HostQPSnapshot with latency quantiles and retry counts.
-type QPStats struct {
-	ID         int
-	Healthy    bool
-	InFlight   int
-	Commands   uint64
-	Errors     uint64
-	Reconnects uint64
-}
-
 // HostPool is an NVMe-oF initiator that shards commands across several
 // queue pairs to one target namespace — the paper's many-independent-
 // queue-pairs scaling model (§III, Fig. 4). Selection is round-robin
@@ -106,6 +102,7 @@ type HostPool struct {
 	rr     uint32 // atomic round-robin cursor
 	nsSize int64
 	reg    *telemetry.Registry
+	flight *FlightRecorder
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -129,6 +126,7 @@ func DialPool(addr string, nsid uint32, cfg PoolConfig) (*HostPool, error) {
 		cfg:    cfg,
 		closed: make(chan struct{}),
 		reg:    reg,
+		flight: NewFlightRecorder(cfg.FlightDepth),
 	}
 	for i := 0; i < cfg.QueuePairs; i++ {
 		h, err := p.dialSlot(i)
@@ -152,6 +150,8 @@ func (p *HostPool) dialSlot(i int) (*Host, error) {
 		CommandTimeout: p.cfg.CommandTimeout,
 		Telemetry:      p.reg,
 		TelemetryQP:    i,
+		Tracer:         p.cfg.Tracer,
+		Flight:         p.flight,
 	})
 }
 
@@ -183,24 +183,24 @@ func (p *HostPool) Snapshot() []telemetry.HostQPSnapshot {
 	return out
 }
 
-// Stats snapshots every slot.
-//
-// Deprecated: use Snapshot, which adds retries, byte counts, and
-// latency quantiles.
-func (p *HostPool) Stats() []QPStats {
-	snaps := p.Snapshot()
-	out := make([]QPStats, 0, len(snaps))
-	for _, s := range snaps {
-		out = append(out, QPStats{
-			ID:         s.ID,
-			Healthy:    s.Healthy,
-			InFlight:   s.InFlight,
-			Commands:   s.Commands,
-			Errors:     s.Errors,
-			Reconnects: s.Reconnects,
-		})
+// Flight returns the pool's shared flight recorder: every slot's last
+// completed commands, one lock-striped ring per queue pair.
+func (p *HostPool) Flight() *FlightRecorder { return p.flight }
+
+// dumpFlight emits one queue pair's flight ring into the trace stream
+// (the automatic postmortem when a command exhausts its retries).
+func (p *HostPool) dumpFlight(qp int, reason string) {
+	if p.cfg.Tracer == nil {
+		return
 	}
-	return out
+	recs := p.flight.QueuePair(qp)
+	if len(recs) == 0 {
+		return
+	}
+	p.cfg.Tracer.Emit(telemetry.Event{
+		Name: "nvmeof.flight", Rank: -1,
+		Attrs: map[string]any{"qp": qp, "reason": reason, "records": recs},
+	})
 }
 
 // acquire picks a queue pair: scan round-robin from a moving cursor,
@@ -325,6 +325,7 @@ func (p *HostPool) do(cmd *Command, idempotent bool) (*Response, error) {
 	}
 	backoff := p.cfg.RetryBackoff
 	var lastErr error
+	lastQP := -1
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
 			timer := time.NewTimer(backoff)
@@ -347,17 +348,22 @@ func (p *HostPool) do(cmd *Command, idempotent bool) (*Response, error) {
 		if a > 0 {
 			s.tel.retries.Inc()
 		}
-		// roundTrip records commands, errors, bytes, and latency.
+		// roundTrip records commands, errors, bytes, latency, and the
+		// slot's flight ring (via the pool-shared recorder).
 		resp, err := h.roundTrip(cmd)
 		if err == nil {
 			return resp, nil
 		}
 		lastErr = err
+		lastQP = s.id
 		if !errors.Is(err, ErrTimeout) {
 			// The queue pair is dead; a timed-out queue pair stays up
 			// (its command was abandoned, not its connection).
 			p.noteFailure(s, h)
 		}
+	}
+	if attempts > 1 && lastQP >= 0 {
+		p.dumpFlight(lastQP, "retry-exhausted")
 	}
 	return nil, lastErr
 }

@@ -94,7 +94,7 @@ func TestPoolWriteReadAcrossQueuePairs(t *testing.T) {
 	// commands.
 	used := 0
 	var total uint64
-	for _, st := range pool.Stats() {
+	for _, st := range pool.Snapshot() {
 		if st.Commands > 0 {
 			used++
 		}
@@ -149,7 +149,7 @@ func TestPoolRetryAfterQueuePairFailure(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		healthy, reconnects := 0, uint64(0)
-		for _, st := range pool.Stats() {
+		for _, st := range pool.Snapshot() {
 			if st.Healthy {
 				healthy++
 			}
@@ -159,7 +159,7 @@ func TestPoolRetryAfterQueuePairFailure(t *testing.T) {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("queue pair never reconnected: %+v", pool.Stats())
+			t.Fatalf("queue pair never reconnected: %+v", pool.Snapshot())
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
@@ -218,7 +218,7 @@ func TestPoolReconnectAfterTargetRestart(t *testing.T) {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("pool never recovered after target restart: %+v", pool.Stats())
+			t.Fatalf("pool never recovered after target restart: %+v", pool.Snapshot())
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -227,7 +227,7 @@ func TestPoolReconnectAfterTargetRestart(t *testing.T) {
 		t.Fatalf("read after recovery = %q, %v", got, err)
 	}
 	var reconnects uint64
-	for _, st := range pool.Stats() {
+	for _, st := range pool.Snapshot() {
 		reconnects += st.Reconnects
 	}
 	if reconnects == 0 {
@@ -276,7 +276,7 @@ func TestPoolCommandTimeout(t *testing.T) {
 	}
 	// Timeouts abandon the command but keep the queue pairs: both must
 	// still be connected (the target is stalled, not dead).
-	for _, st := range pool.Stats() {
+	for _, st := range pool.Snapshot() {
 		if !st.Healthy {
 			t.Errorf("queue pair %d marked dead by a timeout", st.ID)
 		}

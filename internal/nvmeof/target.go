@@ -152,25 +152,13 @@ type qpConn struct {
 	id   int
 	conn net.Conn
 
-	nsid atomic.Uint32 // namespace bound by CONNECT (0 = admin / none)
+	nsid    atomic.Uint32 // namespace bound by CONNECT (0 = admin / none)
+	version atomic.Uint32 // capsule version negotiated at CONNECT
 
 	commands *telemetry.Counter
 	errors   *telemetry.Counter
 	bytesIn  *telemetry.Counter
 	bytesOut *telemetry.Counter
-}
-
-// TargetQPStats is a snapshot of one queue pair's activity.
-//
-// Deprecated: use Target.Snapshot, which returns the unified
-// telemetry.TargetSnapshot with error counts and latency quantiles.
-type TargetQPStats struct {
-	ID       int
-	Remote   string
-	NSID     uint32
-	Commands int64
-	BytesIn  int64
-	BytesOut int64
 }
 
 // drainWriteGrace bounds how long a draining queue pair may spend
@@ -198,6 +186,11 @@ type Target struct {
 	bytesIn  *telemetry.Counter
 	bytesOut *telemetry.Counter
 	latency  *telemetry.Histogram
+
+	// flight keeps the last completed commands per accepted queue
+	// pair, with measured phase breakdowns; served at /debug/flight
+	// on the nvmecrd admin listener.
+	flight *FlightRecorder
 }
 
 // NewTarget creates an empty target with unlimited capacity.
@@ -213,6 +206,7 @@ func NewTarget() *Target {
 		bytesIn:    reg.Counter(MetricTargetBytesIn, nil),
 		bytesOut:   reg.Counter(MetricTargetBytesOut, nil),
 		latency:    reg.Histogram(MetricTargetLatency, nil, nil),
+		flight:     NewFlightRecorder(0),
 	}
 }
 
@@ -358,7 +352,35 @@ func (t *Target) deregister(qp *qpConn) {
 	t.mu.Unlock()
 }
 
-// serve handles one queue pair.
+// targetSQDepth bounds each queue pair's submission queue: how many
+// parsed commands may wait for service before the reader stops pulling
+// from the socket (backpressure then falls back to TCP flow control).
+const targetSQDepth = 64
+
+// queuedCmd is one parsed command waiting in a queue pair's submission
+// queue, with the timestamps the phase breakdown is computed from.
+type queuedCmd struct {
+	cmd       *Command
+	readStart time.Time     // first capsule byte available
+	wireRead  time.Duration // first byte available -> capsule parsed
+	queuedAt  time.Time     // capsule parsed; submission-queue wait starts
+}
+
+// clamp1 converts a measured phase to nanoseconds, clamped to >= 1 so
+// a sub-clock-resolution measurement still reads as "happened".
+func clamp1(d time.Duration) uint64 {
+	if d < 1 {
+		return 1
+	}
+	return uint64(d)
+}
+
+// serve handles one queue pair: a reader goroutine parses capsules off
+// the socket into a submission queue, and the service loop below
+// executes them in order. The split keeps the phase breakdown honest —
+// submission-queue wait is real time a pipelined command spends behind
+// its predecessors, not a synthetic zero — and mirrors the SQ/CQ shape
+// of a hardware queue pair.
 func (t *Target) serve(conn net.Conn) {
 	defer conn.Close()
 	qp, ok := t.register(conn)
@@ -368,41 +390,74 @@ func (t *Target) serve(conn net.Conn) {
 	defer t.deregister(qp)
 	br := bufio.NewReaderSize(conn, 1<<20)
 	bw := bufio.NewWriterSize(conn, 1<<20)
+
+	sq := make(chan queuedCmd, targetSQDepth)
+	go func() {
+		// Reader: owns br. Exits (closing the submission queue) on
+		// EOF, a read deadline from a draining Close, or a protocol
+		// violation. The negotiated version is consulted lazily, after
+		// each fixed header: the service loop stores it when it
+		// processes CONNECT, strictly before any post-negotiation
+		// capsule's first byte arrives.
+		defer close(sq)
+		version := func() uint16 { return uint16(qp.version.Load()) }
+		for {
+			// Block for the first byte outside the wire-read phase:
+			// idle time waiting for the host to submit is not wire
+			// time, and must not inflate the phase sum past the
+			// host-observed round trip.
+			if _, err := br.Peek(1); err != nil {
+				return
+			}
+			readStart := time.Now()
+			cmd, err := readCommandFn(br, version)
+			if err != nil {
+				return
+			}
+			now := time.Now()
+			sq <- queuedCmd{cmd: cmd, readStart: readStart, wireRead: now.Sub(readStart), queuedAt: now}
+		}
+	}()
+
 	var connected *MemNamespace
 	admin := false // CONNECT with NSID 0 makes this an admin queue pair
-	for {
-		cmd, err := ReadCommand(br)
-		if err != nil {
-			// EOF, a read deadline from a draining Close, or a
-			// protocol violation: flush any pipelined responses and
-			// drop the queue pair.
-			bw.Flush()
-			return
-		}
-		start := time.Now()
+	var prevWireWrite time.Duration
+	for qc := range sq {
+		cmd := qc.cmd
+		queueWait := time.Since(qc.queuedAt)
 		t.commands.Inc()
 		t.bytesIn.Add(uint64(len(cmd.Data)))
 		qp.commands.Inc()
 		qp.bytesIn.Add(uint64(len(cmd.Data)))
 		resp := &Response{CID: cmd.CID, Status: StatusOK}
+		serviceStart := time.Now()
 		switch cmd.Opcode {
 		case OpConnect:
 			if cmd.NSID == 0 {
 				// Admin queue pair: no namespace bound.
 				connected = nil
 				admin = true
-				break
-			}
-			t.mu.Lock()
-			ns, nsOK := t.namespaces[cmd.NSID]
-			t.mu.Unlock()
-			if !nsOK {
-				resp.Status = StatusInvalidNamespace
 			} else {
-				connected = ns
-				admin = false
-				resp.Value = uint64(ns.Size())
-				qp.nsid.Store(cmd.NSID)
+				t.mu.Lock()
+				ns, nsOK := t.namespaces[cmd.NSID]
+				t.mu.Unlock()
+				if !nsOK {
+					resp.Status = StatusInvalidNamespace
+				} else {
+					connected = ns
+					admin = false
+					resp.Value = uint64(ns.Size())
+					qp.nsid.Store(cmd.NSID)
+				}
+			}
+			if resp.Status == StatusOK && cmd.ProposeVersion > 0 {
+				// Version-aware initiator: answer with the version
+				// this queue pair will speak. Legacy initiators never
+				// propose and get no payload; legacy targets never
+				// attach one, which decodes as version 0.
+				negotiated := NegotiateVersion(cmd.ProposeVersion)
+				resp.Data = encodeNegotiatedVersion(negotiated)
+				qp.version.Store(uint32(negotiated))
 			}
 		case OpIdentify:
 			if connected == nil {
@@ -452,22 +507,60 @@ func (t *Target) serve(conn net.Conn) {
 		default:
 			resp.Status = StatusInvalidOpcode
 		}
+		service := time.Since(serviceStart)
+		if cmd.Traced {
+			resp.Phases = &PhaseTimings{
+				WireReadNS:  clamp1(qc.wireRead),
+				QueueNS:     clamp1(queueWait),
+				ServiceNS:   clamp1(service),
+				WireWriteNS: uint64(prevWireWrite), // see PhaseTimings
+			}
+		}
 		if resp.Status != StatusOK {
 			t.errors.Inc()
 			qp.errors.Inc()
 		}
 		t.bytesOut.Add(uint64(len(resp.Data)))
 		qp.bytesOut.Add(uint64(len(resp.Data)))
-		t.latency.ObserveDuration(time.Since(start))
-		if err := WriteResponse(bw, resp); err != nil {
+		writeStart := time.Now()
+		err := WriteResponseV(bw, resp, uint16(qp.version.Load()))
+		if err == nil && len(sq) == 0 {
+			// No command waiting for service: flush the pipelined
+			// responses.
+			err = bw.Flush()
+		}
+		wireWrite := time.Since(writeStart)
+		prevWireWrite = wireWrite
+		t.latency.ObserveDuration(time.Since(qc.queuedAt))
+		t.flight.Record(qp.id, FlightRecord{
+			TraceID:   cmd.TraceID,
+			QP:        qp.id,
+			Op:        cmd.Opcode.String(),
+			Opcode:    cmd.Opcode,
+			CID:       cmd.CID,
+			Status:    resp.Status,
+			Bytes:     len(cmd.Data) + len(resp.Data),
+			WallNS:    qc.readStart.UnixNano(),
+			ElapsedNS: int64(time.Since(qc.readStart)),
+			Phases: &PhaseTimings{
+				WireReadNS:  clamp1(qc.wireRead),
+				QueueNS:     clamp1(queueWait),
+				ServiceNS:   clamp1(service),
+				WireWriteNS: clamp1(wireWrite),
+			},
+		})
+		if err != nil {
+			// Response undeliverable: force the reader off the socket,
+			// then drain the queue so its close unblocks this loop.
+			conn.Close()
+			for range sq {
+			}
 			return
 		}
-		if br.Buffered() == 0 {
-			if err := bw.Flush(); err != nil {
-				return
-			}
-		}
 	}
+	// Reader closed the queue; every accepted command was answered
+	// above, so flush the tail and drop the queue pair.
+	bw.Flush()
 }
 
 // adminOnly gates the namespace-management command set to admin queue
@@ -520,33 +613,10 @@ func (t *Target) Snapshot() telemetry.TargetSnapshot {
 	return snap
 }
 
-// Stats reports served commands and payload byte counts.
-//
-// Deprecated: use Snapshot, which adds errors and latency quantiles.
-func (t *Target) Stats() (commands, bytesIn, bytesOut int64) {
-	s := t.Snapshot()
-	return int64(s.Commands), int64(s.BytesIn), int64(s.BytesOut)
-}
-
-// QueuePairStats snapshots the live queue pairs, ordered by ID.
-//
-// Deprecated: use Snapshot, whose QueuePairs field carries the same
-// rows plus error counts.
-func (t *Target) QueuePairStats() []TargetQPStats {
-	snap := t.Snapshot()
-	out := make([]TargetQPStats, 0, len(snap.QueuePairs))
-	for _, qp := range snap.QueuePairs {
-		out = append(out, TargetQPStats{
-			ID:       qp.ID,
-			Remote:   qp.Remote,
-			NSID:     qp.NSID,
-			Commands: int64(qp.Commands),
-			BytesIn:  int64(qp.BytesIn),
-			BytesOut: int64(qp.BytesOut),
-		})
-	}
-	return out
-}
+// Flight returns the target's flight recorder: the last N completed
+// commands per queue pair, with measured phase breakdowns. The nvmecrd
+// admin listener serves it at /debug/flight.
+func (t *Target) Flight() *FlightRecorder { return t.flight }
 
 // Close stops the listener and waits for active queue pairs to drain:
 // every command already received completes and its response is flushed

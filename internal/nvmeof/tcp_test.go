@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"testing"
@@ -161,12 +162,12 @@ func TestConcurrentQueuePairs(t *testing.T) {
 			t.Fatalf("host %d: %v", i, err)
 		}
 	}
-	cmds, in, _ := tgt.Stats()
-	wantCmds := int64(hosts * (1 + 2*writes)) // connect + write/read pairs
-	if cmds != wantCmds {
-		t.Errorf("target served %d commands, want %d", cmds, wantCmds)
+	snap := tgt.Snapshot()
+	wantCmds := uint64(hosts * (1 + 2*writes)) // connect + write/read pairs
+	if snap.Commands != wantCmds {
+		t.Errorf("target served %d commands, want %d", snap.Commands, wantCmds)
 	}
-	if in == 0 {
+	if snap.BytesIn == 0 {
 		t.Error("target recorded no ingress bytes")
 	}
 }
@@ -266,8 +267,16 @@ func TestPropertyCommandCodec(t *testing.T) {
 }
 
 // Property: response capsules round-trip through the wire encoding.
+// The status high bit is reserved on the wire (it flags the phase
+// extension), so it is masked out of the generated status and a status
+// carrying it must be rejected by the encoder.
 func TestPropertyResponseCodec(t *testing.T) {
+	bad := &Response{Status: StatusOK | respFlagPhases}
+	if err := WriteResponse(io.Discard, bad); err == nil {
+		t.Fatal("encoder accepted a status colliding with the phase flag")
+	}
 	f := func(cid, status uint16, value uint64, data []byte) bool {
+		status &^= respFlagPhases
 		if len(data) > 1<<16 {
 			data = data[:1<<16]
 		}
@@ -470,7 +479,7 @@ func TestCloseDrainsInflightWrite(t *testing.T) {
 	go func() { writeDone <- h.WriteAt(0, []byte("in-flight-at-close")) }()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if cmds, _, _ := tgt.Stats(); cmds >= 2 { // CONNECT + WRITE received
+		if tgt.Snapshot().Commands >= 2 { // CONNECT + WRITE received
 			break
 		}
 		if time.Now().After(deadline) {

@@ -19,6 +19,12 @@ const (
 	MetricQPBytesIn    = "nvmecr_qp_bytes_in_total"
 	MetricQPLatency    = "nvmecr_qp_command_latency_seconds"
 
+	// Per-phase latency histograms, recorded only for traced commands
+	// (the phases come back in the response capsule's extension).
+	MetricQPPhaseWire    = "nvmecr_qp_phase_wire_seconds"
+	MetricQPPhaseQueue   = "nvmecr_qp_phase_queue_seconds"
+	MetricQPPhaseService = "nvmecr_qp_phase_service_seconds"
+
 	MetricPoolQueuePairs = "nvmecr_pool_queue_pairs"
 
 	MetricTargetCommands = "nvmecr_target_commands_total"
@@ -44,6 +50,10 @@ type qpTelemetry struct {
 	bytesOut   *telemetry.Counter
 	bytesIn    *telemetry.Counter
 	latency    *telemetry.Histogram
+
+	phaseWire    *telemetry.Histogram
+	phaseQueue   *telemetry.Histogram
+	phaseService *telemetry.Histogram
 }
 
 // newQPTelemetry binds (or re-binds, after a reconnect) the instruments
@@ -59,7 +69,24 @@ func newQPTelemetry(reg *telemetry.Registry, qp int) qpTelemetry {
 		bytesOut:   reg.Counter(MetricQPBytesOut, l),
 		bytesIn:    reg.Counter(MetricQPBytesIn, l),
 		latency:    reg.Histogram(MetricQPLatency, nil, l),
+
+		phaseWire:    reg.Histogram(MetricQPPhaseWire, nil, l),
+		phaseQueue:   reg.Histogram(MetricQPPhaseQueue, nil, l),
+		phaseService: reg.Histogram(MetricQPPhaseService, nil, l),
 	}
+}
+
+// hostWirePhase is the fabric wire time of one traced round trip: what
+// the target cannot see — the host-observed round trip minus the
+// target's queueing and service. It folds in both wire directions plus
+// the capsule (de)serialization on both ends, clamped to >= 1ns so the
+// three phases are each positive and sum to at most the round trip.
+func hostWirePhase(rtt time.Duration, p *PhaseTimings) time.Duration {
+	wire := rtt - time.Duration(p.QueueNS) - time.Duration(p.ServiceNS)
+	if wire < 1 {
+		wire = 1
+	}
+	return wire
 }
 
 // observe records one completed round trip.
@@ -75,6 +102,14 @@ func (q *qpTelemetry) observe(cmd *Command, resp *Response, err error, elapsed t
 	}
 	if resp != nil && resp.Data != nil {
 		q.bytesIn.Add(uint64(len(resp.Data)))
+	}
+	if resp != nil && resp.Phases != nil {
+		// Same decomposition the nvmeof.cmd span carries: the target's
+		// queue and service phases, and wire as the remainder of the
+		// host-observed round trip.
+		q.phaseQueue.ObserveDuration(time.Duration(resp.Phases.QueueNS))
+		q.phaseService.ObserveDuration(time.Duration(resp.Phases.ServiceNS))
+		q.phaseWire.ObserveDuration(hostWirePhase(elapsed, resp.Phases))
 	}
 }
 

@@ -78,13 +78,6 @@ func TestPoolRoundTripTelemetry(t *testing.T) {
 		t.Errorf("latency observations = %d, commands = %d", latCount, commands)
 	}
 
-	// The deprecated wrapper must agree with the snapshot it wraps.
-	for i, st := range p.Stats() {
-		if st.Commands != snaps[i].Commands || st.ID != snaps[i].ID {
-			t.Errorf("Stats()[%d] = %+v disagrees with Snapshot %+v", i, st, snaps[i])
-		}
-	}
-
 	// Target-side view of the same traffic.
 	ts := tgt.Snapshot()
 	if ts.Commands != commands {

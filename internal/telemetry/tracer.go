@@ -38,6 +38,7 @@ type Tracer struct {
 	enc    *json.Encoder
 	events uint64
 	err    error
+	closed bool
 }
 
 // NewTracer wraps w (typically an *os.File); each event is one JSON
@@ -46,20 +47,30 @@ func NewTracer(w io.Writer) *Tracer {
 	return &Tracer{enc: json.NewEncoder(w)}
 }
 
-// Emit appends one event, stamping WallNS if unset.
+// Emit appends one event, stamping WallNS with the current time. Use
+// EmitStamped to record an event whose WallNS the caller already set —
+// Emit would overwrite it, and would mis-stamp a caller's deliberate
+// zero (a wall-less virtual event) with "now".
 func (t *Tracer) Emit(ev Event) {
 	if t == nil {
 		return
 	}
-	if ev.WallNS == 0 {
-		ev.WallNS = time.Now().UnixNano()
+	ev.WallNS = time.Now().UnixNano()
+	t.EmitStamped(ev)
+}
+
+// EmitStamped appends one event exactly as given: WallNS is trusted,
+// including a deliberate zero. Only Kind defaults (to "point").
+func (t *Tracer) EmitStamped(ev Event) {
+	if t == nil {
+		return
 	}
 	if ev.Kind == "" {
 		ev.Kind = "point"
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.err != nil {
+	if t.err != nil || t.closed {
 		return
 	}
 	if err := t.enc.Encode(&ev); err != nil {
@@ -86,7 +97,7 @@ func (t *Tracer) SpanWall(name string, rank int, start time.Time, dur time.Durat
 	if t == nil {
 		return
 	}
-	t.Emit(Event{
+	t.EmitStamped(Event{
 		Name: name, Kind: "span", Rank: rank,
 		WallNS: start.UnixNano(), WallDurNS: int64(dur),
 		Attrs: attrs,
@@ -110,5 +121,20 @@ func (t *Tracer) Err() error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close stops the tracer — later emits are dropped — and reports the
+// first sink error, so a run that silently lost trace events fails
+// loudly at the end instead of producing a truncated file that parses.
+// It does not close the underlying writer, which the caller owns.
+// Close is idempotent and nil-safe.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
 	return t.err
 }

@@ -108,4 +108,58 @@ func TestTracerSinkFailureIsSticky(t *testing.T) {
 	if tr.Err() == nil {
 		t.Fatal("Err must report the sink failure")
 	}
+	if tr.Close() == nil {
+		t.Fatal("Close must report the sink failure")
+	}
+}
+
+// EmitStamped must preserve the caller's WallNS verbatim — including a
+// deliberate zero — while Emit always stamps with the current time.
+func TestEmitStampedPreservesWallNS(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.EmitStamped(Event{Name: "replayed", WallNS: 12345})
+	tr.EmitStamped(Event{Name: "wall-less", VirtStartNS: 7, VirtEndNS: 9})
+	tr.Emit(Event{Name: "stamped", WallNS: 12345}) // Emit overwrites
+	sc := bufio.NewScanner(&buf)
+	var events []Event
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 3 {
+		t.Fatalf("decoded %d events, want 3", len(events))
+	}
+	if events[0].WallNS != 12345 {
+		t.Errorf("EmitStamped rewrote WallNS: %+v", events[0])
+	}
+	if events[1].WallNS != 0 {
+		t.Errorf("EmitStamped stamped a deliberate zero: %+v", events[1])
+	}
+	if events[2].WallNS == 12345 || events[2].WallNS == 0 {
+		t.Errorf("Emit must stamp with the current time: %+v", events[2])
+	}
+}
+
+func TestTracerCloseStopsEmits(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit(Event{Name: "before"})
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	tr.Emit(Event{Name: "after"}) // dropped
+	if got := tr.Events(); got != 1 {
+		t.Fatalf("Events = %d, want 1", got)
+	}
+	if err := tr.Close(); err != nil { // idempotent
+		t.Fatalf("second Close = %v", err)
+	}
+	var nilTr *Tracer
+	if err := nilTr.Close(); err != nil {
+		t.Fatalf("nil Close = %v", err)
+	}
 }

@@ -28,4 +28,18 @@ go test ./...
 echo "== go test -race (concurrent transport + telemetry)"
 go test -race ./internal/nvmeof ./internal/telemetry
 
+echo "== go test -race (runtime core)"
+go test -race ./internal/core
+
+echo "== nvmecr-trace smoke test"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/nvmecr-bench -quick -trace "$tmp/trace.jsonl" tab2 >/dev/null
+report="$(go run ./cmd/nvmecr-trace -epochs "$tmp/trace.jsonl")"
+echo "$report" | grep -q "Span summary" || { echo "trace report missing span summary"; exit 1; }
+echo "$report" | grep -q "microfs.fsync" || { echo "trace report missing microfs spans"; exit 1; }
+echo "$report" | grep -q "epoch 0" || { echo "trace report missing checkpoint epochs"; exit 1; }
+go run ./cmd/nvmecr-trace -chrome "$tmp/chrome.json" "$tmp/trace.jsonl" >/dev/null
+grep -q '"traceEvents"' "$tmp/chrome.json" || { echo "chrome export invalid"; exit 1; }
+
 echo "tier-1 verify: OK"
