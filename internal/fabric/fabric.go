@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/nvme-cr/nvmecr/internal/faults"
 	"github.com/nvme-cr/nvmecr/internal/model"
 	"github.com/nvme-cr/nvmecr/internal/sim"
 	"github.com/nvme-cr/nvmecr/internal/topology"
@@ -48,7 +49,16 @@ type Fabric struct {
 	nics    map[int]*sim.Resource // node ID -> NIC port
 
 	bytesMoved int64
+
+	// faults, when non-nil, is consulted once per transfer and round
+	// trip (layer "fabric", ops "transfer" and "roundtrip").
+	faults *faults.Plan
 }
+
+// InjectFaults attaches a fault plan: transfers may draw delay spikes
+// (KindDelay, Arg nanoseconds) or partitions (KindPartition, the
+// transfer fails); round trips only honor delays. Nil detaches.
+func (f *Fabric) InjectFaults(plan *faults.Plan) { f.faults = plan }
 
 // New builds the fabric for a cluster.
 func New(env *sim.Env, cluster *topology.Cluster, p model.Net) *Fabric {
@@ -101,6 +111,17 @@ func (f *Fabric) Transfer(p *sim.Proc, path Path, src, dst *topology.Node, bytes
 		// would be charged by the caller where relevant.
 		return nil
 	}
+	if inj, ok := f.faults.Eval(faults.Point{
+		Layer: faults.LayerFabric, Op: "transfer", Rank: -1, Now: p.Now(),
+	}); ok {
+		switch inj.Kind {
+		case faults.KindDelay:
+			p.Sleep(time.Duration(inj.Arg))
+		case faults.KindPartition:
+			return fmt.Errorf("fabric: %s transfer %s -> %s: %w",
+				path, src.Name, dst.Name, &faults.Error{Inj: inj})
+		}
+	}
 	p.Sleep(f.baseLatency(path, src, dst))
 	if bytes == 0 {
 		return nil
@@ -132,6 +153,11 @@ func (f *Fabric) Transfer(p *sim.Proc, path Path, src, dst *topology.Node, bytes
 // RoundTrip models a small control message exchange (request/response)
 // between two nodes.
 func (f *Fabric) RoundTrip(p *sim.Proc, path Path, src, dst *topology.Node) {
+	if inj, ok := f.faults.Eval(faults.Point{
+		Layer: faults.LayerFabric, Op: "roundtrip", Rank: -1, Now: p.Now(),
+	}); ok && inj.Kind == faults.KindDelay {
+		p.Sleep(time.Duration(inj.Arg))
+	}
 	lat := f.baseLatency(path, src, dst)
 	p.Sleep(2 * lat)
 }

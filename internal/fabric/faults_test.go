@@ -1,0 +1,69 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/faults"
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+)
+
+func TestInjectedDelaySpikeSlowsTransfer(t *testing.T) {
+	const spike = 3 * time.Millisecond
+	elapsed := func(plan *faults.Plan) time.Duration {
+		env, f, cl := build(t)
+		f.InjectFaults(plan)
+		src := cl.ComputeNodes()[0]
+		dst := cl.StorageNodes()[0]
+		env.Go("xfer", func(p *sim.Proc) {
+			if err := f.Transfer(p, RDMA, src, dst, 64*model.MB); err != nil {
+				t.Error(err)
+			}
+		})
+		end, err := env.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	base := elapsed(nil)
+	slow := elapsed(faults.NewPlan(2, faults.Rule{
+		Layer: faults.LayerFabric, Op: "transfer", Nth: 1, Kind: faults.KindDelay, Arg: int64(spike),
+	}))
+	if got := slow - base; got != spike {
+		t.Fatalf("delay spike added %v, want exactly %v", got, spike)
+	}
+}
+
+func TestInjectedPartitionFailsTransfersInWindow(t *testing.T) {
+	env, f, cl := build(t)
+	// The link is down for a virtual-time window; transfers before and
+	// after it succeed.
+	f.InjectFaults(faults.NewPlan(3, faults.Rule{
+		Name: "tor-outage", Layer: faults.LayerFabric, Op: "transfer",
+		After: 1 * time.Millisecond, Until: 2 * time.Millisecond,
+		Kind: faults.KindPartition,
+	}))
+	src := cl.ComputeNodes()[0]
+	dst := cl.StorageNodes()[0]
+	var errs []error
+	env.Go("xfer", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			errs = append(errs, f.Transfer(p, RDMA, src, dst, 4096))
+			p.SleepUntil(time.Duration(i+1) * time.Millisecond)
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] != nil {
+		t.Fatalf("transfer before the window failed: %v", errs[0])
+	}
+	if errs[1] == nil || !faults.IsInjected(errs[1]) {
+		t.Fatalf("transfer inside the window: err = %v, want injected partition", errs[1])
+	}
+	if errs[2] != nil {
+		t.Fatalf("transfer after the window failed: %v", errs[2])
+	}
+}

@@ -35,7 +35,7 @@ func cell(t *testing.T, tab *Table, row, col int) float64 {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"extmtbf", "extn1", "fig1", "fig7a", "fig7b", "fig7c", "fig7d", "fig8a", "fig8b", "fig9strong", "fig9weak", "tab1", "tab2"}
+	want := []string{"extfaults", "extmtbf", "extn1", "fig1", "fig7a", "fig7b", "fig7c", "fig7d", "fig8a", "fig8b", "fig9strong", "fig9weak", "tab1", "tab2"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v, want %v", got, want)

@@ -89,4 +89,3 @@ func TestTraceDeterministic(t *testing.T) {
 		}
 	}
 }
-

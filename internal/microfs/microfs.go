@@ -83,6 +83,11 @@ type Config struct {
 	HugeblockBytes int64
 	// LogBytes is the provenance log region size (default 4 MB).
 	LogBytes int64
+	// LogPageBytes is the device write granularity for the provenance
+	// log (default 4 KB). Crash tests use smaller pages so that log
+	// records routinely straddle page boundaries — the tear shape the
+	// record CRC exists to catch.
+	LogPageBytes int64
 	// SnapBytes is the metadata snapshot region size (default 64 MB).
 	SnapBytes int64
 	// SnapThreshold is the log fill fraction that triggers a
@@ -90,6 +95,11 @@ type Config struct {
 	SnapThreshold float64
 	// NoCoalesce disables log record coalescing (ablation).
 	NoCoalesce bool
+	// WrapLogWrite, when non-nil, wraps the WAL flush callback before
+	// the log is created. Fault-injection harnesses use it to tear or
+	// drop log appends at chosen byte offsets (see faults.TornAppendFunc)
+	// without touching the data plane.
+	WrapLogWrite func(wal.WriteFunc) wal.WriteFunc
 	// GlobalNS, when non-nil, routes metadata operations through a
 	// shared lock (drilldown "global namespace" arm).
 	GlobalNS *GlobalNamespace
@@ -116,6 +126,9 @@ func (c *Config) setDefaults() error {
 	}
 	if c.LogBytes == 0 {
 		c.LogBytes = 4 * model.MB
+	}
+	if c.LogPageBytes == 0 {
+		c.LogPageBytes = 4 * model.KB
 	}
 	if c.SnapBytes == 0 {
 		c.SnapBytes = 64 * model.MB
@@ -228,8 +241,9 @@ func New(env *sim.Env, cfg Config) (*Instance, error) {
 	}
 	log, err := wal.New(wal.Options{
 		Capacity:   cfg.LogBytes,
+		PageSize:   cfg.LogPageBytes,
 		NoCoalesce: cfg.NoCoalesce,
-	}, inst.logWrite)
+	}, inst.walWriteFunc())
 	if err != nil {
 		return nil, fmt.Errorf("microfs: %w", err)
 	}
@@ -242,6 +256,15 @@ func New(env *sim.Env, cfg Config) (*Instance, error) {
 	return inst, nil
 }
 
+// walWriteFunc returns the WAL flush callback, wrapped by the
+// fault-injection hook when one is configured.
+func (inst *Instance) walWriteFunc() wal.WriteFunc {
+	if inst.cfg.WrapLogWrite != nil {
+		return inst.cfg.WrapLogWrite(inst.logWrite)
+	}
+	return inst.logWrite
+}
+
 // logWrite is the WAL flush callback: it persists log pages through the
 // data plane on behalf of the process currently inside an operation.
 func (inst *Instance) logWrite(off int64, data []byte) error {
@@ -250,7 +273,7 @@ func (inst *Instance) logWrite(off int64, data []byte) error {
 		// they are metadata-only and cost nothing.
 		return nil
 	}
-	return inst.cfg.Plane.Write(inst.curProc, off, int64(len(data)), data, 4*model.KB)
+	return inst.cfg.Plane.Write(inst.curProc, off, int64(len(data)), data, inst.cfg.LogPageBytes)
 }
 
 // noopSpan is returned by traceSpan when tracing is off, so hot paths

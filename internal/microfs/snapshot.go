@@ -257,8 +257,9 @@ func (inst *Instance) Recover(p *sim.Proc) error {
 	}
 	log, records, err := wal.Load(wal.Options{
 		Capacity:   inst.cfg.LogBytes,
+		PageSize:   inst.cfg.LogPageBytes,
 		NoCoalesce: inst.cfg.NoCoalesce,
-	}, inst.logWrite, logImage, expectEpoch)
+	}, inst.walWriteFunc(), logImage, expectEpoch)
 	if err != nil {
 		return err
 	}

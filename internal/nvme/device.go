@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/nvme-cr/nvmecr/internal/extent"
+	"github.com/nvme-cr/nvmecr/internal/faults"
 	"github.com/nvme-cr/nvmecr/internal/model"
 	"github.com/nvme-cr/nvmecr/internal/sim"
 	"github.com/nvme-cr/nvmecr/internal/telemetry"
@@ -104,6 +105,10 @@ type Device struct {
 
 	queuesIssued int
 	failed       bool
+
+	// faults, when non-nil, is consulted once per submitted command
+	// (layer "nvme", op = command name).
+	faults *faults.Plan
 
 	// Stats.
 	bytesWritten int64
@@ -282,6 +287,27 @@ func (ns *Namespace) Submit(p *sim.Proc, q *Queue, req Request) ([]byte, error) 
 	defer d.tel.inflight.Add(-1)
 	d.ctrl.Acquire(p)
 	start := p.Now()
+	if inj, ok := d.faults.Eval(faults.Point{
+		Layer: faults.LayerNVMe, Op: req.Op.String(), Rank: -1, Now: p.Now(),
+	}); ok {
+		switch inj.Kind {
+		case faults.KindMediaError:
+			d.ctrl.Release()
+			return nil, fmt.Errorf("nvme %s/ns%d: %s at [%d,+%d): %w",
+				d.Name, ns.ID, req.Op, req.Offset, req.Length, &faults.Error{Inj: inj})
+		case faults.KindStall:
+			// A stalled flash channel: extra service time before the
+			// command even starts, holding the controller like real
+			// head-of-line blocking would.
+			p.Sleep(time.Duration(inj.Arg))
+		case faults.KindPowerLoss:
+			// Power cut as the command arrives: device RAM contents
+			// still draining to flash are lost unless the capacitors
+			// hold (Arg != 0). The command itself then proceeds on the
+			// restored device.
+			d.PowerFail(inj.Arg != 0)
+		}
+	}
 	svc := d.serviceTime(req, abs)
 	p.Sleep(svc)
 	var out []byte
@@ -411,6 +437,11 @@ func (d *Device) PowerFail(capacitorsOK bool) int64 {
 	d.bufOcc = 0
 	return lost
 }
+
+// InjectFaults attaches a fault plan: every submitted command first
+// consults it (layer "nvme", op "write"/"read"/"flush"/"trim") and may
+// draw a media error, a channel stall, or a power loss. Nil detaches.
+func (d *Device) InjectFaults(plan *faults.Plan) { d.faults = plan }
 
 // Fail marks the device as failed (a storage-node crash in a cascading
 // failure): every subsequent submission errors. Repair clears it.

@@ -1,0 +1,121 @@
+package nvme
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/faults"
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+)
+
+func TestInjectedMediaErrorFailsOneCommand(t *testing.T) {
+	plan := faults.NewPlan(11, faults.Rule{
+		Layer: faults.LayerNVMe, Op: "write", Nth: 2, Kind: faults.KindMediaError,
+	})
+	runOne(t,
+		func(env *sim.Env) *Device {
+			d := New(env, "ssd0", testParams(), true)
+			d.InjectFaults(plan)
+			return d
+		},
+		func(p *sim.Proc, d *Device) {
+			ns, _ := d.CreateNamespace(16 * model.MB)
+			q := d.AllocQueue()
+			payload := []byte("stable payload")
+			req := Request{Op: OpWrite, Offset: 0, Length: int64(len(payload)), Data: payload}
+			if _, err := ns.Submit(p, q, req); err != nil {
+				t.Fatalf("first write: %v", err)
+			}
+			_, err := ns.Submit(p, q, req)
+			if err == nil || !faults.IsInjected(err) {
+				t.Fatalf("second write error = %v, want injected media error", err)
+			}
+			// The device recovers: the very next command succeeds, and
+			// the earlier data is intact.
+			got, err := ns.Submit(p, q, Request{Op: OpRead, Offset: 0, Length: int64(len(payload))})
+			if err != nil {
+				t.Fatalf("read after media error: %v", err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Error("stored data corrupted by an injected media error")
+			}
+			if plan.Injections() != 1 {
+				t.Fatalf("plan delivered %d injections, want 1\n%s", plan.Injections(), plan.FormatTrace())
+			}
+		})
+}
+
+func TestInjectedStallAddsServiceTime(t *testing.T) {
+	const stall = 700 * time.Microsecond
+	elapsed := func(plan *faults.Plan) time.Duration {
+		return runOne(t,
+			func(env *sim.Env) *Device {
+				d := New(env, "ssd0", testParams(), false)
+				d.InjectFaults(plan)
+				return d
+			},
+			func(p *sim.Proc, d *Device) {
+				ns, _ := d.CreateNamespace(16 * model.MB)
+				q := d.AllocQueue()
+				for i := 0; i < 4; i++ {
+					if _, err := ns.Submit(p, q, Request{
+						Op: OpWrite, Offset: 0, Length: 64 * model.KB, CmdUnit: 32 * model.KB,
+					}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			})
+	}
+	base := elapsed(nil)
+	slow := elapsed(faults.NewPlan(5, faults.Rule{
+		Layer: faults.LayerNVMe, Op: "write", Nth: 3, Kind: faults.KindStall, Arg: int64(stall),
+	}))
+	if got := slow - base; got != stall {
+		t.Fatalf("stall added %v of service time, want exactly %v", got, stall)
+	}
+}
+
+func TestInjectedPowerLossHonorsCapacitanceModel(t *testing.T) {
+	// Without capacitors (Arg == 0) the burst still draining from
+	// device RAM is dropped from the store; with Arg != 0 the
+	// capacitors hold and nothing is lost.
+	stored := func(arg int64) int64 {
+		var dev *Device
+		plan := faults.NewPlan(13, faults.Rule{
+			Layer: faults.LayerNVMe, Op: "write", Nth: 2, Kind: faults.KindPowerLoss, Arg: arg,
+		})
+		runOne(t,
+			func(env *sim.Env) *Device {
+				dev = New(env, "ssd0", testParams(), true)
+				dev.InjectFaults(plan)
+				return dev
+			},
+			func(p *sim.Proc, d *Device) {
+				ns, _ := d.CreateNamespace(64 * model.MB)
+				q := d.AllocQueue()
+				burst := bytes.Repeat([]byte("B"), 4<<20)
+				if _, err := ns.Submit(p, q, Request{
+					Op: OpWrite, Offset: 0, Length: int64(len(burst)), Data: burst, CmdUnit: 32 * model.KB,
+				}); err != nil {
+					t.Fatal(err)
+				}
+				// The second write triggers the power cut; the first
+				// burst is still draining from device RAM.
+				tail := []byte("post-power-cycle write")
+				if _, err := ns.Submit(p, q, Request{
+					Op: OpWrite, Offset: 32 << 20, Length: int64(len(tail)), Data: tail,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			})
+		return dev.StoredBytes()
+	}
+	withCaps := stored(1)
+	withoutCaps := stored(0)
+	if withoutCaps >= withCaps {
+		t.Fatalf("power loss without capacitors kept %d bytes, capacitor-backed kept %d; expected loss",
+			withoutCaps, withCaps)
+	}
+}

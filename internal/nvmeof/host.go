@@ -27,6 +27,10 @@ type HostConfig struct {
 	// CommandTimeout bounds every command round trip on this queue
 	// pair. Zero means commands wait indefinitely.
 	CommandTimeout time.Duration
+	// Dial opens the transport connection (default net.Dial over TCP).
+	// Fault-injection tests pass FaultDialer here to interpose on the
+	// byte stream without touching the capsule protocol.
+	Dial func(addr string) (net.Conn, error)
 	// Telemetry is the registry the queue pair records into. Nil gets
 	// a private registry, so Snapshot always reports live counts.
 	Telemetry *telemetry.Registry
@@ -114,7 +118,11 @@ func Dial(addr string, nsid uint32) (*Host, error) {
 
 // DialConfig is Dial with explicit queue-pair configuration.
 func DialConfig(addr string, nsid uint32, cfg HostConfig) (*Host, error) {
-	conn, err := net.Dial("tcp", addr)
+	dial := cfg.Dial
+	if dial == nil {
+		dial = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
+	}
+	conn, err := dial(addr)
 	if err != nil {
 		return nil, err
 	}

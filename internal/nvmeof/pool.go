@@ -3,6 +3,7 @@ package nvmeof
 import (
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,9 @@ type PoolConfig struct {
 	// CommandTimeout bounds each command round trip on every queue
 	// pair (default 0 = no deadline).
 	CommandTimeout time.Duration
+	// Dial opens each queue pair's transport connection (default
+	// net.Dial over TCP); reconnects use it too. See HostConfig.Dial.
+	Dial func(addr string) (net.Conn, error)
 	// MaxRetries is how many extra attempts idempotent commands
 	// (READ, IDENTIFY, LIST-NS) get after a transport failure or
 	// timeout (default 2). Non-idempotent commands never retry.
@@ -148,6 +152,7 @@ func DialPool(addr string, nsid uint32, cfg PoolConfig) (*HostPool, error) {
 func (p *HostPool) dialSlot(i int) (*Host, error) {
 	return DialConfig(p.addr, p.nsid, HostConfig{
 		CommandTimeout: p.cfg.CommandTimeout,
+		Dial:           p.cfg.Dial,
 		Telemetry:      p.reg,
 		TelemetryQP:    i,
 		Tracer:         p.cfg.Tracer,

@@ -1,0 +1,115 @@
+package wal
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// mirrorDevice simulates the SSD log region: flushes copy pages in,
+// and an armed failure tears the flush (a prefix lands, then an error),
+// which is what a crashed or failing transport does to an append.
+type mirrorDevice struct {
+	image    []byte
+	failNext bool
+	tornTo   int // bytes of the failing flush that still land
+}
+
+func (d *mirrorDevice) write(off int64, data []byte) error {
+	if d.failNext {
+		d.failNext = false
+		copy(d.image[off:], data[:d.tornTo])
+		return errors.New("mirror: injected flush failure")
+	}
+	copy(d.image[off:], data)
+	return nil
+}
+
+// TestAppendRollsBackOnFlushError is the regression test for the
+// partial-write audit: a failed flush must leave the in-memory tail
+// exactly where the on-disk tail is. Before the fix, Append advanced
+// head/appended/live before flushing, so records acknowledged after a
+// failed one sat beyond torn bytes on the device and were silently
+// dropped by replay (scan stops at the first corrupt record).
+func TestAppendRollsBackOnFlushError(t *testing.T) {
+	dev := &mirrorDevice{image: make([]byte, 1<<14)}
+	l, err := New(Options{Capacity: 1 << 14, NoCoalesce: true}, dev.write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := Record{Op: OpCreate, Path: "/a", Inode: 2, Mode: 0o644}
+	r2 := Record{Op: OpCreate, Path: "/lost", Inode: 3, Mode: 0o644}
+	r3 := Record{Op: OpCreate, Path: "/b", Inode: 4, Mode: 0o644}
+
+	if _, err := l.Append(r1); err != nil {
+		t.Fatal(err)
+	}
+	headBefore := l.Head()
+
+	dev.failNext, dev.tornTo = true, 10 // r2's flush tears mid-record
+	if _, err := l.Append(r2); err == nil {
+		t.Fatal("append with failing flush reported success")
+	}
+	if l.Head() != headBefore {
+		t.Fatalf("head advanced across a failed flush: %d -> %d", headBefore, l.Head())
+	}
+	if l.Records() != 1 {
+		t.Fatalf("live records = %d after failed append, want 1", l.Records())
+	}
+	if app, _, _, _ := l.Stats(); app != 1 {
+		t.Fatalf("appended stat = %d after failed append, want 1", app)
+	}
+
+	// The next acknowledged append overwrites the torn bytes.
+	if _, err := l.Append(r3); err != nil {
+		t.Fatalf("append after failed flush: %v", err)
+	}
+
+	want := []Record{r1, r3}
+	inMem, err := Decode(l.Image(), l.Epoch())
+	if err != nil || !reflect.DeepEqual(inMem, want) {
+		t.Fatalf("in-memory decode = %+v (%v), want %+v", inMem, err, want)
+	}
+	// The device-side replay — what post-crash recovery actually reads —
+	// must return every acknowledged record and nothing else.
+	onDev, err := Decode(dev.image, l.Epoch())
+	if err != nil || !reflect.DeepEqual(onDev, want) {
+		t.Fatalf("device replay = %+v (%v), want %+v", onDev, err, want)
+	}
+}
+
+// TestCoalesceRollsBackOnFlushError covers the in-place extension path:
+// a failed flush of a coalesced record must restore the record's
+// original length and CRC, and a retry must still work.
+func TestCoalesceRollsBackOnFlushError(t *testing.T) {
+	dev := &mirrorDevice{image: make([]byte, 1<<14)}
+	l, err := New(Options{Capacity: 1 << 14}, dev.write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{Op: OpWrite, Inode: 3, Offset: 0, Length: 100}); err != nil {
+		t.Fatal(err)
+	}
+
+	dev.failNext = true
+	if _, err := l.Append(Record{Op: OpWrite, Inode: 3, Offset: 100, Length: 50}); err == nil {
+		t.Fatal("coalescing append with failing flush reported success")
+	}
+	recs, err := Decode(l.Image(), l.Epoch())
+	if err != nil || len(recs) != 1 || recs[0].Length != 100 {
+		t.Fatalf("after failed coalesce: records=%+v err=%v, want one 100-byte write", recs, err)
+	}
+	if _, co, _, _ := l.Stats(); co != 0 {
+		t.Fatalf("coalesced stat = %d after failed coalesce, want 0", co)
+	}
+
+	// The retry coalesces cleanly and the device image agrees.
+	ok, err := l.Append(Record{Op: OpWrite, Inode: 3, Offset: 100, Length: 50})
+	if err != nil || !ok {
+		t.Fatalf("retry after failed coalesce: coalesced=%v err=%v", ok, err)
+	}
+	onDev, err := Decode(dev.image, l.Epoch())
+	if err != nil || len(onDev) != 1 || onDev[0].Length != 150 {
+		t.Fatalf("device replay after retried coalesce = %+v (%v), want one 150-byte write", onDev, err)
+	}
+}

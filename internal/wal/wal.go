@@ -195,16 +195,37 @@ func (l *Log) Append(r Record) (coalesced bool, err error) {
 			binary.LittleEndian.PutUint64(l.image[off+22:], length+r.Length)
 			crc := crc32.ChecksumIEEE(l.image[off : off+headerSize])
 			binary.LittleEndian.PutUint32(l.image[off+headerSize:], crc)
+			if err := l.flushRange(off, int64(headerSize+4)); err != nil {
+				// The extension may not have reached the device; roll
+				// the in-memory record back so the log never
+				// acknowledges more than the device holds. A later
+				// append re-flushes these pages and repairs any torn
+				// on-device state.
+				binary.LittleEndian.PutUint64(l.image[off+22:], length)
+				crc = crc32.ChecksumIEEE(l.image[off : off+headerSize])
+				binary.LittleEndian.PutUint32(l.image[off+headerSize:], crc)
+				return false, err
+			}
 			l.coalesced++
-			return true, l.flushRange(off, int64(headerSize+4))
+			return true, nil
 		}
 	}
 	size := int64(EncodedSize(r))
 	if l.head+size > l.capacity {
 		return false, ErrLogFull
 	}
-	l.encode(l.image[l.head:l.head+size], r)
 	off := l.head
+	l.encode(l.image[off:off+size], r)
+	if err := l.flushRange(off, size); err != nil {
+		// The record may be absent or torn on the device. Un-append it:
+		// were head/appended/recent advanced here, every later
+		// acknowledged record would sit beyond a torn one on disk and
+		// be silently lost at replay (scan stops at the first corrupt
+		// record). Marking the slot invalid keeps Image()/Decode
+		// consistent with "not appended".
+		l.image[off] = byte(OpInvalid)
+		return false, err
+	}
 	l.head += size
 	l.appended++
 	l.live++
@@ -212,29 +233,50 @@ func (l *Log) Append(r Record) (coalesced bool, err error) {
 	if l.window > 0 && len(l.recent) > l.window {
 		l.recent = l.recent[len(l.recent)-l.window:]
 	}
-	return false, l.flushRange(off, size)
+	return false, nil
 }
 
 // findCoalesceTarget scans the sliding window, newest first, for a write
 // record on the same inode whose extent ends where r begins.
+//
+// Coalescing extends a record that is already in the log, which at
+// replay time reorders r's effect to the target's position. That is
+// only sound if every record between the target and the tail replays
+// identically either way: recovery reconstructs block placement by
+// repeating the original allocation sequence (see microfs replay), so
+// the scan must stop at any record whose replay touches the block pool
+// (a write to another inode, an unlink) or this inode at all. Pure
+// namespace records (create, mkdir, rename) allocate no blocks and may
+// be skipped, preserving the window's benefit for checkpoint streams
+// interleaved with metadata bursts.
 func (l *Log) findCoalesceTarget(r Record) (int64, bool) {
 	for i := len(l.recent) - 1; i >= 0; i-- {
 		off := l.recent[i]
-		if Op(l.image[off]) != OpWrite {
-			continue
-		}
+		op := Op(l.image[off])
 		inode := binary.LittleEndian.Uint64(l.image[off+6:])
-		if inode != r.Inode {
-			continue
-		}
-		start := binary.LittleEndian.Uint64(l.image[off+14:])
-		length := binary.LittleEndian.Uint64(l.image[off+22:])
-		if start+length == r.Offset {
+		if op == OpWrite && inode == r.Inode {
+			start := binary.LittleEndian.Uint64(l.image[off+14:])
+			length := binary.LittleEndian.Uint64(l.image[off+22:])
+			if start+length != r.Offset {
+				return 0, false // non-contiguous: the run is broken
+			}
+			// The in-place extension mutates the record's length and
+			// CRC, bytes [off+22, off+36). The device contract is
+			// page-atomic log writes: a mutation inside one page lands
+			// entirely or not at all, but one straddling a page
+			// boundary can half-land in a crash and corrupt an already
+			// acknowledged record mid-log — replay would then stop
+			// there and silently drop every acknowledged record after
+			// it. Append fresh instead; only log-space savings are
+			// forgone.
+			if (off+22)/l.pageSize != (off+35)/l.pageSize {
+				return 0, false
+			}
 			return off, true
 		}
-		// A non-contiguous write to the same inode ends the run; a
-		// newer record for this inode would have matched already.
-		return 0, false
+		if op == OpWrite || op == OpUnlink || op == OpTruncate || inode == r.Inode {
+			return 0, false // replay-order barrier
+		}
 	}
 	return 0, false
 }

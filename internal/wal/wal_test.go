@@ -90,22 +90,42 @@ func TestNonContiguousWritesDoNotCoalesce(t *testing.T) {
 	}
 }
 
-func TestInterleavedFilesCoalesceWithinWindow(t *testing.T) {
+func TestInterleavedFileWritesDoNotCoalesce(t *testing.T) {
 	// Writes to two files strictly alternating: each file's next write
-	// is contiguous with its previous one, but another record sits in
-	// between. The paper's window is per-"near-adjacent" records; our
-	// implementation merges only when the most recent record for that
-	// inode in the window is the immediately preceding extent.
+	// is contiguous with its previous one, but another file's write sits
+	// in between. Coalescing across it would move this extent before the
+	// other file's allocation at replay time, and block placement —
+	// reconstructed by repeating the original allocation order — would
+	// diverge. A write to another inode is a replay-order barrier.
 	l := newLog(t, Options{}, nil)
 	l.Append(Record{Op: OpWrite, Inode: 1, Offset: 0, Length: 10})
 	l.Append(Record{Op: OpWrite, Inode: 2, Offset: 0, Length: 10})
 	co, _ := l.Append(Record{Op: OpWrite, Inode: 1, Offset: 10, Length: 10})
-	if !co {
-		t.Error("contiguous write within window did not coalesce")
+	if co {
+		t.Error("write coalesced across another inode's allocation")
 	}
 	co, _ = l.Append(Record{Op: OpWrite, Inode: 2, Offset: 10, Length: 10})
+	if co {
+		t.Error("second file's write coalesced across another inode's allocation")
+	}
+}
+
+func TestCoalesceSkipsNamespaceRecords(t *testing.T) {
+	// Pure namespace records (create, mkdir, rename) allocate no blocks,
+	// so a contiguous write may still fold into its predecessor across
+	// them; unlinks free blocks and must act as barriers.
+	l := newLog(t, Options{}, nil)
+	l.Append(Record{Op: OpWrite, Inode: 1, Offset: 0, Length: 10})
+	l.Append(Record{Op: OpCreate, Path: "/g", Inode: 2, Mode: 0o644})
+	l.Append(Record{Op: OpRename, Path: "/g", Path2: "/h", Inode: 2})
+	co, _ := l.Append(Record{Op: OpWrite, Inode: 1, Offset: 10, Length: 10})
 	if !co {
-		t.Error("second file's contiguous write did not coalesce")
+		t.Error("contiguous write did not coalesce across namespace records")
+	}
+	l.Append(Record{Op: OpUnlink, Path: "/h", Inode: 2})
+	co, _ = l.Append(Record{Op: OpWrite, Inode: 1, Offset: 20, Length: 10})
+	if co {
+		t.Error("write coalesced across an unlink (block-pool barrier)")
 	}
 }
 

@@ -100,8 +100,8 @@ func TestJobCaptureReadBack(t *testing.T) {
 
 func TestExperimentsListed(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 13 {
-		t.Errorf("Experiments() = %v, want 13 entries", ids)
+	if len(ids) != 14 {
+		t.Errorf("Experiments() = %v, want 14 entries", ids)
 	}
 	tab, err := RunExperiment("fig7a", ExperimentOptions{Quick: true})
 	if err != nil {

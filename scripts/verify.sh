@@ -5,6 +5,15 @@
 # (golang.org/x/tools/go/analysis/passes/shadow/cmd/shadow); it is
 # skipped with a note when the binary is not installed, so this script
 # never requires network access or new dependencies.
+#
+# The crash-consistency property suite runs here in short mode (25
+# seeded iterations). The nightly-style full sweep (200 iterations) is:
+#
+#     go test ./internal/core -run CrashProp -count=1
+#
+# A failure prints the reproducing seed and the fault trace; pin the
+# seed in rerunSeed (internal/core/crashprop_test.go) to replay that
+# one iteration locally. See docs/faults.md.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -30,6 +39,12 @@ go test -race ./internal/nvmeof ./internal/telemetry
 
 echo "== go test -race (runtime core)"
 go test -race ./internal/core
+
+echo "== go test -race (fault injection + provenance log)"
+go test -race ./internal/faults ./internal/wal
+
+echo "== crash-consistency property suite (short mode)"
+go test -short -count=1 -run CrashProp ./internal/core
 
 echo "== nvmecr-trace smoke test"
 tmp="$(mktemp -d)"
