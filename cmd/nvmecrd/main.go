@@ -23,6 +23,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:4420", "listen address")
 	count := flag.Int("namespaces", 2, "number of namespaces to export (NSIDs 1..n)")
 	sizeMB := flag.Int64("size-mb", 256, "size of each namespace in MiB")
+	latency := flag.Duration("latency", 0, "simulated per-command device latency (e.g. 20us; 0 = none)")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
 	qpStats := flag.Bool("qp-stats", false, "also report per-queue-pair stats each interval")
 	admin := flag.String("admin", "", "admin HTTP listen address for /metrics, /healthz, pprof (empty disables)")
@@ -30,7 +31,8 @@ func main() {
 
 	tgt := nvmeof.NewTarget()
 	for i := 1; i <= *count; i++ {
-		if err := tgt.AddNamespace(uint32(i), nvmeof.NewMemNamespace(*sizeMB*model.MB)); err != nil {
+		ns := nvmeof.NewMemNamespaceWithLatency(*sizeMB*model.MB, *latency)
+		if err := tgt.AddNamespace(uint32(i), ns); err != nil {
 			log.Fatal(err)
 		}
 	}

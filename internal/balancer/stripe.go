@@ -1,0 +1,85 @@
+package balancer
+
+import "fmt"
+
+// StripeGeometry is a RAID-0 layout of one rank's partition across N
+// targets: unit-sized blocks rotate round-robin, so block k of the
+// striped address space lives on target k%N at block k/N of that
+// target's segment. It extends the balancer's placement model — ranks
+// map to SSDs round-robin (AllocateSSDs), and with striping a single
+// rank's partition itself spreads round-robin across several of them,
+// the paper's aggregate-bandwidth shape (§IV): one rank drives N
+// devices concurrently instead of queueing behind one.
+type StripeGeometry struct {
+	// Targets is the stripe width N (>= 1).
+	Targets int
+	// Unit is the stripe unit in bytes (> 0): the run of contiguous
+	// bytes placed on one target before rotating to the next.
+	Unit int64
+}
+
+// Validate rejects degenerate geometries.
+func (g StripeGeometry) Validate() error {
+	if g.Targets < 1 {
+		return fmt.Errorf("balancer: stripe width %d", g.Targets)
+	}
+	if g.Unit <= 0 {
+		return fmt.Errorf("balancer: stripe unit %d", g.Unit)
+	}
+	return nil
+}
+
+// UsableSize returns the striped address-space size carried by targets
+// whose smallest segment is childSize bytes: each target contributes
+// whole units only, so the tail remainder of every segment is unused.
+func (g StripeGeometry) UsableSize(childSize int64) int64 {
+	if childSize < 0 {
+		return 0
+	}
+	return int64(g.Targets) * (childSize / g.Unit) * g.Unit
+}
+
+// StripeSpan is one contiguous run of a striped request on one target:
+// bytes [Off, Off+Length) of the striped address space live at
+// [TargetOff, TargetOff+Length) on target Target. A span never crosses
+// a unit boundary.
+type StripeSpan struct {
+	Target    int
+	TargetOff int64
+	Off       int64
+	Length    int64
+}
+
+// Spans decomposes the striped byte range [off, off+length) into
+// per-target spans, in striped-address order. Spans on the same target
+// whose target offsets are adjacent are coalesced (a request larger
+// than Targets*Unit revisits each target with contiguous runs).
+func (g StripeGeometry) Spans(off, length int64) []StripeSpan {
+	if length <= 0 {
+		return nil
+	}
+	out := make([]StripeSpan, 0, (length+g.Unit-1)/g.Unit+1)
+	for cur := off; cur < off+length; {
+		stripeNo := cur / g.Unit
+		in := cur % g.Unit
+		n := g.Unit - in
+		if rest := off + length - cur; n > rest {
+			n = rest
+		}
+		s := StripeSpan{
+			Target:    int(stripeNo % int64(g.Targets)),
+			TargetOff: (stripeNo/int64(g.Targets))*g.Unit + in,
+			Off:       cur,
+			Length:    n,
+		}
+		if last := len(out) - 1; last >= 0 &&
+			out[last].Target == s.Target &&
+			out[last].TargetOff+out[last].Length == s.TargetOff {
+			out[last].Length += s.Length
+		} else {
+			out = append(out, s)
+		}
+		cur += n
+	}
+	return out
+}

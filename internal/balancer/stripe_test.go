@@ -1,0 +1,102 @@
+package balancer
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStripeSpansGeometry(t *testing.T) {
+	g := StripeGeometry{Targets: 3, Unit: 8}
+	// 20 bytes starting mid-unit at 4: unit 0 tail (4 bytes on target
+	// 0), unit 1 (8 on target 1), unit 2 (8 on target 2).
+	spans := g.Spans(4, 20)
+	want := []StripeSpan{
+		{Target: 0, TargetOff: 4, Off: 4, Length: 4},
+		{Target: 1, TargetOff: 0, Off: 8, Length: 8},
+		{Target: 2, TargetOff: 0, Off: 16, Length: 8},
+	}
+	if len(spans) != len(want) {
+		t.Fatalf("Spans = %+v, want %+v", spans, want)
+	}
+	for i := range want {
+		if spans[i] != want[i] {
+			t.Errorf("span %d = %+v, want %+v", i, spans[i], want[i])
+		}
+	}
+}
+
+func TestStripeSpansSingleTargetCoalesces(t *testing.T) {
+	// Width 1 degenerates to the identity mapping, and the adjacent
+	// spans coalesce into one.
+	g := StripeGeometry{Targets: 1, Unit: 8}
+	spans := g.Spans(3, 100)
+	if len(spans) != 1 {
+		t.Fatalf("width-1 Spans = %+v, want one span", spans)
+	}
+	if s := spans[0]; s.Target != 0 || s.TargetOff != 3 || s.Length != 100 {
+		t.Errorf("width-1 span = %+v", s)
+	}
+}
+
+// TestStripeSpansCoverExactly is the geometry's core invariant: for
+// random geometries and ranges, the spans tile [off, off+length)
+// exactly once, never overlap on a target, and respect the round-robin
+// block mapping.
+func TestStripeSpansCoverExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 2000; iter++ {
+		g := StripeGeometry{Targets: 1 + rng.Intn(5), Unit: int64(1 + rng.Intn(64))}
+		off := int64(rng.Intn(512))
+		length := int64(1 + rng.Intn(512))
+		spans := g.Spans(off, length)
+
+		cur := off
+		covered := int64(0)
+		for _, s := range spans {
+			if s.Off != cur {
+				t.Fatalf("geo=%+v [%d,+%d): span %+v starts at %d, want %d", g, off, length, s, s.Off, cur)
+			}
+			if s.Length <= 0 || s.Target < 0 || s.Target >= g.Targets {
+				t.Fatalf("geo=%+v: degenerate span %+v", g, s)
+			}
+			// Every byte of the span must obey the block mapping.
+			for b := int64(0); b < s.Length; b += g.Unit {
+				stripeNo := (s.Off + b) / g.Unit
+				if want := int(stripeNo % int64(g.Targets)); want != s.Target {
+					t.Fatalf("geo=%+v: span %+v holds stripe %d of target %d", g, s, stripeNo, want)
+				}
+				wantOff := (stripeNo/int64(g.Targets))*g.Unit + (s.Off+b)%g.Unit
+				if got := s.TargetOff + b; got != wantOff {
+					t.Fatalf("geo=%+v: span %+v maps byte %d to %d, want %d", g, s, s.Off+b, got, wantOff)
+				}
+			}
+			cur += s.Length
+			covered += s.Length
+		}
+		if covered != length {
+			t.Fatalf("geo=%+v [%d,+%d): spans cover %d bytes", g, off, length, covered)
+		}
+	}
+}
+
+func TestStripeUsableSize(t *testing.T) {
+	g := StripeGeometry{Targets: 4, Unit: 8}
+	if got := g.UsableSize(20); got != 4*16 {
+		t.Errorf("UsableSize(20) = %d, want %d (two whole units per target)", got, 4*16)
+	}
+	if got := g.UsableSize(7); got != 0 {
+		t.Errorf("UsableSize(7) = %d, want 0", got)
+	}
+}
+
+func TestStripeValidate(t *testing.T) {
+	if err := (StripeGeometry{Targets: 0, Unit: 8}).Validate(); err == nil {
+		t.Error("zero-width geometry accepted")
+	}
+	if err := (StripeGeometry{Targets: 2, Unit: 0}).Validate(); err == nil {
+		t.Error("zero-unit geometry accepted")
+	}
+	if err := (StripeGeometry{Targets: 2, Unit: 4096}).Validate(); err != nil {
+		t.Errorf("valid geometry rejected: %v", err)
+	}
+}

@@ -50,9 +50,24 @@ func (s *Store) Write(off int64, data []byte) error {
 	i := sort.Search(len(s.extents), func(i int) bool {
 		return s.extents[i].end() > off
 	})
-	var out []extent
+	// Fast path: the write falls entirely inside one existing extent.
+	// Overwrite in place — no splice, no allocation, no change to the
+	// stored byte count. This is the steady state of a block device
+	// under rewrite (every checkpoint round after the first), and it is
+	// what keeps the store off the NVMe-oF target's hot path.
+	if i < len(s.extents) {
+		if e := s.extents[i]; e.off <= off && end <= e.end() {
+			copy(e.data[off-e.off:], data)
+			return nil
+		}
+	}
+	// Splice path. The result is assembled already sorted: extents
+	// wholly before the write, then the left remainder of the first
+	// overlapped extent, then the new extent, then the right remainder
+	// of the last overlapped extent, then the untouched tail.
+	out := make([]extent, 0, len(s.extents)+2)
 	out = append(out, s.extents[:i]...)
-	// Left remainder of an extent that starts before off.
+	var right *extent
 	j := i
 	for ; j < len(s.extents) && s.extents[j].off < end; j++ {
 		e := s.extents[j]
@@ -63,20 +78,20 @@ func (s *Store) Write(off int64, data []byte) error {
 			s.bytes += int64(len(left))
 		}
 		if e.end() > end {
-			right := e.data[end-e.off:]
-			out = append(out, extent{off: end, data: right})
-			s.bytes += int64(len(right))
+			// Only the last overlapped extent can reach past end
+			// (extents are disjoint), so at most one right remainder.
+			right = &extent{off: end, data: e.data[end-e.off:]}
+			s.bytes += int64(len(right.data))
 		}
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	newExt := extent{off: off, data: cp}
+	out = append(out, extent{off: off, data: cp})
 	s.bytes += int64(len(cp))
-	// Insert in sorted position: out currently has extents < off plus
-	// possibly a right remainder > end; keep sorted.
-	out = append(out, newExt)
+	if right != nil {
+		out = append(out, *right)
+	}
 	out = append(out, s.extents[j:]...)
-	sort.Slice(out, func(a, b int) bool { return out[a].off < out[b].off })
 	s.extents = out
 	return nil
 }

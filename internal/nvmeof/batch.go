@@ -1,0 +1,298 @@
+package nvmeof
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BatchConfig tunes a queue pair's submission batcher. The batcher
+// coalesces capsules queued by concurrent submitters into a single
+// vectored wire write (net.Buffers, one writev on a TCP connection), so
+// the per-command syscall cost — the dominant software cost of small
+// commands, the cost the paper keeps off the critical path (§IV) —
+// is amortized across the batch. The wire format is unchanged: a batch
+// is byte-for-byte the capsules that would have been sent singly, so
+// batched initiators interoperate with every target and no version
+// negotiation is involved (capsules are self-delimiting; see
+// docs/batching.md).
+//
+// The zero value disables batching.
+type BatchConfig struct {
+	// Enabled turns the batcher on.
+	Enabled bool
+	// MaxBytes is the batch budget: a flush is cut when the pending
+	// wire bytes reach it (default 256 KiB). It also bounds merged
+	// WRITE payloads (never beyond MaxDataLen).
+	MaxBytes int
+	// MaxCommands caps the capsules per flush (default 64).
+	MaxCommands int
+	// MergeWrites additionally coalesces an enqueued WRITE whose range
+	// begins exactly where the previous still-pending WRITE ends into
+	// that command's capsule: one capsule, one target service visit,
+	// both submitters completed by the shared completion. Only
+	// untraced WRITEs merge (a merged capsule cannot carry two trace
+	// IDs).
+	MergeWrites bool
+}
+
+func (c BatchConfig) withDefaults() BatchConfig {
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 256 << 10
+	}
+	if c.MaxCommands <= 0 {
+		c.MaxCommands = 64
+	}
+	return c
+}
+
+// batchStat is the flush-time shape of one batch, shared by every
+// command it carried. The fields are atomic because a waiter reads
+// them after its completion arrives, and the completion travels
+// through the socket — an ordering the race detector cannot see.
+type batchStat struct {
+	commands atomic.Int32
+	bytes    atomic.Int64
+}
+
+// pendingCmd is one encoded capsule awaiting the next vectored flush.
+// The header is owned by the batcher; payload slices alias the caller's
+// buffer, which stays valid because the caller blocks until its
+// completion arrives (zero-copy into writev).
+type pendingCmd struct {
+	cid     uint16
+	op      Opcode
+	hdrBuf  [cmdHdrLen + traceExtLen]byte
+	hdr     []byte // hdrBuf[:n]
+	data    [][]byte
+	dataBuf [2][]byte // inline backing for data (original + first merge)
+	payload int       // total payload bytes across data
+	endOff  uint64    // WRITE: Offset + payload (merge adjacency)
+	merge   bool      // untraced WRITE: candidate for payload merging
+	stat    batchStat
+}
+
+func (pc *pendingCmd) wire() int { return len(pc.hdr) + pc.payload }
+
+// batcher coalesces one queue pair's submissions into vectored writes,
+// leader/follower style: the first submitter to find no flush in
+// progress becomes the flusher and drains the pending queue — cutting
+// batches at the configured budget — while later submitters only
+// enqueue and wait for their completions. No background goroutine and
+// no linger timer: a lone submitter flushes immediately (same syscall
+// count as the unbatched path), and batches form exactly when
+// submissions actually overlap.
+//
+// Lock order: batcher.mu before Host.respMu, never the reverse.
+type batcher struct {
+	cfg BatchConfig
+
+	mu       sync.Mutex
+	pending  []*pendingCmd
+	bytes    int
+	flushing bool
+}
+
+// validateCommand applies WriteCommandV's rejection rules before a
+// command is committed to a batch: once enqueued its header bytes are
+// final, so anything WriteCommandV would refuse must be refused here.
+func validateCommand(c *Command, version uint16) error {
+	if len(c.Data) > MaxDataLen {
+		return fmt.Errorf("nvmeof: in-capsule data %d exceeds limit", len(c.Data))
+	}
+	if c.Traced && version < VersionTrace {
+		return fmt.Errorf("nvmeof: traced command on version-%d queue pair", version)
+	}
+	return nil
+}
+
+// encodeCommandHeader renders cmd's fixed header (plus the trace-ID
+// extension when present) into a fresh slice, leaving the payload to
+// ride as its own iovec. The bytes are identical to what WriteCommandV
+// puts on the wire before the payload — pinned by
+// TestBatchWireBytesPinned so the formats can never diverge.
+func encodeCommandHeader(c *Command) []byte {
+	hdr := make([]byte, cmdHdrLen+traceExtLen)
+	return hdr[:encodeCommandHeaderInto(hdr, c)]
+}
+
+// encodeCommandHeaderInto renders the header into buf (which must hold
+// cmdHdrLen+traceExtLen bytes) and returns the encoded length, so the
+// hot path can use a pendingCmd's inline buffer with no allocation.
+func encodeCommandHeaderInto(buf []byte, c *Command) int {
+	n := cmdHdrLen
+	if c.Traced {
+		n += traceExtLen
+	}
+	binary.LittleEndian.PutUint32(buf[0:], cmdMagic)
+	buf[4] = byte(c.Opcode)
+	buf[5] = 0
+	if c.Traced {
+		buf[5] = cmdFlagTraced
+	}
+	binary.LittleEndian.PutUint16(buf[6:], c.CID)
+	binary.LittleEndian.PutUint32(buf[8:], c.NSID)
+	binary.LittleEndian.PutUint64(buf[12:], c.Offset)
+	binary.LittleEndian.PutUint32(buf[20:], c.Length)
+	binary.LittleEndian.PutUint32(buf[24:], uint32(len(c.Data)))
+	binary.LittleEndian.PutUint16(buf[28:], c.ProposeVersion)
+	if c.Traced {
+		binary.LittleEndian.PutUint64(buf[cmdHdrLen:], c.TraceID)
+	}
+	return n
+}
+
+// submitBatched enqueues one command for the next vectored flush and
+// waits for its completion. It is the batched counterpart of
+// submitDirect; errors during the flush poison the queue pair exactly
+// like a failed direct write.
+func (h *Host) submitBatched(cmd *Command) (*Response, int, error) {
+	if err := validateCommand(cmd, uint16(h.version.Load())); err != nil {
+		return nil, 0, err
+	}
+	b := h.batch
+	ch := make(chan *Response, 1)
+
+	b.mu.Lock()
+	// Merge an adjacent WRITE into its still-pending predecessor: one
+	// capsule carries both payloads, and this submitter completes on
+	// the shared CID's completion.
+	if pc := b.mergeTarget(cmd); pc != nil {
+		merged := false
+		h.respMu.Lock()
+		if slot, live := h.inflight[pc.cid]; live && slot != nil {
+			slot.chans = append(slot.chans, ch)
+			merged = true
+		}
+		h.respMu.Unlock()
+		if merged {
+			pc.data = append(pc.data, cmd.Data)
+			pc.payload += len(cmd.Data)
+			pc.endOff += uint64(len(cmd.Data))
+			binary.LittleEndian.PutUint32(pc.hdr[24:], uint32(pc.payload))
+			b.bytes += len(cmd.Data)
+			stat := &pc.stat
+			b.mu.Unlock()
+			h.tel.batchMerged.Inc()
+			cmd.CID = pc.cid
+			resp, err := h.awaitResponse(cmd, ch)
+			return resp, int(stat.commands.Load()), err
+		}
+	}
+
+	cid, err := h.registerWaiter(ch)
+	if err != nil {
+		b.mu.Unlock()
+		return nil, 0, err
+	}
+	cmd.CID = cid
+	pc := &pendingCmd{
+		cid:     cid,
+		op:      cmd.Opcode,
+		payload: len(cmd.Data),
+		endOff:  cmd.Offset + uint64(len(cmd.Data)),
+		merge:   b.cfg.MergeWrites && cmd.Opcode == OpWriteCmd && !cmd.Traced && len(cmd.Data) > 0,
+	}
+	pc.hdr = pc.hdrBuf[:encodeCommandHeaderInto(pc.hdrBuf[:], cmd)]
+	if len(cmd.Data) > 0 {
+		pc.data = pc.dataBuf[:1]
+		pc.data[0] = cmd.Data
+	}
+	b.pending = append(b.pending, pc)
+	b.bytes += pc.wire()
+	stat := &pc.stat
+	if !b.flushing {
+		b.flushing = true
+		// Yield once before cutting the first batch: submitters that are
+		// already runnable (a burst woken by the previous batch's
+		// completions, or peers on other Ps) get to enqueue behind us, so
+		// overlapping submissions actually coalesce instead of each
+		// becoming a depth-1 leader. A lone submitter pays one empty
+		// scheduler pass and proceeds immediately — still no linger
+		// timer, no background goroutine.
+		b.mu.Unlock()
+		runtime.Gosched()
+		b.mu.Lock()
+		h.flushBatches(b) // unlocks b.mu
+	} else {
+		b.mu.Unlock()
+	}
+	resp, err := h.awaitResponse(cmd, ch)
+	return resp, int(stat.commands.Load()), err
+}
+
+// mergeTarget returns the still-pending WRITE that cmd's payload can be
+// appended to, or nil. b.mu must be held.
+func (b *batcher) mergeTarget(cmd *Command) *pendingCmd {
+	if !b.cfg.MergeWrites || cmd.Opcode != OpWriteCmd || cmd.Traced ||
+		len(cmd.Data) == 0 || len(b.pending) == 0 {
+		return nil
+	}
+	pc := b.pending[len(b.pending)-1]
+	limit := b.cfg.MaxBytes
+	if limit > MaxDataLen {
+		limit = MaxDataLen
+	}
+	if !pc.merge || pc.endOff != cmd.Offset || pc.payload+len(cmd.Data) > limit {
+		return nil
+	}
+	return pc
+}
+
+// flushBatches drains the pending queue as the current flush leader,
+// cutting one vectored write per batch budget. Called with b.mu held;
+// returns with it released. A wire error poisons the host (every
+// waiter, flushed or still pending, is failed) — a partial vectored
+// write leaves the capsule stream unframed, so the connection is dead
+// either way.
+func (h *Host) flushBatches(b *batcher) {
+	for len(b.pending) > 0 {
+		cut := len(b.pending)
+		if cut > b.cfg.MaxCommands {
+			cut = b.cfg.MaxCommands
+		}
+		wire := 0
+		for i := 0; i < cut; i++ {
+			wire += b.pending[i].wire()
+			if wire >= b.cfg.MaxBytes && i+1 < cut {
+				cut = i + 1
+				break
+			}
+		}
+		batch := b.pending[:cut]
+		rest := b.pending[cut:]
+		b.pending = rest
+		b.bytes -= wire
+		nbufs := 0
+		for _, pc := range batch {
+			pc.stat.commands.Store(int32(len(batch)))
+			pc.stat.bytes.Store(int64(wire))
+			pc.merge = false // flushed: no longer a merge target
+			nbufs += 1 + len(pc.data)
+		}
+		b.mu.Unlock()
+
+		bufs := make(net.Buffers, 0, nbufs)
+		for _, pc := range batch {
+			bufs = append(bufs, pc.hdr)
+			bufs = append(bufs, pc.data...)
+		}
+		start := time.Now()
+		_, err := bufs.WriteTo(h.conn)
+		h.tel.observeBatch(len(batch), wire, time.Since(start))
+		if err != nil {
+			h.fail(err)
+			b.mu.Lock()
+			b.pending = nil
+			b.bytes = 0
+			break
+		}
+		b.mu.Lock()
+	}
+	b.flushing = false
+	b.mu.Unlock()
+}

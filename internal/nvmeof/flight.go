@@ -38,6 +38,9 @@ type FlightRecord struct {
 	// total target residency (wire-read + queue + service + wire-write)
 	// on targets.
 	ElapsedNS int64 `json:"elapsed_ns"`
+	// Batch is how many capsules shared this command's vectored flush
+	// (0 on the direct, unbatched path).
+	Batch int `json:"batch,omitempty"`
 	// Phases is the per-phase breakdown when known: always on targets,
 	// and on hosts for traced commands (echoed by the target).
 	Phases *PhaseTimings `json:"phases,omitempty"`

@@ -194,6 +194,108 @@ func FuzzReadResponse(f *testing.F) {
 	})
 }
 
+// countingReader wraps a reader and counts bytes actually consumed, so
+// the fuzzer can prove the parser never reads past a capsule's frame.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// FuzzReadBatchedCapsules hardens the target against a corrupted
+// batched flush. A batch is a byte-exact concatenation of versioned
+// capsules, so the target parses it with the same ReadCommandV loop as
+// unbatched traffic — this fuzzer feeds it arbitrary concatenated
+// streams and checks the three invariants batching leans on:
+//
+//  1. no panic on any input;
+//  2. no over-read: each parsed capsule consumes exactly as many bytes
+//     as its canonical re-encoding occupies, so a corrupt capsule can
+//     never swallow the start of its successor;
+//  3. no CID mis-association: re-encoding the parsed prefix and parsing
+//     it again yields the same (CID, opcode, payload) sequence, i.e.
+//     completions built from this parse would pair with the right
+//     commands.
+func FuzzReadBatchedCapsules(f *testing.F) {
+	// Seed with a genuine three-capsule batch (what the host's vectored
+	// flush emits), one of them traced.
+	var batch bytes.Buffer
+	WriteCommandV(&batch, &Command{Opcode: OpWriteCmd, CID: 11, NSID: 1, Offset: 0, Data: bytes.Repeat([]byte{0xA1}, 512)}, VersionTrace)
+	WriteCommandV(&batch, &Command{Opcode: OpWriteCmd, CID: 12, NSID: 1, Offset: 512, Traced: true, TraceID: 0xBEEF, Data: bytes.Repeat([]byte{0xA2}, 512)}, VersionTrace)
+	WriteCommandV(&batch, &Command{Opcode: OpFlushCmd, CID: 13, NSID: 1}, VersionTrace)
+	f.Add(batch.Bytes())
+	// A batch truncated mid-payload (torn vectored write).
+	f.Add(batch.Bytes()[:batch.Len()-100])
+	// A batch whose second header is corrupted.
+	torn := append([]byte(nil), batch.Bytes()...)
+	torn[cmdHdrLen+512+4] ^= 0xFF
+	f.Add(torn)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x4E}, 96))
+
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		cr := &countingReader{r: bytes.NewReader(wire)}
+		var parsed []*Command
+		for {
+			before := cr.n
+			cmd, err := ReadCommandV(cr, VersionTrace)
+			if err != nil {
+				break // corruption rejected cleanly; prefix stays valid
+			}
+			if int64(len(cmd.Data)) > MaxDataLen {
+				t.Fatalf("capsule %d accepted %d bytes of in-capsule data", len(parsed), len(cmd.Data))
+			}
+			// Invariant 2: consumed bytes == canonical encoding length.
+			var canon bytes.Buffer
+			if err := WriteCommandV(&canon, cmd, VersionTrace); err != nil {
+				t.Fatalf("re-encode of parsed capsule failed: %v", err)
+			}
+			if consumed := cr.n - before; consumed != int64(canon.Len()) {
+				t.Fatalf("capsule %d consumed %d bytes but re-encodes to %d: parser over- or under-read",
+					len(parsed), consumed, canon.Len())
+			}
+			parsed = append(parsed, cmd)
+			if len(parsed) > 1024 {
+				break // plenty; bound fuzz time on giant inputs
+			}
+		}
+		if len(parsed) == 0 {
+			return
+		}
+		// Invariant 3: the parsed prefix re-batches (concatenates) and
+		// re-parses to the same command sequence — CIDs stay with their
+		// opcodes and payloads.
+		var rebatch bytes.Buffer
+		for _, cmd := range parsed {
+			if err := WriteCommandV(&rebatch, cmd, VersionTrace); err != nil {
+				t.Fatalf("re-batching failed: %v", err)
+			}
+		}
+		rr := bytes.NewReader(rebatch.Bytes())
+		for i, want := range parsed {
+			got, err := ReadCommandV(rr, VersionTrace)
+			if err != nil {
+				t.Fatalf("re-parse of re-batched capsule %d failed: %v", i, err)
+			}
+			if got.CID != want.CID || got.Opcode != want.Opcode ||
+				got.Offset != want.Offset || got.Length != want.Length ||
+				got.Traced != want.Traced || got.TraceID != want.TraceID ||
+				!bytes.Equal(got.Data, want.Data) {
+				t.Fatalf("capsule %d mis-associated after re-batching: CID %d/%d opcode %d/%d",
+					i, got.CID, want.CID, got.Opcode, want.Opcode)
+			}
+		}
+		if rr.Len() != 0 {
+			t.Fatalf("%d stray bytes after re-parsing the re-batched stream", rr.Len())
+		}
+	})
+}
+
 // FuzzCommandStream feeds a stream of frames to the parser the way a
 // queue pair would, ensuring truncation always surfaces as an error, not
 // a hang or partial parse.

@@ -49,6 +49,10 @@ type HostConfig struct {
 	// slot lands in its own ring). Nil gets a private recorder of
 	// DefaultFlightDepth.
 	Flight *FlightRecorder
+	// Batch configures the submission batcher: concurrent submissions
+	// coalesce into one vectored wire write per batch (see BatchConfig).
+	// The zero value keeps the direct, one-flush-per-command path.
+	Batch BatchConfig
 }
 
 // Host is an NVMe-oF initiator over the TCP transport: one queue pair
@@ -62,10 +66,21 @@ type Host struct {
 	nsid    uint32
 	timeout time.Duration
 
-	sendMu   sync.Mutex // serializes capsule writes
+	sendMu   sync.Mutex // serializes capsule writes (direct path)
 	respMu   sync.Mutex // guards inflight and cid
-	inflight map[uint16]chan *Response
+	inflight map[uint16]*cmdSlot
 	cid      uint16
+	// inflightN mirrors len(inflight) so the pool's queue-pair
+	// selection can probe depth without taking respMu on every
+	// submission. Updated under respMu at every map mutation.
+	inflightN atomic.Int32
+	// failed mirrors err != nil for the same reason: Healthy is on the
+	// pool's per-command path.
+	failed atomic.Bool
+
+	// batch, when non-nil, routes every submission through the
+	// vectored-write batcher instead of the direct bufio path.
+	batch *batcher
 
 	nsSize int64
 	err    error
@@ -140,13 +155,16 @@ func DialConfig(addr string, nsid uint32, cfg HostConfig) (*Host, error) {
 		addr:     addr,
 		nsid:     nsid,
 		timeout:  cfg.CommandTimeout,
-		inflight: make(map[uint16]chan *Response),
+		inflight: make(map[uint16]*cmdSlot),
 		done:     make(chan struct{}),
 		reg:      reg,
 		tel:      newQPTelemetry(reg, cfg.TelemetryQP),
 		qpID:     cfg.TelemetryQP,
 		tracer:   cfg.Tracer,
 		flight:   flight,
+	}
+	if cfg.Batch.Enabled {
+		h.batch = &batcher{cfg: cfg.Batch.withDefaults()}
 	}
 	go h.readLoop()
 	// Offer the trace extension only when a tracer will consume it, so
@@ -185,17 +203,13 @@ func (h *Host) NSID() uint32 { return h.nsid }
 
 // Healthy reports whether the queue pair can still carry commands.
 func (h *Host) Healthy() bool {
-	h.errMu.Lock()
-	defer h.errMu.Unlock()
-	return h.err == nil
+	return !h.failed.Load()
 }
 
 // InFlight returns the number of commands awaiting completion
 // (including abandoned slots of timed-out commands).
 func (h *Host) InFlight() int {
-	h.respMu.Lock()
-	defer h.respMu.Unlock()
-	return len(h.inflight)
+	return int(h.inflightN.Load())
 }
 
 // Telemetry returns the registry this queue pair records into, for
@@ -231,13 +245,20 @@ func (h *Host) readLoop() {
 			return
 		}
 		h.respMu.Lock()
-		ch, ok := h.inflight[resp.CID]
-		delete(h.inflight, resp.CID)
+		slot, ok := h.inflight[resp.CID]
+		if ok {
+			delete(h.inflight, resp.CID)
+			h.inflightN.Add(-1)
+		}
 		h.respMu.Unlock()
-		// A nil channel marks an abandoned (timed-out) command: its
-		// slot is reclaimed here and the late completion dropped.
-		if ok && ch != nil {
-			ch <- resp
+		// A waiterless slot marks an abandoned (timed-out) command: its
+		// CID is reclaimed here and the late completion dropped. A
+		// merged WRITE's slot fans the one completion out to every
+		// submitter whose payload rode in the capsule.
+		if ok && slot != nil {
+			for _, ch := range slot.chans {
+				ch <- resp
+			}
 		}
 	}
 }
@@ -247,16 +268,21 @@ func (h *Host) fail(err error) {
 	h.errMu.Lock()
 	if h.err == nil {
 		h.err = err
+		h.failed.Store(true)
 		close(h.done)
 	}
 	h.errMu.Unlock()
 	h.respMu.Lock()
-	for cid, ch := range h.inflight {
+	for cid, slot := range h.inflight {
 		delete(h.inflight, cid)
-		if ch != nil {
+		if slot == nil {
+			continue
+		}
+		for _, ch := range slot.chans {
 			close(ch)
 		}
 	}
+	h.inflightN.Store(0)
 	h.respMu.Unlock()
 }
 
@@ -282,17 +308,26 @@ func (h *Host) roundTrip(cmd *Command) (*Response, error) {
 		cmd.TraceID = nextTraceID()
 	}
 	start := time.Now()
-	resp, err := h.submit(cmd)
+	var (
+		resp   *Response
+		batchN int
+		err    error
+	)
+	if h.batch != nil {
+		resp, batchN, err = h.submitBatched(cmd)
+	} else {
+		resp, err = h.submitDirect(cmd)
+	}
 	rtt := time.Since(start)
 	h.tel.observe(cmd, resp, err, rtt)
-	h.observeFlight(cmd, resp, err, start, rtt)
+	h.observeFlight(cmd, resp, err, start, rtt, batchN)
 	return resp, err
 }
 
 // observeFlight logs one completed round trip into the queue pair's
 // flight ring, emits the correlated span for traced completions, and
 // dumps the ring on the failure modes worth a postmortem.
-func (h *Host) observeFlight(cmd *Command, resp *Response, err error, start time.Time, rtt time.Duration) {
+func (h *Host) observeFlight(cmd *Command, resp *Response, err error, start time.Time, rtt time.Duration, batchN int) {
 	rec := FlightRecord{
 		TraceID:   cmd.TraceID,
 		QP:        h.qpID,
@@ -302,6 +337,7 @@ func (h *Host) observeFlight(cmd *Command, resp *Response, err error, start time
 		Bytes:     len(cmd.Data),
 		WallNS:    start.UnixNano(),
 		ElapsedNS: int64(rtt),
+		Batch:     batchN,
 	}
 	if resp != nil {
 		rec.Status = resp.Status
@@ -315,7 +351,7 @@ func (h *Host) observeFlight(cmd *Command, resp *Response, err error, start time
 	if err == nil && resp != nil && resp.Phases != nil && h.tracer != nil {
 		p := resp.Phases
 		wire := int64(hostWirePhase(rtt, p))
-		h.tracer.SpanWall("nvmeof.cmd", -1, start, rtt, map[string]any{
+		attrs := map[string]any{
 			"trace_id":      traceIDString(cmd.TraceID),
 			"op":            cmd.Opcode.String(),
 			"qp":            h.qpID,
@@ -326,7 +362,13 @@ func (h *Host) observeFlight(cmd *Command, resp *Response, err error, start time
 			"service_ns":    p.ServiceNS,
 			"wire_read_ns":  p.WireReadNS,
 			"wire_write_ns": p.WireWriteNS,
-		})
+		}
+		if batchN > 0 {
+			// The command went out in a vectored flush of batchN
+			// capsules; its wire phase amortizes across them.
+			attrs["batch_cmds"] = batchN
+		}
+		h.tracer.SpanWall("nvmeof.cmd", -1, start, rtt, attrs)
 	}
 	if errors.Is(err, ErrTimeout) {
 		h.dumpFlight("timeout")
@@ -360,14 +402,32 @@ func (h *Host) noteBadResponse(err error) error {
 	return err
 }
 
-// submit sends one command and waits for its completion, bounded by
-// the queue pair's CommandTimeout if one is configured.
-func (h *Host) submit(cmd *Command) (*Response, error) {
-	ch := make(chan *Response, 1)
+// cmdSlot tracks the waiters for one in-flight CID. The common case is
+// one; a merged WRITE (see batch.go) carries one per payload it
+// absorbed. A slot whose waiters have all timed out stays registered
+// with no channels, so the CID is not reused until its completion
+// arrives and is dropped.
+type cmdSlot struct {
+	chans  []chan *Response
+	inline [1]chan *Response // backing for the common single-waiter case
+}
+
+// remove detaches one waiter (its submit timed out).
+func (s *cmdSlot) remove(ch chan *Response) {
+	for i, c := range s.chans {
+		if c == ch {
+			s.chans = append(s.chans[:i], s.chans[i+1:]...)
+			return
+		}
+	}
+}
+
+// registerWaiter allocates a CID and registers ch as its waiter.
+func (h *Host) registerWaiter(ch chan *Response) (uint16, error) {
 	h.respMu.Lock()
+	defer h.respMu.Unlock()
 	if len(h.inflight) >= maxInflight {
-		h.respMu.Unlock()
-		return nil, fmt.Errorf("nvmeof: queue full: %d commands in flight", maxInflight)
+		return 0, fmt.Errorf("nvmeof: queue full: %d commands in flight", maxInflight)
 	}
 	// Skip CID 0 and any CID still awaiting a completion: a uint16
 	// wraparound must never overwrite a live slot (that would strand
@@ -381,28 +441,42 @@ func (h *Host) submit(cmd *Command) (*Response, error) {
 			break
 		}
 	}
-	cmd.CID = h.cid
-	h.inflight[cmd.CID] = ch
-	h.respMu.Unlock()
+	slot := &cmdSlot{}
+	slot.inline[0] = ch
+	slot.chans = slot.inline[:1]
+	h.inflight[h.cid] = slot
+	h.inflightN.Add(1)
+	return h.cid, nil
+}
 
-	h.sendMu.Lock()
-	err := WriteCommandV(h.bw, cmd, uint16(h.version.Load()))
-	if err == nil {
-		err = h.bw.Flush()
-	}
-	h.sendMu.Unlock()
-	if err != nil {
-		h.respMu.Lock()
-		delete(h.inflight, cmd.CID)
-		h.respMu.Unlock()
-		return nil, err
-	}
+// awaitResponse waits for cmd's completion on ch, bounded by the queue
+// pair's CommandTimeout if one is configured.
+// respTimerPool recycles the per-command timeout timers: every round
+// trip arms one, and allocating a runtime timer per command is
+// measurable on the small-command hot path.
+var respTimerPool sync.Pool
 
+func (h *Host) awaitResponse(cmd *Command, ch chan *Response) (*Response, error) {
 	var timeoutC <-chan time.Time
 	if h.timeout > 0 {
-		timer := time.NewTimer(h.timeout)
-		defer timer.Stop()
+		timer, _ := respTimerPool.Get().(*time.Timer)
+		if timer == nil {
+			timer = time.NewTimer(h.timeout)
+		} else {
+			timer.Reset(h.timeout)
+		}
 		timeoutC = timer.C
+		defer func() {
+			if !timer.Stop() {
+				// Fired (or we consumed the tick in the timeout
+				// branch): drain so the recycled timer starts clean.
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			respTimerPool.Put(timer)
+		}()
 	}
 	select {
 	case resp, ok := <-ch:
@@ -423,10 +497,12 @@ func (h *Host) submit(cmd *Command) (*Response, error) {
 	case <-timeoutC:
 		// Abandon the slot rather than freeing it: the target may
 		// still be processing, and reissuing this CID would let the
-		// stale completion answer a future command.
+		// stale completion answer a future command. Only this waiter
+		// detaches — a merged sibling may still be inside its own
+		// deadline.
 		h.respMu.Lock()
-		if _, live := h.inflight[cmd.CID]; live {
-			h.inflight[cmd.CID] = nil
+		if slot, live := h.inflight[cmd.CID]; live {
+			slot.remove(ch)
 		}
 		h.respMu.Unlock()
 		select {
@@ -438,6 +514,34 @@ func (h *Host) submit(cmd *Command) (*Response, error) {
 		}
 		return nil, fmt.Errorf("%w (%v)", ErrTimeout, h.timeout)
 	}
+}
+
+// submitDirect sends one command through the bufio path — one capsule
+// write and one flush per command — and waits for its completion.
+func (h *Host) submitDirect(cmd *Command) (*Response, error) {
+	ch := make(chan *Response, 1)
+	cid, err := h.registerWaiter(ch)
+	if err != nil {
+		return nil, err
+	}
+	cmd.CID = cid
+
+	h.sendMu.Lock()
+	err = WriteCommandV(h.bw, cmd, uint16(h.version.Load()))
+	if err == nil {
+		err = h.bw.Flush()
+	}
+	h.sendMu.Unlock()
+	if err != nil {
+		h.respMu.Lock()
+		if _, live := h.inflight[cmd.CID]; live {
+			delete(h.inflight, cmd.CID)
+			h.inflightN.Add(-1)
+		}
+		h.respMu.Unlock()
+		return nil, err
+	}
+	return h.awaitResponse(cmd, ch)
 }
 
 // checkResp folds a round-trip error and a completion status into one

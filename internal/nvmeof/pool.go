@@ -56,6 +56,9 @@ type PoolConfig struct {
 	// (default DefaultFlightDepth). Every slot records into its own
 	// lock-striped ring of one shared recorder, exposed via Flight.
 	FlightDepth int
+	// Batch configures each queue pair's submission batcher (see
+	// BatchConfig). The zero value keeps the direct path.
+	Batch BatchConfig
 }
 
 func (c PoolConfig) withDefaults() PoolConfig {
@@ -104,6 +107,7 @@ type HostPool struct {
 
 	slots  []*qpSlot
 	rr     uint32 // atomic round-robin cursor
+	fill   int    // batching pools: fill a queue pair to this depth before spilling
 	nsSize int64
 	reg    *telemetry.Registry
 	flight *FlightRecorder
@@ -132,6 +136,9 @@ func DialPool(addr string, nsid uint32, cfg PoolConfig) (*HostPool, error) {
 		reg:    reg,
 		flight: NewFlightRecorder(cfg.FlightDepth),
 	}
+	if cfg.Batch.Enabled {
+		p.fill = cfg.Batch.withDefaults().MaxCommands
+	}
 	for i := 0; i < cfg.QueuePairs; i++ {
 		h, err := p.dialSlot(i)
 		if err != nil {
@@ -157,6 +164,7 @@ func (p *HostPool) dialSlot(i int) (*Host, error) {
 		TelemetryQP:    i,
 		Tracer:         p.cfg.Tracer,
 		Flight:         p.flight,
+		Batch:          p.cfg.Batch,
 	})
 }
 
@@ -218,6 +226,38 @@ func (p *HostPool) acquire() (*qpSlot, *Host, error) {
 	default:
 	}
 	n := len(p.slots)
+	// Batching pools fill queue pairs before spilling to the next:
+	// overlapping submissions that land in the same batcher coalesce
+	// into one vectored write, whereas balancing by depth would cut N
+	// shallow batches across N batchers. Scanning from slot 0 keeps the
+	// concentration point stable; a queue pair spills once its depth
+	// reaches the batch command budget, and if every pair is at budget
+	// the shallowest wins (same as the unbatched policy).
+	if p.fill > 0 {
+		var best *qpSlot
+		var bestHost *Host
+		bestDepth := 0
+		for _, s := range p.slots {
+			s.mu.Lock()
+			h := s.host
+			s.mu.Unlock()
+			if h == nil || !h.Healthy() {
+				p.noteFailure(s, h)
+				continue
+			}
+			d := h.InFlight()
+			if d < p.fill {
+				return s, h, nil
+			}
+			if best == nil || d < bestDepth {
+				best, bestHost, bestDepth = s, h, d
+			}
+		}
+		if best == nil {
+			return nil, nil, ErrNoQueuePairs
+		}
+		return best, bestHost, nil
+	}
 	start := int(atomic.AddUint32(&p.rr, 1))
 	var best *qpSlot
 	var bestHost *Host

@@ -1,0 +1,188 @@
+package nvmeof
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/nvme-cr/nvmecr/internal/balancer"
+	"github.com/nvme-cr/nvmecr/internal/plane"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+)
+
+// StripedPlane is a plane.Plane that shards a rank's partition across
+// several NVMe-oF targets RAID-0 style, using the balancer's stripe
+// geometry: unit-sized blocks rotate round-robin over the child planes,
+// and a request touching several targets issues its per-target spans
+// concurrently through each target's own queue. This is the wide data
+// path the paper's aggregate-bandwidth claim rests on (§IV, Fig. 7):
+// one rank drives N devices at once instead of queueing behind one.
+//
+// Semantics relative to a single-target plane:
+//
+//   - Write/Read are byte-identical to the same operations against one
+//     target of N times the capacity (the equivalence property test
+//     pins this).
+//   - Flush is a barrier across ALL children: it succeeds only when
+//     every child's flush succeeds, because a striped write's units
+//     land on every target and durability of some stripes is not
+//     durability of the data.
+//   - Read propagates the plane.Plane nil contract consistently: if
+//     ANY child does not capture payloads (returns nil), the striped
+//     read is nil — never a partially-populated buffer masquerading
+//     as data.
+type StripedPlane struct {
+	children []plane.Plane
+	geo      balancer.StripeGeometry
+	size     int64
+}
+
+// NewStripedPlane stripes across children in order with the given unit
+// size. Children are typically *TCPPlane partitions on distinct
+// targets, but any plane.Plane works (the simulator's planes included).
+// The striped capacity is geometry-limited by the smallest child: every
+// child contributes the same whole number of units.
+func NewStripedPlane(children []plane.Plane, unit int64) (*StripedPlane, error) {
+	geo := balancer.StripeGeometry{Targets: len(children), Unit: unit}
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	minSize := children[0].Size()
+	for _, c := range children[1:] {
+		if s := c.Size(); s < minSize {
+			minSize = s
+		}
+	}
+	size := geo.UsableSize(minSize)
+	if size <= 0 {
+		return nil, fmt.Errorf("nvmeof: stripe unit %d exceeds smallest child of %d bytes", unit, minSize)
+	}
+	return &StripedPlane{children: children, geo: geo, size: size}, nil
+}
+
+// Geometry returns the stripe layout.
+func (s *StripedPlane) Geometry() balancer.StripeGeometry { return s.geo }
+
+// Size implements plane.Plane.
+func (s *StripedPlane) Size() int64 { return s.size }
+
+func (s *StripedPlane) check(off, length int64) error {
+	if off < 0 || length < 0 || off+length > s.size {
+		return fmt.Errorf("nvmeof: access [%d,+%d) outside striped partition of %d bytes", off, length, s.size)
+	}
+	return nil
+}
+
+// forEachSpan runs fn over the request's per-target spans: concurrently
+// when no simulated process is attached (the real TCP path, where
+// concurrency is the point), sequentially under the simulator (where
+// determinism is the point and the children charge virtual time).
+// The first error wins; all spans are always attempted, so a striped
+// write failing on one target still lands its other units — the same
+// partial-write exposure a failed chunked TCPPlane write has, and why
+// callers treat any write error as "durability unknown until re-proven".
+func (s *StripedPlane) forEachSpan(p *sim.Proc, spans []balancer.StripeSpan, fn func(sp balancer.StripeSpan) error) error {
+	if p != nil || len(spans) == 1 {
+		var firstErr error
+		for _, sp := range spans {
+			if err := fn(sp); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	errs := make([]error, len(spans))
+	var wg sync.WaitGroup
+	for i, sp := range spans {
+		wg.Add(1)
+		go func(i int, sp balancer.StripeSpan) {
+			defer wg.Done()
+			errs[i] = fn(sp)
+		}(i, sp)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Write implements plane.Plane. Synthetic (nil-data) writes stay
+// synthetic per span: each child sees nil data for its unit, exactly
+// as a single-target plane would for the whole transfer.
+func (s *StripedPlane) Write(p *sim.Proc, off, length int64, data []byte, cmdUnit int64) error {
+	if err := s.check(off, length); err != nil {
+		return err
+	}
+	if data != nil && int64(len(data)) != length {
+		return fmt.Errorf("nvmeof: striped write of %d bytes with %d-byte buffer", length, len(data))
+	}
+	if length == 0 {
+		return nil
+	}
+	spans := s.geo.Spans(off, length)
+	return s.forEachSpan(p, spans, func(sp balancer.StripeSpan) error {
+		var chunk []byte
+		if data != nil {
+			rel := sp.Off - off
+			chunk = data[rel : rel+sp.Length]
+		}
+		return s.children[sp.Target].Write(p, sp.TargetOff, sp.Length, chunk, cmdUnit)
+	})
+}
+
+// Read implements plane.Plane. The nil contract is all-or-nothing: a
+// single non-capturing child makes the whole read nil (see the type
+// comment), so callers never see a buffer with silent zero holes.
+func (s *StripedPlane) Read(p *sim.Proc, off, length int64, cmdUnit int64) ([]byte, error) {
+	if err := s.check(off, length); err != nil {
+		return nil, err
+	}
+	if length == 0 {
+		return nil, nil
+	}
+	spans := s.geo.Spans(off, length)
+	out := make([]byte, length)
+	var mu sync.Mutex
+	sawNil := false
+	err := s.forEachSpan(p, spans, func(sp balancer.StripeSpan) error {
+		chunk, err := s.children[sp.Target].Read(p, sp.TargetOff, sp.Length, cmdUnit)
+		if err != nil {
+			return err
+		}
+		if chunk == nil {
+			mu.Lock()
+			sawNil = true
+			mu.Unlock()
+			return nil
+		}
+		if int64(len(chunk)) != sp.Length {
+			return fmt.Errorf("nvmeof: stripe target %d returned %d bytes, want %d", sp.Target, len(chunk), sp.Length)
+		}
+		copy(out[sp.Off-off:], chunk)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sawNil {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// Flush implements plane.Plane: a durability barrier across every
+// child. All children are flushed even after a failure (their stripes
+// deserve durability regardless); the first error is returned.
+func (s *StripedPlane) Flush(p *sim.Proc) error {
+	idx := make([]balancer.StripeSpan, len(s.children))
+	for i := range idx {
+		idx[i] = balancer.StripeSpan{Target: i}
+	}
+	return s.forEachSpan(p, idx, func(sp balancer.StripeSpan) error {
+		return s.children[sp.Target].Flush(p)
+	})
+}
+
+var _ plane.Plane = (*StripedPlane)(nil)

@@ -355,7 +355,7 @@ func TestQueueFullRejected(t *testing.T) {
 		t.Fatal("command accepted with a full CID space")
 	}
 	h.respMu.Lock()
-	h.inflight = make(map[uint16]chan *Response)
+	h.inflight = make(map[uint16]*cmdSlot)
 	h.respMu.Unlock()
 	if _, err := h.Identify(); err != nil {
 		t.Fatalf("identify after queue drained: %v", err)

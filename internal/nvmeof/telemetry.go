@@ -25,6 +25,16 @@ const (
 	MetricQPPhaseQueue   = "nvmecr_qp_phase_queue_seconds"
 	MetricQPPhaseService = "nvmecr_qp_phase_service_seconds"
 
+	// Batcher series (only populated on queue pairs with batching
+	// enabled): flushes are vectored wire writes, merged counts WRITEs
+	// absorbed into a predecessor's capsule, and the commands/bytes
+	// histograms record each flush's shape (count buckets, not seconds).
+	MetricQPBatchFlushes  = "nvmecr_qp_batch_flushes_total"
+	MetricQPBatchMerged   = "nvmecr_qp_batch_merged_total"
+	MetricQPBatchCommands = "nvmecr_qp_batch_commands"
+	MetricQPBatchBytes    = "nvmecr_qp_batch_bytes"
+	MetricQPBatchLatency  = "nvmecr_qp_batch_flush_seconds"
+
 	MetricPoolQueuePairs = "nvmecr_pool_queue_pairs"
 
 	MetricTargetCommands = "nvmecr_target_commands_total"
@@ -54,7 +64,22 @@ type qpTelemetry struct {
 	phaseWire    *telemetry.Histogram
 	phaseQueue   *telemetry.Histogram
 	phaseService *telemetry.Histogram
+
+	batchFlushes  *telemetry.Counter
+	batchMerged   *telemetry.Counter
+	batchCmds     *telemetry.Histogram
+	batchBytes    *telemetry.Histogram
+	batchFlushLat *telemetry.Histogram
 }
+
+// Batch-shape histogram buckets: capsules per flush tops out at the
+// MaxCommands default (64), bytes per flush at the MaxBytes default
+// (256 KiB). Explicit because the registry default buckets are
+// latency-oriented.
+var (
+	batchCmdBuckets  = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	batchByteBuckets = []float64{512, 4096, 16384, 65536, 262144, 1048576, 8388608}
+)
 
 // newQPTelemetry binds (or re-binds, after a reconnect) the instruments
 // for initiator queue-pair slot qp. Get-or-create semantics mean a
@@ -73,7 +98,22 @@ func newQPTelemetry(reg *telemetry.Registry, qp int) qpTelemetry {
 		phaseWire:    reg.Histogram(MetricQPPhaseWire, nil, l),
 		phaseQueue:   reg.Histogram(MetricQPPhaseQueue, nil, l),
 		phaseService: reg.Histogram(MetricQPPhaseService, nil, l),
+
+		batchFlushes:  reg.Counter(MetricQPBatchFlushes, l),
+		batchMerged:   reg.Counter(MetricQPBatchMerged, l),
+		batchCmds:     reg.Histogram(MetricQPBatchCommands, batchCmdBuckets, l),
+		batchBytes:    reg.Histogram(MetricQPBatchBytes, batchByteBuckets, l),
+		batchFlushLat: reg.Histogram(MetricQPBatchLatency, nil, l),
 	}
+}
+
+// observeBatch records one vectored flush: n capsules, wire bytes on
+// the wire, dur spent in the write syscall(s).
+func (q *qpTelemetry) observeBatch(n, wire int, dur time.Duration) {
+	q.batchFlushes.Inc()
+	q.batchCmds.Observe(float64(n))
+	q.batchBytes.Observe(float64(wire))
+	q.batchFlushLat.ObserveDuration(dur)
 }
 
 // hostWirePhase is the fabric wire time of one traced round trip: what

@@ -17,8 +17,12 @@ type Plane interface {
 	// length. cmdUnit is the NVMe command granularity (the hugeblock
 	// size); 0 means one command.
 	Write(p *sim.Proc, off, length int64, data []byte, cmdUnit int64) error
-	// Read returns length bytes from off (nil when the backing device
-	// does not capture payloads).
+	// Read returns length bytes from off. The nil contract: when the
+	// backing device does not capture payloads (timing-only mode), Read
+	// returns (nil, nil) — never a zero-filled buffer posing as data.
+	// Composite planes (striping, mirroring) must propagate this
+	// all-or-nothing: if any backing device consulted by the request
+	// returns nil, the whole read is nil.
 	Read(p *sim.Proc, off, length int64, cmdUnit int64) ([]byte, error)
 	// Flush is a durability barrier.
 	Flush(p *sim.Proc) error

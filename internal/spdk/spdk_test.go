@@ -84,6 +84,46 @@ func TestDataRoundTripWithinPartition(t *testing.T) {
 	}
 }
 
+// TestReadNilWithoutCapture pins the plane.Plane Read contract: over a
+// device that does not capture payloads, Read is (nil, nil) — not a
+// zero-filled buffer — while a capturing device returns real data.
+// Composite planes (see nvmeof.StripedPlane) rely on this to propagate
+// nil all-or-nothing.
+func TestReadNilWithoutCapture(t *testing.T) {
+	env, pl, _ := setup(t, false)
+	env.Go("t", func(p *sim.Proc) {
+		payload := bytes.Repeat([]byte{0x5A}, 4096)
+		if err := pl.Write(p, 0, 4096, payload, 0); err != nil {
+			t.Fatal(err)
+		}
+		got, err := pl.Read(p, 0, 4096, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != nil {
+			t.Fatalf("non-capturing read = %d bytes, want nil", len(got))
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	env, pl, _ = setup(t, true)
+	env.Go("t", func(p *sim.Proc) {
+		payload := bytes.Repeat([]byte{0x5A}, 4096)
+		if err := pl.Write(p, 0, 4096, payload, 0); err != nil {
+			t.Fatal(err)
+		}
+		got, err := pl.Read(p, 0, 4096, 0)
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("capturing read = %d bytes, %v; want payload back", len(got), err)
+		}
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestNoKernelTime(t *testing.T) {
 	env, pl, acct := setup(t, false)
 	env.Go("t", func(p *sim.Proc) {

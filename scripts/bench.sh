@@ -1,0 +1,80 @@
+#!/bin/sh
+# NVMe-oF data-plane benchmark regression harness. Run from anywhere:
+#
+#     scripts/bench.sh          # full run (2s per benchmark)
+#     scripts/bench.sh -q       # quick mode (200ms per benchmark) for
+#                               # a fast local smoke of the same gates
+#
+# Runs the transport hot-path benchmarks — BenchmarkHostPool (batched
+# vs unbatched small commands across queue-pair counts),
+# BenchmarkHostPoolDeviceBound (the device-limited regime where
+# batching must be neutral), and BenchmarkStripedPlane (striped vs
+# single-target large transfers) — and emits BENCH_nvmeof.json with
+# ns/op, MB/s, and allocs/op per case.
+#
+# Regression gate: batched throughput must be >= 1.5x unbatched for
+# small (<=4KB) commands at qp>=4. The gate is only enforced on full
+# runs; quick mode prints the ratio but does not fail on it (200ms
+# samples are too noisy to gate on).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCH_TIME:-2s}"
+gate=1
+if [ "${1:-}" = "-q" ]; then
+	benchtime=200ms
+	gate=0
+fi
+out="${BENCH_OUT:-BENCH_nvmeof.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench (nvmeof hot paths, benchtime=$benchtime)"
+go test ./internal/nvmeof -run '^$' \
+	-bench 'BenchmarkHostPool|BenchmarkStripedPlane' \
+	-benchmem -benchtime "$benchtime" -count=1 | tee "$raw"
+
+# Benchmark lines look like:
+#   BenchmarkHostPool/qp=4/batch=true-4  333538  7630 ns/op  536.83 MB/s  1234 B/op  25 allocs/op
+awk -v benchtime="$benchtime" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; mbs = ""; allocs = ""; bop = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "MB/s") mbs = $(i - 1)
+		if ($i == "B/op") bop = $(i - 1)
+		if ($i == "allocs/op") allocs = $(i - 1)
+	}
+	if (ns == "") next
+	names[n] = name; nss[n] = ns; mbss[n] = mbs; bops[n] = bop; allocss[n] = allocs
+	n++
+}
+END {
+	printf "{\n  \"benchtime\": \"%s\",\n  \"results\": [\n", benchtime
+	for (i = 0; i < n; i++) {
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s", names[i], nss[i]
+		if (mbss[i] != "") printf ", \"mb_per_s\": %s", mbss[i]
+		if (bops[i] != "") printf ", \"bytes_per_op\": %s", bops[i]
+		if (allocss[i] != "") printf ", \"allocs_per_op\": %s", allocss[i]
+		printf "}%s\n", (i < n - 1 ? "," : "")
+	}
+	printf "  ]\n}\n"
+}' "$raw" > "$out"
+echo "== wrote $out"
+
+# Gate: batched vs unbatched small-command throughput at qp=4.
+ratio="$(awk '
+$1 ~ /^BenchmarkHostPool\/qp=4\/batch=false(-[0-9]+)?$/ { for (i=2;i<=NF;i++) if ($i=="MB/s") base=$(i-1) }
+$1 ~ /^BenchmarkHostPool\/qp=4\/batch=true(-[0-9]+)?$/  { for (i=2;i<=NF;i++) if ($i=="MB/s") got=$(i-1) }
+END { if (base > 0) printf "%.2f", got / base; else print "0" }' "$raw")"
+echo "== batched/unbatched small-command throughput at qp=4: ${ratio}x (gate: >= 1.5x)"
+if [ "$gate" = 1 ]; then
+	awk -v r="$ratio" 'BEGIN { exit (r >= 1.5 ? 0 : 1) }' || {
+		echo "FAIL: batching regression — ratio ${ratio}x below 1.5x gate" >&2
+		exit 1
+	}
+fi

@@ -35,7 +35,11 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrent transport + telemetry)"
-go test -race ./internal/nvmeof ./internal/telemetry
+# ./internal/nvmeof includes the batching and striping concurrency
+# suites: concurrent stripe submission, batch flusher vs reconnect,
+# flight-recorder dump during a batched timeout, and the striped/single
+# equivalence property test.
+go test -race ./internal/nvmeof ./internal/telemetry ./internal/balancer
 
 echo "== go test -race (runtime core)"
 go test -race ./internal/core
