@@ -214,3 +214,33 @@ func TestPropertyByteAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCoveredOverwriteDoesNotAllocate pins the in-place overwrite fast
+// path: a write whose range is fully covered by existing (contiguous)
+// extents must copy into their backing rather than splice a fresh
+// extent — splicing on every overwrite is where the device-bound
+// steady state's per-op allocation storm came from.
+func TestCoveredOverwriteDoesNotAllocate(t *testing.T) {
+	s := New()
+	// Two adjacent extents cover [0, 8192).
+	if err := s.Write(0, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(4096, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x5A}, 6144)
+	allocs := testing.AllocsPerRun(100, func() {
+		// Crosses the extent seam: still fully covered, still in place.
+		if err := s.Write(1024, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("covered overwrite allocates %.1f objects/op, want 0", allocs)
+	}
+	got, full := s.Read(1024, 6144)
+	if !full || !bytes.Equal(got, payload) {
+		t.Fatal("covered overwrite corrupted data")
+	}
+}

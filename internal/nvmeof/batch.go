@@ -60,19 +60,21 @@ type batchStat struct {
 }
 
 // pendingCmd is one encoded capsule awaiting the next vectored flush.
-// The header is owned by the batcher; payload slices alias the caller's
-// buffer, which stays valid because the caller blocks until its
-// completion arrives (zero-copy into writev).
+// It lives inside its command's hostSlot, so enqueueing allocates
+// nothing: the header is rendered into the inline buffer, and payload
+// slices alias the caller's buffers, which stay valid because the
+// caller blocks until its completion arrives (zero-copy into writev).
+// The data backing persists across slot reuse (entries are cleared at
+// acquire so completed payloads are not pinned).
 type pendingCmd struct {
 	cid     uint16
 	op      Opcode
 	hdrBuf  [cmdHdrLen + traceExtLen]byte
-	hdr     []byte // hdrBuf[:n]
-	data    [][]byte
-	dataBuf [2][]byte // inline backing for data (original + first merge)
-	payload int       // total payload bytes across data
-	endOff  uint64    // WRITE: Offset + payload (merge adjacency)
-	merge   bool      // untraced WRITE: candidate for payload merging
+	hdr     []byte   // hdrBuf[:n]
+	data    [][]byte // payload iovecs (own + merged followers)
+	payload int      // total payload bytes across data
+	endOff  uint64   // WRITE: Offset + payload (merge adjacency)
+	merge   bool     // untraced WRITE: candidate for payload merging
 	stat    batchStat
 }
 
@@ -92,17 +94,39 @@ type batcher struct {
 	cfg BatchConfig
 
 	mu       sync.Mutex
-	pending  []*pendingCmd
+	pending  []*hostSlot // slots awaiting the next flush (pc embedded)
 	bytes    int
 	flushing bool
+
+	// Flusher-owned scratch, serialized by the flushing flag: the cut
+	// batch is copied here so pending can compact under b.mu while the
+	// vectored write runs outside it, and iov is the reusable writev
+	// backing (WriteTo nils consumed entries, so neither pins
+	// payloads past the flush).
+	scratch []*hostSlot
+	iov     net.Buffers
+	stage   []byte // coalesce backing for non-TCP conns (see writeBuffers)
+	coal    []byte // small-piece coalesce backing (see flushBatches)
 }
+
+// coalesceMin is the payload size below which a batched piece is copied
+// into the flusher's contiguous coalesce buffer instead of riding as
+// its own writev iovec. The kernel pays a per-segment cost importing
+// and walking the iovec array, so a flush of many sub-4K capsules is
+// substantially cheaper as a few large segments (one 512B memcpy per
+// piece buys back several times its cost in writev overhead). Payloads
+// of coalesceMin and above keep a dedicated iovec: for them the copy
+// would cost more than the segment, and they are the zero-copy path's
+// reason to exist.
+const coalesceMin = 4096
 
 // validateCommand applies WriteCommandV's rejection rules before a
 // command is committed to a batch: once enqueued its header bytes are
 // final, so anything WriteCommandV would refuse must be refused here.
-func validateCommand(c *Command, version uint16) error {
-	if len(c.Data) > MaxDataLen {
-		return fmt.Errorf("nvmeof: in-capsule data %d exceeds limit", len(c.Data))
+// extra is payload carried outside c.Data (a vectored WRITE's total).
+func validateCommand(c *Command, version uint16, extra int) error {
+	if len(c.Data)+extra > MaxDataLen {
+		return fmt.Errorf("nvmeof: in-capsule data %d exceeds limit", len(c.Data)+extra)
 	}
 	if c.Traced && version < VersionTrace {
 		return fmt.Errorf("nvmeof: traced command on version-%d queue pair", version)
@@ -124,6 +148,13 @@ func encodeCommandHeader(c *Command) []byte {
 // cmdHdrLen+traceExtLen bytes) and returns the encoded length, so the
 // hot path can use a pendingCmd's inline buffer with no allocation.
 func encodeCommandHeaderInto(buf []byte, c *Command) int {
+	return encodeCommandHeaderIntoN(buf, c, len(c.Data))
+}
+
+// encodeCommandHeaderIntoN is encodeCommandHeaderInto with an explicit
+// payload length, for capsules whose data arrives as a vector of
+// slices (WriteAtV) rather than c.Data.
+func encodeCommandHeaderIntoN(buf []byte, c *Command, payload int) int {
 	n := cmdHdrLen
 	if c.Traced {
 		n += traceExtLen
@@ -138,7 +169,7 @@ func encodeCommandHeaderInto(buf []byte, c *Command) int {
 	binary.LittleEndian.PutUint32(buf[8:], c.NSID)
 	binary.LittleEndian.PutUint64(buf[12:], c.Offset)
 	binary.LittleEndian.PutUint32(buf[20:], c.Length)
-	binary.LittleEndian.PutUint32(buf[24:], uint32(len(c.Data)))
+	binary.LittleEndian.PutUint32(buf[24:], uint32(payload))
 	binary.LittleEndian.PutUint16(buf[28:], c.ProposeVersion)
 	if c.Traced {
 		binary.LittleEndian.PutUint64(buf[cmdHdrLen:], c.TraceID)
@@ -146,65 +177,83 @@ func encodeCommandHeaderInto(buf []byte, c *Command) int {
 	return n
 }
 
-// submitBatched enqueues one command for the next vectored flush and
+// submitBatched enqueues one slot for the next vectored flush and
 // waits for its completion. It is the batched counterpart of
 // submitDirect; errors during the flush poison the queue pair exactly
-// like a failed direct write.
-func (h *Host) submitBatched(cmd *Command) (*Response, int, error) {
-	if err := validateCommand(cmd, uint16(h.version.Load())); err != nil {
-		return nil, 0, err
+// like a failed direct write. On success the slot is consumed and
+// freed before returning.
+func (h *Host) submitBatched(s *hostSlot) (Response, int, error) {
+	cmd := &s.cmd
+	selfPayload := len(cmd.Data) + s.vecLen
+	if err := validateCommand(cmd, uint16(h.version.Load()), s.vecLen); err != nil {
+		h.freeSlot(s)
+		return Response{}, 0, err
 	}
 	b := h.batch
-	ch := make(chan *Response, 1)
 
 	b.mu.Lock()
 	// Merge an adjacent WRITE into its still-pending predecessor: one
 	// capsule carries both payloads, and this submitter completes on
-	// the shared CID's completion.
-	if pc := b.mergeTarget(cmd); pc != nil {
+	// the shared CID's completion. The follower keeps its own slot
+	// (parked in slotMergeWait) but no wire CID: the leader's
+	// completion fan-out delivers to it.
+	if leader := b.mergeTarget(cmd, s.vecLen); leader != nil {
 		merged := false
 		h.respMu.Lock()
-		if slot, live := h.inflight[pc.cid]; live && slot != nil {
-			slot.chans = append(slot.chans, ch)
+		if !h.failed.Load() && leader.state.Load() == slotInflight {
+			leader.followers = append(leader.followers, s.idx)
+			s.state.Store(slotMergeWait)
 			merged = true
 		}
 		h.respMu.Unlock()
 		if merged {
-			pc.data = append(pc.data, cmd.Data)
-			pc.payload += len(cmd.Data)
-			pc.endOff += uint64(len(cmd.Data))
+			pc := &leader.pc
+			if s.vec != nil {
+				pc.data = append(pc.data, s.vec...)
+			} else {
+				pc.data = append(pc.data, cmd.Data)
+			}
+			pc.payload += selfPayload
+			pc.endOff += uint64(selfPayload)
 			binary.LittleEndian.PutUint32(pc.hdr[24:], uint32(pc.payload))
-			b.bytes += len(cmd.Data)
-			stat := &pc.stat
+			b.bytes += selfPayload
+			s.leaderStat = &pc.stat
 			b.mu.Unlock()
 			h.tel.batchMerged.Inc()
-			cmd.CID = pc.cid
-			resp, err := h.awaitResponse(cmd, ch)
-			return resp, int(stat.commands.Load()), err
+			cmd.CID = leader.idx + 1
+			resp, err := h.awaitResponse(s)
+			if err != nil {
+				// Timed out (slot abandoned; the leader's fan-out
+				// reclaims it) or failed. The stat pointer may be
+				// going stale if the leader's slot is reused, but its
+				// fields are atomic — a racy read is a defined,
+				// merely approximate batch size.
+				return Response{}, int(s.leaderStat.commands.Load()), err
+			}
+			batchN := int(s.leaderStat.commands.Load())
+			h.freeSlot(s)
+			return resp, batchN, nil
 		}
 	}
 
-	cid, err := h.registerWaiter(ch)
-	if err != nil {
+	if err := h.registerSlot(s); err != nil {
 		b.mu.Unlock()
-		return nil, 0, err
+		return Response{}, 0, err
 	}
-	cmd.CID = cid
-	pc := &pendingCmd{
-		cid:     cid,
-		op:      cmd.Opcode,
-		payload: len(cmd.Data),
-		endOff:  cmd.Offset + uint64(len(cmd.Data)),
-		merge:   b.cfg.MergeWrites && cmd.Opcode == OpWriteCmd && !cmd.Traced && len(cmd.Data) > 0,
+	pc := &s.pc
+	pc.cid = cmd.CID
+	pc.op = cmd.Opcode
+	pc.payload = selfPayload
+	pc.endOff = cmd.Offset + uint64(selfPayload)
+	pc.merge = b.cfg.MergeWrites && cmd.Opcode == OpWriteCmd && !cmd.Traced && selfPayload > 0
+	pc.hdr = pc.hdrBuf[:encodeCommandHeaderIntoN(pc.hdrBuf[:], cmd, selfPayload)]
+	if s.vec != nil {
+		pc.data = append(pc.data, s.vec...)
+	} else if len(cmd.Data) > 0 {
+		pc.data = append(pc.data, cmd.Data)
 	}
-	pc.hdr = pc.hdrBuf[:encodeCommandHeaderInto(pc.hdrBuf[:], cmd)]
-	if len(cmd.Data) > 0 {
-		pc.data = pc.dataBuf[:1]
-		pc.data[0] = cmd.Data
-	}
-	b.pending = append(b.pending, pc)
+	b.pending = append(b.pending, s)
 	b.bytes += pc.wire()
-	stat := &pc.stat
 	if !b.flushing {
 		b.flushing = true
 		// Yield once before cutting the first batch: submitters that are
@@ -221,26 +270,34 @@ func (h *Host) submitBatched(cmd *Command) (*Response, int, error) {
 	} else {
 		b.mu.Unlock()
 	}
-	resp, err := h.awaitResponse(cmd, ch)
-	return resp, int(stat.commands.Load()), err
+	resp, err := h.awaitResponse(s)
+	if err != nil {
+		return Response{}, int(pc.stat.commands.Load()), err
+	}
+	batchN := int(pc.stat.commands.Load())
+	h.freeSlot(s)
+	return resp, batchN, nil
 }
 
-// mergeTarget returns the still-pending WRITE that cmd's payload can be
-// appended to, or nil. b.mu must be held.
-func (b *batcher) mergeTarget(cmd *Command) *pendingCmd {
+// mergeTarget returns the still-pending WRITE leader that cmd's payload
+// can be appended to, or nil. extra is payload outside cmd.Data (a
+// vectored WRITE). b.mu must be held.
+func (b *batcher) mergeTarget(cmd *Command, extra int) *hostSlot {
+	payload := len(cmd.Data) + extra
 	if !b.cfg.MergeWrites || cmd.Opcode != OpWriteCmd || cmd.Traced ||
-		len(cmd.Data) == 0 || len(b.pending) == 0 {
+		payload == 0 || len(b.pending) == 0 {
 		return nil
 	}
-	pc := b.pending[len(b.pending)-1]
+	s := b.pending[len(b.pending)-1]
+	pc := &s.pc
 	limit := b.cfg.MaxBytes
 	if limit > MaxDataLen {
 		limit = MaxDataLen
 	}
-	if !pc.merge || pc.endOff != cmd.Offset || pc.payload+len(cmd.Data) > limit {
+	if !pc.merge || pc.endOff != cmd.Offset || pc.payload+payload > limit {
 		return nil
 	}
-	return pc
+	return s
 }
 
 // flushBatches drains the pending queue as the current flush leader,
@@ -257,18 +314,25 @@ func (h *Host) flushBatches(b *batcher) {
 		}
 		wire := 0
 		for i := 0; i < cut; i++ {
-			wire += b.pending[i].wire()
+			wire += b.pending[i].pc.wire()
 			if wire >= b.cfg.MaxBytes && i+1 < cut {
 				cut = i + 1
 				break
 			}
 		}
-		batch := b.pending[:cut]
-		rest := b.pending[cut:]
-		b.pending = rest
+		// Copy the cut into flusher-owned scratch and compact pending
+		// in place: the retained backing must not keep flushed slots
+		// reachable past this flush.
+		batch := append(b.scratch[:0], b.pending[:cut]...)
+		n := copy(b.pending, b.pending[cut:])
+		for i := n; i < len(b.pending); i++ {
+			b.pending[i] = nil
+		}
+		b.pending = b.pending[:n]
 		b.bytes -= wire
 		nbufs := 0
-		for _, pc := range batch {
+		for _, s := range batch {
+			pc := &s.pc
 			pc.stat.commands.Store(int32(len(batch)))
 			pc.stat.bytes.Store(int64(wire))
 			pc.merge = false // flushed: no longer a merge target
@@ -276,18 +340,65 @@ func (h *Host) flushBatches(b *batcher) {
 		}
 		b.mu.Unlock()
 
-		bufs := make(net.Buffers, 0, nbufs)
-		for _, pc := range batch {
-			bufs = append(bufs, pc.hdr)
-			bufs = append(bufs, pc.data...)
+		// Size the coalesce buffer before building iovecs: appends must
+		// never reallocate it, or the runs already referenced from bufs
+		// would point into the abandoned backing.
+		small := 0
+		for _, s := range batch {
+			pc := &s.pc
+			small += len(pc.hdr)
+			for _, d := range pc.data {
+				if len(d) < coalesceMin {
+					small += len(d)
+				}
+			}
 		}
+		coal := b.coal[:0]
+		if cap(coal) < small {
+			coal = make([]byte, 0, small)
+		}
+		bufs := b.iov[:0]
+		run := -1 // start of the open coalesced run within coal
+		for _, s := range batch {
+			pc := &s.pc
+			if run < 0 {
+				run = len(coal)
+			}
+			coal = append(coal, pc.hdr...)
+			for _, d := range pc.data {
+				if len(d) < coalesceMin {
+					if run < 0 {
+						run = len(coal)
+					}
+					coal = append(coal, d...)
+					continue
+				}
+				if run >= 0 && run < len(coal) {
+					bufs = append(bufs, coal[run:len(coal):len(coal)])
+				}
+				run = -1
+				bufs = append(bufs, d)
+			}
+		}
+		if run >= 0 && run < len(coal) {
+			bufs = append(bufs, coal[run:len(coal):len(coal)])
+		}
+		b.coal = coal[:0] // retain the (possibly grown) backing
+		b.iov = bufs[:0]  // retain the (possibly grown) backing
 		start := time.Now()
-		_, err := bufs.WriteTo(h.conn)
+		err := writeBuffers(h.conn, bufs, &b.stage)
 		h.tel.observeBatch(len(batch), wire, time.Since(start))
+		for i := range batch {
+			batch[i] = nil
+		}
+		b.scratch = batch[:0]
 		if err != nil {
 			h.fail(err)
 			b.mu.Lock()
-			b.pending = nil
+			for i := range b.pending {
+				b.pending[i] = nil
+			}
+			b.pending = b.pending[:0]
 			b.bytes = 0
 			break
 		}

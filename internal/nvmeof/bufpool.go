@@ -1,0 +1,108 @@
+package nvmeof
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// BufferPool hands out fixed-size registered buffers for zero-copy
+// WRITE submission (Host.WriteAtBuffer, HostPool.WriteAtBuffer). A
+// registered buffer's bytes ride to the socket as their own iovec —
+// no staging copy — which makes buffer lifetime a transport concern:
+// the payload must stay immutable from submission until the transport
+// is provably done with it, and on the timeout path that moment is
+// NOT when the call returns (the capsule may still sit in a pending
+// batch, or the abandoned command's bytes may still be draining into
+// the socket).
+//
+// The pool enforces that contract with a registration count. Acquiring
+// a buffer gives the caller one reference; each in-flight submission
+// pins one more; Release while any pin is held PANICS — that panic is
+// the use-after-register detection, turning a silent in-flight capsule
+// corruption into a loud programming error at the exact call site.
+type BufferPool struct {
+	size int
+
+	mu   sync.Mutex
+	free []*Buffer
+}
+
+// NewBufferPool creates a pool of size-byte buffers. Buffers are
+// allocated on demand and recycled on Release, so steady-state
+// acquisition allocates nothing.
+func NewBufferPool(size int) *BufferPool {
+	if size <= 0 || size > MaxDataLen {
+		panic(fmt.Sprintf("nvmeof: buffer pool size %d out of range (0, %d]", size, MaxDataLen))
+	}
+	return &BufferPool{size: size}
+}
+
+// BufferSize returns the fixed size of this pool's buffers.
+func (p *BufferPool) BufferSize() int { return p.size }
+
+// Get acquires a buffer. The caller owns it (one reference) until
+// Release; its contents are uninitialized (previous occupant's bytes).
+func (p *BufferPool) Get() *Buffer {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		b.refs.Store(1)
+		return b
+	}
+	p.mu.Unlock()
+	b := &Buffer{pool: p, buf: make([]byte, p.size)}
+	b.refs.Store(1)
+	return b
+}
+
+// Buffer is one registered payload buffer. The reference count is 1
+// while only the caller holds it; every in-flight submission that
+// aliases its bytes adds one (register) and drops it when the
+// transport is done — completion consumed, slot swept on failure, or
+// abandoned slot reclaimed after a late completion (unregister).
+type Buffer struct {
+	pool *BufferPool
+	buf  []byte
+	refs atomic.Int32
+}
+
+// Bytes returns the buffer's backing slice. Callers fill it before
+// submission; mutating it while registered corrupts the in-flight
+// capsule (which is exactly what the registration count exists to
+// catch on the Release path).
+func (b *Buffer) Bytes() []byte { return b.buf }
+
+// Registered reports whether any in-flight submission currently pins
+// this buffer.
+func (b *Buffer) Registered() bool { return b.refs.Load() > 1 }
+
+// register pins the buffer for one in-flight submission.
+func (b *Buffer) register() { b.refs.Add(1) }
+
+// unregister drops one in-flight pin.
+func (b *Buffer) unregister() {
+	if b.refs.Add(-1) < 1 {
+		panic("nvmeof: buffer unregistered more times than registered")
+	}
+}
+
+// Release returns the buffer to its pool. It panics while the buffer
+// is still registered to an in-flight submission: releasing (and then
+// reusing or mutating) a buffer whose bytes the transport still owns
+// is the zero-copy use-after-free, and a timed-out WriteAtBuffer is
+// the canonical way to hit it — the command was abandoned, not
+// completed, so its capsule may still be in flight. Poll Registered
+// (or retry Release later) after a timeout.
+func (b *Buffer) Release() {
+	if !b.refs.CompareAndSwap(1, 0) {
+		panic(fmt.Sprintf("nvmeof: buffer released while registered to %d in-flight submission(s)", b.refs.Load()-1))
+	}
+	p := b.pool
+	p.mu.Lock()
+	p.free = append(p.free, b)
+	p.mu.Unlock()
+}

@@ -1,6 +1,7 @@
 package nvmeof
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -41,9 +42,50 @@ type FlightRecord struct {
 	// Batch is how many capsules shared this command's vectored flush
 	// (0 on the direct, unbatched path).
 	Batch int `json:"batch,omitempty"`
-	// Phases is the per-phase breakdown when known: always on targets,
-	// and on hosts for traced commands (echoed by the target).
+	// Phases is the per-phase breakdown when HasPhases is set: always
+	// on targets, and on hosts for traced commands (echoed by the
+	// target). Held by value so recording never allocates — the ring
+	// slot owns its own copy and the recorder's source struct can be
+	// reused for the next command. The JSON shape is unchanged: a
+	// "phases" object when present, omitted when not (see MarshalJSON).
+	Phases    PhaseTimings `json:"-"`
+	HasPhases bool         `json:"-"`
+}
+
+// flightRecordJSON keeps the wire shape FlightRecord always had: the
+// embedded alias carries every plain field, and Phases reappears as an
+// optional pointer exactly where the old pointer field marshaled.
+type flightRecordJSON struct {
+	flightRecordAlias
 	Phases *PhaseTimings `json:"phases,omitempty"`
+}
+
+// flightRecordAlias drops FlightRecord's methods so marshaling the
+// embedded value cannot recurse into MarshalJSON.
+type flightRecordAlias FlightRecord
+
+// MarshalJSON renders the record with its optional "phases" object.
+func (r FlightRecord) MarshalJSON() ([]byte, error) {
+	aux := flightRecordJSON{flightRecordAlias: flightRecordAlias(r)}
+	if r.HasPhases {
+		aux.Phases = &r.Phases
+	}
+	return json.Marshal(aux)
+}
+
+// UnmarshalJSON accepts the same shape back (trace tooling re-reads
+// flight dumps from trace streams).
+func (r *FlightRecord) UnmarshalJSON(data []byte) error {
+	var aux flightRecordJSON
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	*r = FlightRecord(aux.flightRecordAlias)
+	if aux.Phases != nil {
+		r.Phases = *aux.Phases
+		r.HasPhases = true
+	}
+	return nil
 }
 
 // String renders one record for logs and dumps.

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,6 +22,11 @@ var ErrTimeout = errors.New("nvmeof: command deadline exceeded")
 // ErrBadResponse reports a protocol violation by the target: a
 // completion whose payload disagrees with what the command requested.
 var ErrBadResponse = errors.New("nvmeof: malformed response from target")
+
+// defaultBusyPollSpins is how many reap-then-yield iterations a waiter
+// spins before parking when busy-poll is enabled without an explicit
+// budget.
+const defaultBusyPollSpins = 128
 
 // HostConfig tunes one queue pair.
 type HostConfig struct {
@@ -53,34 +59,57 @@ type HostConfig struct {
 	// coalesce into one vectored wire write per batch (see BatchConfig).
 	// The zero value keeps the direct, one-flush-per-command path.
 	Batch BatchConfig
+	// BusyPoll makes waiters spin reaping their completion (yielding
+	// between probes) before parking on the channel — the SPDK polled-
+	// mode tradeoff: lower wake-up latency for burned cycles. Only
+	// worth enabling when cores outnumber active queue pairs; see
+	// docs/batching.md.
+	BusyPoll bool
+	// BusyPollSpins overrides the spin budget (default
+	// defaultBusyPollSpins). Ignored unless BusyPoll is set.
+	BusyPollSpins int
 }
 
 // Host is an NVMe-oF initiator over the TCP transport: one queue pair
 // (connection) with pipelined command submission. Commands may be issued
 // from multiple goroutines; completions are matched by command ID.
+//
+// All per-command state lives in a preallocated slot ring (see ring.go):
+// a submission acquires a slot, its index+1 is the wire CID, and the
+// read loop completes it by array index. The steady state allocates
+// nothing on either the submission or the completion path.
 type Host struct {
 	conn net.Conn
-	bw   *bufio.Writer
 
 	addr    string
 	nsid    uint32
 	timeout time.Duration
 
-	sendMu   sync.Mutex // serializes capsule writes (direct path)
-	respMu   sync.Mutex // guards inflight and cid
-	inflight map[uint16]*cmdSlot
-	cid      uint16
-	// inflightN mirrors len(inflight) so the pool's queue-pair
-	// selection can probe depth without taking respMu on every
-	// submission. Updated under respMu at every map mutation.
+	sendMu sync.Mutex  // serializes capsule writes (direct path)
+	iov    net.Buffers // direct-path iovec backing, under sendMu
+	stage  []byte      // direct-path coalesce backing (non-TCP conns), under sendMu
+
+	// respMu orders slot state transitions against the failure sweep
+	// and guards follower lists. The state machine itself is CAS-based
+	// (see ring.go), so the owner's free transition skips the lock.
+	respMu sync.Mutex
+
+	slots    []hostSlot
+	freeRing *indexRing
+
+	// inflightN counts registered commands (leaders; merged followers
+	// ride in their leader's capsule) so the pool's queue-pair
+	// selection can probe depth without touching slot state.
 	inflightN atomic.Int32
 	// failed mirrors err != nil for the same reason: Healthy is on the
 	// pool's per-command path.
 	failed atomic.Bool
 
 	// batch, when non-nil, routes every submission through the
-	// vectored-write batcher instead of the direct bufio path.
+	// vectored-write batcher instead of the direct path.
 	batch *batcher
+
+	pollSpins int
 
 	nsSize int64
 	err    error
@@ -151,11 +180,11 @@ func DialConfig(addr string, nsid uint32, cfg HostConfig) (*Host, error) {
 	}
 	h := &Host{
 		conn:     conn,
-		bw:       bufio.NewWriterSize(conn, 1<<20),
 		addr:     addr,
 		nsid:     nsid,
 		timeout:  cfg.CommandTimeout,
-		inflight: make(map[uint16]*cmdSlot),
+		slots:    make([]hostSlot, hostQueueDepth),
+		freeRing: newIndexRing(hostQueueDepth, 0),
 		done:     make(chan struct{}),
 		reg:      reg,
 		tel:      newQPTelemetry(reg, cfg.TelemetryQP),
@@ -163,8 +192,20 @@ func DialConfig(addr string, nsid uint32, cfg HostConfig) (*Host, error) {
 		tracer:   cfg.Tracer,
 		flight:   flight,
 	}
+	for i := range h.slots {
+		s := &h.slots[i]
+		s.idx = uint16(i)
+		s.followers = s.followersInline[:0]
+		h.freeRing.push(s.idx)
+	}
 	if cfg.Batch.Enabled {
 		h.batch = &batcher{cfg: cfg.Batch.withDefaults()}
+	}
+	if cfg.BusyPoll {
+		h.pollSpins = cfg.BusyPollSpins
+		if h.pollSpins <= 0 {
+			h.pollSpins = defaultBusyPollSpins
+		}
 	}
 	go h.readLoop()
 	// Offer the trace extension only when a tracer will consume it, so
@@ -173,7 +214,7 @@ func DialConfig(addr string, nsid uint32, cfg HostConfig) (*Host, error) {
 	if cfg.Tracer != nil {
 		propose = MaxVersion
 	}
-	resp, err := h.roundTrip(&Command{Opcode: OpConnect, NSID: nsid, ProposeVersion: propose})
+	resp, err := h.submit(&Command{Opcode: OpConnect, NSID: nsid, ProposeVersion: propose})
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("nvmeof: connect: %w", err)
@@ -212,6 +253,10 @@ func (h *Host) InFlight() int {
 	return int(h.inflightN.Load())
 }
 
+// QueueDepth returns the slot-ring capacity: the most commands this
+// queue pair can hold in flight at once.
+func (h *Host) QueueDepth() int { return len(h.slots) }
+
 // Telemetry returns the registry this queue pair records into, for
 // exposition (e.g. the nvmecrd admin listener's /metrics).
 func (h *Host) Telemetry() *telemetry.Registry { return h.reg }
@@ -229,7 +274,90 @@ func (h *Host) Snapshot() []telemetry.HostQPSnapshot {
 	return []telemetry.HostQPSnapshot{h.tel.snapshot(h.qpID, h.Healthy(), h.InFlight())}
 }
 
-// readLoop dispatches completions to waiting submitters.
+// acquireSlot pops a free slot and resets the per-command state the
+// previous occupant left behind (payload references are cleared here,
+// at reuse, so completed commands do not pin caller buffers beyond one
+// ring lap).
+func (h *Host) acquireSlot() (*hostSlot, error) {
+	if h.failed.Load() {
+		return nil, h.lastErr()
+	}
+	idx, ok := h.freeRing.pop()
+	if !ok {
+		return nil, fmt.Errorf("nvmeof: queue full: %d commands in flight", len(h.slots))
+	}
+	s := &h.slots[idx]
+	if s.ch == nil {
+		s.ch = make(chan Response, 1)
+	}
+	s.cmd = Command{}
+	s.vec = nil
+	s.vecLen = 0
+	s.reg = nil
+	s.leaderStat = nil
+	s.followers = s.followers[:0]
+	pc := &s.pc
+	for i := range pc.data {
+		pc.data[i] = nil
+	}
+	pc.data = pc.data[:0]
+	return s, nil
+}
+
+// registerSlot publishes the slot as in flight under its wire CID. Held
+// against the failure sweep via respMu: a registration either errors
+// out (host already failed) or is guaranteed to be swept.
+func (h *Host) registerSlot(s *hostSlot) error {
+	h.respMu.Lock()
+	if h.failed.Load() {
+		h.respMu.Unlock()
+		h.freeSlot(s)
+		return h.lastErr()
+	}
+	s.state.Store(slotInflight)
+	h.respMu.Unlock()
+	h.tel.ringOcc.Set(int64(h.inflightN.Add(1)))
+	return nil
+}
+
+// freeSlot returns an owned slot (freshly acquired, or delivered and
+// consumed) to the free ring.
+func (h *Host) freeSlot(s *hostSlot) {
+	if s.reg != nil {
+		s.reg.unregister()
+		s.reg = nil
+	}
+	s.state.Store(slotFree)
+	h.freeRing.push(s.idx)
+}
+
+// unregisterSlot retracts a registration whose wire write failed. If a
+// completion raced in anyway, it is consumed and the slot freed.
+func (h *Host) unregisterSlot(s *hostSlot) {
+	h.respMu.Lock()
+	if s.state.CompareAndSwap(slotInflight, slotFree) {
+		h.respMu.Unlock()
+		h.tel.ringOcc.Set(int64(h.inflightN.Add(-1)))
+		if s.reg != nil {
+			s.reg.unregister()
+			s.reg = nil
+		}
+		h.freeRing.push(s.idx)
+		return
+	}
+	h.respMu.Unlock()
+	select {
+	case _, ok := <-s.ch:
+		if ok {
+			h.freeSlot(s)
+		}
+	default:
+	}
+}
+
+// readLoop dispatches completions to waiting submitters. One Response
+// is reused across iterations: delivery is by value into each waiter's
+// buffered channel, so nothing here escapes per command.
 func (h *Host) readLoop() {
 	br := bufio.NewReaderSize(h.conn, 1<<20)
 	// The version is consulted lazily, after each response's fixed
@@ -238,32 +366,71 @@ func (h *Host) readLoop() {
 	// could carry an extension arrives strictly after DialConfig
 	// stored it.
 	version := func() uint16 { return uint16(h.version.Load()) }
+	var resp Response
+	var scratch [protoScratchLen]byte
 	for {
-		resp, err := readResponseFn(br, version)
-		if err != nil {
+		if err := readResponseInto(br, version, &resp, &scratch); err != nil {
 			h.fail(err)
 			return
 		}
-		h.respMu.Lock()
-		slot, ok := h.inflight[resp.CID]
-		if ok {
-			delete(h.inflight, resp.CID)
-			h.inflightN.Add(-1)
-		}
-		h.respMu.Unlock()
-		// A waiterless slot marks an abandoned (timed-out) command: its
-		// CID is reclaimed here and the late completion dropped. A
-		// merged WRITE's slot fans the one completion out to every
-		// submitter whose payload rode in the capsule.
-		if ok && slot != nil {
-			for _, ch := range slot.chans {
-				ch <- resp
-			}
-		}
+		h.deliver(&resp)
 	}
 }
 
+// deliver routes one completion to its slot: dispatch is an array index
+// (CID = slot index + 1). An abandoned (timed-out) slot is reclaimed
+// here — its CID was never reissued while the target could still answer
+// it. Unknown or duplicate CIDs are dropped.
+func (h *Host) deliver(resp *Response) {
+	cid := int(resp.CID)
+	if cid < 1 || cid > len(h.slots) {
+		return
+	}
+	s := &h.slots[cid-1]
+	h.respMu.Lock()
+	switch {
+	case s.state.CompareAndSwap(slotInflight, slotDelivered):
+		h.inflightN.Add(-1)
+		s.ch <- *resp
+		h.fanOut(s, resp)
+	case s.state.CompareAndSwap(slotAbandoned, slotFree):
+		h.inflightN.Add(-1)
+		if s.reg != nil {
+			s.reg.unregister()
+			s.reg = nil
+		}
+		h.fanOut(s, resp)
+		h.freeRing.push(s.idx)
+	default:
+		// Duplicate or unsolicited completion: drop.
+	}
+	h.respMu.Unlock()
+	h.tel.ringOcc.Set(int64(h.inflightN.Load()))
+}
+
+// fanOut completes the merged-WRITE followers riding in s's capsule.
+// respMu must be held.
+func (h *Host) fanOut(s *hostSlot, resp *Response) {
+	for _, fi := range s.followers {
+		f := &h.slots[fi]
+		switch {
+		case f.state.CompareAndSwap(slotMergeWait, slotDelivered):
+			f.ch <- *resp
+		case f.state.CompareAndSwap(slotAbandoned, slotFree):
+			if f.reg != nil {
+				f.reg.unregister()
+				f.reg = nil
+			}
+			h.freeRing.push(fi)
+		}
+	}
+	s.followers = s.followers[:0]
+}
+
 // fail poisons the host: all in-flight and future commands error out.
+// Waiting slots are marked failed and their channels closed; they are
+// never reused (the host is dead), which also keeps a late arrival on
+// a half-written connection from ever completing a future command.
 func (h *Host) fail(err error) {
 	h.errMu.Lock()
 	if h.err == nil {
@@ -273,17 +440,25 @@ func (h *Host) fail(err error) {
 	}
 	h.errMu.Unlock()
 	h.respMu.Lock()
-	for cid, slot := range h.inflight {
-		delete(h.inflight, cid)
-		if slot == nil {
-			continue
-		}
-		for _, ch := range slot.chans {
-			close(ch)
+	for i := range h.slots {
+		s := &h.slots[i]
+		if s.state.CompareAndSwap(slotInflight, slotFailed) ||
+			s.state.CompareAndSwap(slotMergeWait, slotFailed) {
+			if s.reg != nil {
+				s.reg.unregister()
+				s.reg = nil
+			}
+			close(s.ch)
+		} else if s.state.CompareAndSwap(slotAbandoned, slotFailed) {
+			if s.reg != nil {
+				s.reg.unregister()
+				s.reg = nil
+			}
 		}
 	}
 	h.inflightN.Store(0)
 	h.respMu.Unlock()
+	h.tel.ringOcc.Set(0)
 }
 
 func (h *Host) lastErr() error {
@@ -295,65 +470,83 @@ func (h *Host) lastErr() error {
 	return fmt.Errorf("nvmeof: connection closed")
 }
 
-// maxInflight caps outstanding commands at the CID space minus the
-// reserved CID 0.
-const maxInflight = 1<<16 - 1
+// submit clones cmd into a fresh slot and runs the round trip. Shared
+// by the Host command set and the pool's retry loop (which reuses one
+// Command value across attempts and queue pairs).
+func (h *Host) submit(cmd *Command) (Response, error) {
+	s, err := h.acquireSlot()
+	if err != nil {
+		return Response{}, err
+	}
+	s.cmd = *cmd
+	return h.roundTrip(s)
+}
 
-// roundTrip submits one command and records its outcome in the queue
+// roundTrip submits one slot and records its outcome in the queue
 // pair's telemetry series, its flight ring, and (when tracing) the
-// trace stream.
-func (h *Host) roundTrip(cmd *Command) (*Response, error) {
+// trace stream. On return the slot has been freed (delivered and
+// consumed), abandoned (timeout), or failed — the caller must not
+// touch it again.
+func (h *Host) roundTrip(s *hostSlot) (Response, error) {
+	cmd := &s.cmd
 	if h.tracer != nil && uint16(h.version.Load()) >= VersionTrace {
 		cmd.Traced = true
 		cmd.TraceID = nextTraceID()
 	}
+	cmd.CID = s.idx + 1
+	// Capture what the observers need before awaiting: after a timeout
+	// the slot can be reclaimed and reused concurrently.
+	op := cmd.Opcode
+	traceID := cmd.TraceID
+	cid := cmd.CID
+	payload := len(cmd.Data) + s.vecLen
 	start := time.Now()
 	var (
-		resp   *Response
+		resp   Response
 		batchN int
 		err    error
 	)
 	if h.batch != nil {
-		resp, batchN, err = h.submitBatched(cmd)
+		resp, batchN, err = h.submitBatched(s)
 	} else {
-		resp, err = h.submitDirect(cmd)
+		resp, err = h.submitDirect(s)
 	}
 	rtt := time.Since(start)
-	h.tel.observe(cmd, resp, err, rtt)
-	h.observeFlight(cmd, resp, err, start, rtt, batchN)
+	h.tel.observe(payload, resp, err, rtt)
+	h.observeFlight(op, traceID, cid, payload, resp, err, start, rtt, batchN)
 	return resp, err
 }
 
 // observeFlight logs one completed round trip into the queue pair's
 // flight ring, emits the correlated span for traced completions, and
 // dumps the ring on the failure modes worth a postmortem.
-func (h *Host) observeFlight(cmd *Command, resp *Response, err error, start time.Time, rtt time.Duration, batchN int) {
+func (h *Host) observeFlight(op Opcode, traceID uint64, cid uint16, payload int, resp Response, err error, start time.Time, rtt time.Duration, batchN int) {
 	rec := FlightRecord{
-		TraceID:   cmd.TraceID,
+		TraceID:   traceID,
 		QP:        h.qpID,
-		Op:        cmd.Opcode.String(),
-		Opcode:    cmd.Opcode,
-		CID:       cmd.CID,
-		Bytes:     len(cmd.Data),
+		Op:        op.String(),
+		Opcode:    op,
+		CID:       cid,
+		Status:    resp.Status,
+		Bytes:     payload + len(resp.Data),
 		WallNS:    start.UnixNano(),
 		ElapsedNS: int64(rtt),
 		Batch:     batchN,
 	}
-	if resp != nil {
-		rec.Status = resp.Status
-		rec.Phases = resp.Phases
-		rec.Bytes += len(resp.Data)
+	if resp.Phases != nil {
+		rec.Phases = *resp.Phases
+		rec.HasPhases = true
 	}
 	if err != nil {
 		rec.Err = err.Error()
 	}
 	h.flight.Record(h.qpID, rec)
-	if err == nil && resp != nil && resp.Phases != nil && h.tracer != nil {
+	if err == nil && resp.Phases != nil && h.tracer != nil {
 		p := resp.Phases
 		wire := int64(hostWirePhase(rtt, p))
 		attrs := map[string]any{
-			"trace_id":      traceIDString(cmd.TraceID),
-			"op":            cmd.Opcode.String(),
+			"trace_id":      traceIDString(traceID),
+			"op":            op.String(),
 			"qp":            h.qpID,
 			"status":        resp.Status,
 			"bytes":         rec.Bytes,
@@ -402,151 +595,159 @@ func (h *Host) noteBadResponse(err error) error {
 	return err
 }
 
-// cmdSlot tracks the waiters for one in-flight CID. The common case is
-// one; a merged WRITE (see batch.go) carries one per payload it
-// absorbed. A slot whose waiters have all timed out stays registered
-// with no channels, so the CID is not reused until its completion
-// arrives and is dropped.
-type cmdSlot struct {
-	chans  []chan *Response
-	inline [1]chan *Response // backing for the common single-waiter case
-}
-
-// remove detaches one waiter (its submit timed out).
-func (s *cmdSlot) remove(ch chan *Response) {
-	for i, c := range s.chans {
-		if c == ch {
-			s.chans = append(s.chans[:i], s.chans[i+1:]...)
-			return
-		}
-	}
-}
-
-// registerWaiter allocates a CID and registers ch as its waiter.
-func (h *Host) registerWaiter(ch chan *Response) (uint16, error) {
-	h.respMu.Lock()
-	defer h.respMu.Unlock()
-	if len(h.inflight) >= maxInflight {
-		return 0, fmt.Errorf("nvmeof: queue full: %d commands in flight", maxInflight)
-	}
-	// Skip CID 0 and any CID still awaiting a completion: a uint16
-	// wraparound must never overwrite a live slot (that would strand
-	// the earlier waiter and mis-route its completion).
-	for {
-		h.cid++
-		if h.cid == 0 {
-			continue
-		}
-		if _, busy := h.inflight[h.cid]; !busy {
-			break
-		}
-	}
-	slot := &cmdSlot{}
-	slot.inline[0] = ch
-	slot.chans = slot.inline[:1]
-	h.inflight[h.cid] = slot
-	h.inflightN.Add(1)
-	return h.cid, nil
-}
-
-// awaitResponse waits for cmd's completion on ch, bounded by the queue
-// pair's CommandTimeout if one is configured.
-// respTimerPool recycles the per-command timeout timers: every round
-// trip arms one, and allocating a runtime timer per command is
+// awaitResponse waits for the slot's completion, bounded by the queue
+// pair's CommandTimeout if one is configured. With busy-poll enabled it
+// first spins reaping the channel (yielding between probes) before
+// parking. The slot is NOT freed here: on success the caller consumes
+// the response and frees; on timeout ownership transfers to the read
+// loop's reclaim.
+//
+// respTimerPool recycles the per-command timeout timers: every bounded
+// round trip arms one, and allocating a runtime timer per command is
 // measurable on the small-command hot path.
 var respTimerPool sync.Pool
 
-func (h *Host) awaitResponse(cmd *Command, ch chan *Response) (*Response, error) {
-	var timeoutC <-chan time.Time
-	if h.timeout > 0 {
-		timer, _ := respTimerPool.Get().(*time.Timer)
-		if timer == nil {
-			timer = time.NewTimer(h.timeout)
-		} else {
-			timer.Reset(h.timeout)
-		}
-		timeoutC = timer.C
-		defer func() {
-			if !timer.Stop() {
-				// Fired (or we consumed the tick in the timeout
-				// branch): drain so the recycled timer starts clean.
-				select {
-				case <-timer.C:
-				default:
+func (h *Host) awaitResponse(s *hostSlot) (Response, error) {
+	if h.pollSpins > 0 {
+		for i := 0; i < h.pollSpins; i++ {
+			select {
+			case resp, ok := <-s.ch:
+				if !ok {
+					return Response{}, h.lastErr()
 				}
+				h.tel.pollHits.Inc()
+				return resp, nil
+			default:
 			}
-			respTimerPool.Put(timer)
-		}()
+			runtime.Gosched()
+		}
+		h.tel.pollParks.Inc()
 	}
-	select {
-	case resp, ok := <-ch:
+	// A plain receive covers delivery AND failure: the failure sweep
+	// closes every in-flight slot's channel (under the same respMu that
+	// ordered this slot's registration), so an unbounded wait needs no
+	// select — the hot path is one channel op.
+	if h.timeout <= 0 {
+		resp, ok := <-s.ch
 		if !ok {
-			return nil, h.lastErr()
+			return Response{}, h.lastErr()
 		}
 		return resp, nil
-	case <-h.done:
-		// Drain a response that may have raced with the failure.
-		select {
-		case resp, ok := <-ch:
-			if ok {
-				return resp, nil
+	}
+	timer, _ := respTimerPool.Get().(*time.Timer)
+	if timer == nil {
+		timer = time.NewTimer(h.timeout)
+	} else {
+		timer.Reset(h.timeout)
+	}
+	defer func() {
+		if !timer.Stop() {
+			// Fired (or we consumed the tick in the timeout
+			// branch): drain so the recycled timer starts clean.
+			select {
+			case <-timer.C:
+			default:
 			}
-		default:
 		}
-		return nil, h.lastErr()
-	case <-timeoutC:
+		respTimerPool.Put(timer)
+	}()
+	select {
+	case resp, ok := <-s.ch:
+		if !ok {
+			return Response{}, h.lastErr()
+		}
+		return resp, nil
+	case <-timer.C:
 		// Abandon the slot rather than freeing it: the target may
-		// still be processing, and reissuing this CID would let the
-		// stale completion answer a future command. Only this waiter
-		// detaches — a merged sibling may still be inside its own
-		// deadline.
+		// still be processing, and the CID must not be reissued while
+		// a stale completion could answer a future command. The read
+		// loop reclaims the slot when the late completion arrives.
+		// Only this waiter detaches — a merged sibling may still be
+		// inside its own deadline.
 		h.respMu.Lock()
-		if slot, live := h.inflight[cmd.CID]; live {
-			slot.remove(ch)
+		if s.state.CompareAndSwap(slotInflight, slotAbandoned) ||
+			s.state.CompareAndSwap(slotMergeWait, slotAbandoned) {
+			h.respMu.Unlock()
+			return Response{}, fmt.Errorf("%w (%v)", ErrTimeout, h.timeout)
 		}
 		h.respMu.Unlock()
-		select {
-		case resp, ok := <-ch:
-			if ok {
-				return resp, nil
-			}
-		default:
+		// Delivered in the race (the value is already buffered — the
+		// send happens under respMu) or failed (channel closed).
+		resp, ok := <-s.ch
+		if !ok {
+			return Response{}, h.lastErr()
 		}
-		return nil, fmt.Errorf("%w (%v)", ErrTimeout, h.timeout)
+		return resp, nil
 	}
 }
 
-// submitDirect sends one command through the bufio path — one capsule
-// write and one flush per command — and waits for its completion.
-func (h *Host) submitDirect(cmd *Command) (*Response, error) {
-	ch := make(chan *Response, 1)
-	cid, err := h.registerWaiter(ch)
-	if err != nil {
-		return nil, err
+// submitDirect sends one slot's command as a single vectored write —
+// header and payload as separate iovecs, no intermediate copy — and
+// waits for its completion.
+func (h *Host) submitDirect(s *hostSlot) (Response, error) {
+	if err := validateCommand(&s.cmd, uint16(h.version.Load()), s.vecLen); err != nil {
+		h.freeSlot(s)
+		return Response{}, err
 	}
-	cmd.CID = cid
-
+	if err := h.registerSlot(s); err != nil {
+		return Response{}, err
+	}
 	h.sendMu.Lock()
-	err = WriteCommandV(h.bw, cmd, uint16(h.version.Load()))
-	if err == nil {
-		err = h.bw.Flush()
+	n := encodeCommandHeaderIntoN(s.pc.hdrBuf[:], &s.cmd, len(s.cmd.Data)+s.vecLen)
+	iov := append(h.iov[:0], s.pc.hdrBuf[:n])
+	if s.vec != nil {
+		iov = append(iov, s.vec...)
+	} else if len(s.cmd.Data) > 0 {
+		iov = append(iov, s.cmd.Data)
 	}
+	h.iov = iov[:0] // retain the (possibly grown) backing for reuse
+	err := writeBuffers(h.conn, iov, &h.stage)
 	h.sendMu.Unlock()
 	if err != nil {
-		h.respMu.Lock()
-		if _, live := h.inflight[cmd.CID]; live {
-			delete(h.inflight, cmd.CID)
-			h.inflightN.Add(-1)
-		}
-		h.respMu.Unlock()
-		return nil, err
+		h.unregisterSlot(s)
+		return Response{}, err
 	}
-	return h.awaitResponse(cmd, ch)
+	resp, err := h.awaitResponse(s)
+	if err != nil {
+		return resp, err
+	}
+	h.freeSlot(s)
+	return resp, nil
+}
+
+// writeBuffers puts one or more whole capsules on the wire. On a real
+// TCP connection the buffers go out as a single writev, no copy. On a
+// wrapped connection (fault injection, test doubles) they are coalesced
+// into one reusable staging buffer first: wrappers classify each Write
+// call as one frame, so a capsule must never be split across calls.
+// The caller owns stage's serialization (sendMu on the direct path, the
+// flushing flag on the batched path). Consumed entries of bufs are
+// nil'ed either way, so the retained iovec backing pins no payloads.
+func writeBuffers(conn net.Conn, bufs net.Buffers, stage *[]byte) error {
+	if _, ok := conn.(*net.TCPConn); ok {
+		_, err := bufs.WriteTo(conn)
+		return err
+	}
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	flat := (*stage)[:0]
+	if cap(flat) < total {
+		flat = make([]byte, 0, total)
+	}
+	for i, b := range bufs {
+		flat = append(flat, b...)
+		bufs[i] = nil
+	}
+	*stage = flat[:0]
+	_, err := conn.Write(flat)
+	return err
 }
 
 // checkResp folds a round-trip error and a completion status into one
 // error (shared by Host and HostPool).
-func checkResp(resp *Response, err error, op string) error {
+func checkResp(resp Response, err error, op string) error {
 	if err != nil {
 		return fmt.Errorf("nvmeof: %s: %w", op, err)
 	}
@@ -571,7 +772,7 @@ func validateReadLength(length int64) error {
 // validateReadData checks a READ completion's payload against the
 // requested length: short, oversized, or missing data is a protocol
 // violation, never silently padded or passed through.
-func validateReadData(resp *Response, length int64) ([]byte, error) {
+func validateReadData(resp Response, length int64) ([]byte, error) {
 	if int64(len(resp.Data)) != length {
 		return nil, fmt.Errorf("nvmeof: read: target returned %d bytes, want %d: %w",
 			len(resp.Data), length, ErrBadResponse)
@@ -582,9 +783,58 @@ func validateReadData(resp *Response, length int64) ([]byte, error) {
 	return resp.Data, nil
 }
 
-// WriteAt writes data at the namespace offset.
+// WriteAt writes data at the namespace offset. The payload is aliased,
+// not copied: it rides to the socket as its own iovec, and the caller
+// must not mutate it until WriteAt returns (see docs/batching.md for
+// the registration contract on the timeout path).
 func (h *Host) WriteAt(off int64, data []byte) error {
-	resp, err := h.roundTrip(&Command{Opcode: OpWriteCmd, Offset: uint64(off), Data: data})
+	s, err := h.acquireSlot()
+	if err != nil {
+		return fmt.Errorf("nvmeof: write: %w", err)
+	}
+	s.cmd = Command{Opcode: OpWriteCmd, Offset: uint64(off), Data: data}
+	resp, err := h.roundTrip(s)
+	return checkResp(resp, err, "write")
+}
+
+// WriteAtV writes the concatenation of bufs at the namespace offset as
+// ONE command: each slice rides as its own iovec into the vectored wire
+// write, so a striped or scattered payload needs no gather copy. The
+// same aliasing contract as WriteAt applies to every slice.
+func (h *Host) WriteAtV(off int64, bufs [][]byte) error {
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	if total == 0 {
+		return nil
+	}
+	s, err := h.acquireSlot()
+	if err != nil {
+		return fmt.Errorf("nvmeof: write: %w", err)
+	}
+	s.cmd = Command{Opcode: OpWriteCmd, Offset: uint64(off)}
+	s.vec = bufs
+	s.vecLen = total
+	resp, err := h.roundTrip(s)
+	return checkResp(resp, err, "write")
+}
+
+// WriteAtBuffer writes a registered buffer's contents at the namespace
+// offset. The buffer stays registered (pinned) until the transport is
+// provably done with its bytes — including the timeout path, where the
+// capsule may still be awaiting a batched flush after WriteAtBuffer
+// returned. Buffer.Release panics while the pin is held, which is the
+// use-after-register detection the zero-copy contract needs.
+func (h *Host) WriteAtBuffer(off int64, buf *Buffer) error {
+	s, err := h.acquireSlot()
+	if err != nil {
+		return fmt.Errorf("nvmeof: write: %w", err)
+	}
+	s.cmd = Command{Opcode: OpWriteCmd, Offset: uint64(off), Data: buf.Bytes()}
+	buf.register()
+	s.reg = buf
+	resp, err := h.roundTrip(s)
 	return checkResp(resp, err, "write")
 }
 
@@ -593,7 +843,12 @@ func (h *Host) ReadAt(off, length int64) ([]byte, error) {
 	if err := validateReadLength(length); err != nil {
 		return nil, err
 	}
-	resp, err := h.roundTrip(&Command{Opcode: OpReadCmd, Offset: uint64(off), Length: uint32(length)})
+	s, err := h.acquireSlot()
+	if err != nil {
+		return nil, fmt.Errorf("nvmeof: read: %w", err)
+	}
+	s.cmd = Command{Opcode: OpReadCmd, Offset: uint64(off), Length: uint32(length)}
+	resp, err := h.roundTrip(s)
 	if err := checkResp(resp, err, "read"); err != nil {
 		return nil, err
 	}
@@ -606,13 +861,13 @@ func (h *Host) ReadAt(off, length int64) ([]byte, error) {
 
 // Flush issues a durability barrier.
 func (h *Host) Flush() error {
-	resp, err := h.roundTrip(&Command{Opcode: OpFlushCmd})
+	resp, err := h.submit(&Command{Opcode: OpFlushCmd})
 	return checkResp(resp, err, "flush")
 }
 
 // Identify re-reads the namespace properties.
 func (h *Host) Identify() (int64, error) {
-	resp, err := h.roundTrip(&Command{Opcode: OpIdentify})
+	resp, err := h.submit(&Command{Opcode: OpIdentify})
 	if err := checkResp(resp, err, "identify"); err != nil {
 		return 0, err
 	}
@@ -623,7 +878,7 @@ func (h *Host) Identify() (int64, error) {
 // size (an admin command; the scheduler's storage-grant path). It
 // returns the new NSID.
 func (h *Host) CreateNamespace(size int64) (uint32, error) {
-	resp, err := h.roundTrip(&Command{Opcode: OpCreateNS, Offset: uint64(size)})
+	resp, err := h.submit(&Command{Opcode: OpCreateNS, Offset: uint64(size)})
 	if err := checkResp(resp, err, "create-ns"); err != nil {
 		return 0, err
 	}
@@ -632,7 +887,7 @@ func (h *Host) CreateNamespace(size int64) (uint32, error) {
 
 // DeleteNamespace reclaims a namespace on the target.
 func (h *Host) DeleteNamespace(nsid uint32) error {
-	resp, err := h.roundTrip(&Command{Opcode: OpDeleteNS, NSID: nsid})
+	resp, err := h.submit(&Command{Opcode: OpDeleteNS, NSID: nsid})
 	return checkResp(resp, err, "delete-ns")
 }
 
@@ -661,7 +916,7 @@ func decodeNamespaceList(data []byte) ([]NamespaceInfo, error) {
 
 // ListNamespaces enumerates the target's exports.
 func (h *Host) ListNamespaces() ([]NamespaceInfo, error) {
-	resp, err := h.roundTrip(&Command{Opcode: OpListNS})
+	resp, err := h.submit(&Command{Opcode: OpListNS})
 	if err := checkResp(resp, err, "list-ns"); err != nil {
 		return nil, err
 	}

@@ -59,6 +59,12 @@ type PoolConfig struct {
 	// Batch configures each queue pair's submission batcher (see
 	// BatchConfig). The zero value keeps the direct path.
 	Batch BatchConfig
+	// BusyPoll makes every queue pair spin briefly for its completion
+	// before parking on the scheduler (see HostConfig.BusyPoll).
+	BusyPoll bool
+	// BusyPollSpins bounds the busy-poll spin count (default 128;
+	// ignored unless BusyPoll is set).
+	BusyPollSpins int
 }
 
 func (c PoolConfig) withDefaults() PoolConfig {
@@ -165,6 +171,8 @@ func (p *HostPool) dialSlot(i int) (*Host, error) {
 		Tracer:         p.cfg.Tracer,
 		Flight:         p.flight,
 		Batch:          p.cfg.Batch,
+		BusyPoll:       p.cfg.BusyPoll,
+		BusyPollSpins:  p.cfg.BusyPollSpins,
 	})
 }
 
@@ -363,7 +371,7 @@ func (p *HostPool) reconnect(s *qpSlot) {
 // retried with backoff on transport failures and timeouts. A completion
 // with a non-OK status is a definitive answer, not a transport failure,
 // and is returned without retrying.
-func (p *HostPool) do(cmd *Command, idempotent bool) (*Response, error) {
+func (p *HostPool) do(cmd *Command, idempotent bool) (Response, error) {
 	attempts := 1
 	if idempotent {
 		attempts += p.cfg.MaxRetries
@@ -377,7 +385,7 @@ func (p *HostPool) do(cmd *Command, idempotent bool) (*Response, error) {
 			select {
 			case <-p.closed:
 				timer.Stop()
-				return nil, ErrPoolClosed
+				return Response{}, ErrPoolClosed
 			case <-timer.C:
 			}
 			backoff *= 2
@@ -385,7 +393,7 @@ func (p *HostPool) do(cmd *Command, idempotent bool) (*Response, error) {
 		s, h, err := p.acquire()
 		if err != nil {
 			if errors.Is(err, ErrPoolClosed) {
-				return nil, err
+				return Response{}, err
 			}
 			lastErr = err
 			continue
@@ -393,9 +401,9 @@ func (p *HostPool) do(cmd *Command, idempotent bool) (*Response, error) {
 		if a > 0 {
 			s.tel.retries.Inc()
 		}
-		// roundTrip records commands, errors, bytes, latency, and the
+		// submit records commands, errors, bytes, latency, and the
 		// slot's flight ring (via the pool-shared recorder).
-		resp, err := h.roundTrip(cmd)
+		resp, err := h.submit(cmd)
 		if err == nil {
 			return resp, nil
 		}
@@ -410,7 +418,7 @@ func (p *HostPool) do(cmd *Command, idempotent bool) (*Response, error) {
 	if attempts > 1 && lastQP >= 0 {
 		p.dumpFlight(lastQP, "retry-exhausted")
 	}
-	return nil, lastErr
+	return Response{}, lastErr
 }
 
 // WriteAt writes data at the namespace offset. WRITE is not retried:
@@ -419,6 +427,41 @@ func (p *HostPool) do(cmd *Command, idempotent bool) (*Response, error) {
 func (p *HostPool) WriteAt(off int64, data []byte) error {
 	resp, err := p.do(&Command{Opcode: OpWriteCmd, Offset: uint64(off), Data: data}, false)
 	return checkResp(resp, err, "write")
+}
+
+// WriteAtV writes the concatenation of bufs at the namespace offset
+// without copying them into a staging buffer: each buf rides to the
+// socket as its own iovec (see Host.WriteAtV). Like WriteAt, it is not
+// retried.
+func (p *HostPool) WriteAtV(off int64, bufs [][]byte) error {
+	s, h, err := p.acquire()
+	if err != nil {
+		return fmt.Errorf("nvmeof: writev: %w", err)
+	}
+	if err := h.WriteAtV(off, bufs); err != nil {
+		if !errors.Is(err, ErrTimeout) {
+			p.noteFailure(s, h)
+		}
+		return err
+	}
+	return nil
+}
+
+// WriteAtBuffer writes a registered buffer's bytes at the namespace
+// offset. The buffer stays pinned while the capsule is in flight (see
+// Host.WriteAtBuffer and BufferPool). Not retried.
+func (p *HostPool) WriteAtBuffer(off int64, buf *Buffer) error {
+	s, h, err := p.acquire()
+	if err != nil {
+		return fmt.Errorf("nvmeof: write-buffer: %w", err)
+	}
+	if err := h.WriteAtBuffer(off, buf); err != nil {
+		if !errors.Is(err, ErrTimeout) {
+			p.noteFailure(s, h)
+		}
+		return err
+	}
+	return nil
 }
 
 // ReadAt reads length bytes from the namespace offset, retrying on
@@ -452,7 +495,7 @@ func (p *HostPool) Flush() error {
 			p.noteFailure(s, h)
 			continue
 		}
-		resp, err := h.roundTrip(&Command{Opcode: OpFlushCmd})
+		resp, err := h.submit(&Command{Opcode: OpFlushCmd})
 		if err != nil {
 			if !errors.Is(err, ErrTimeout) {
 				p.noteFailure(s, h)

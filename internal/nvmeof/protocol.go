@@ -280,18 +280,47 @@ func ReadCommandV(r io.Reader, version uint16) (*Command, error) {
 // first byte of any post-negotiation capsule arrives, but possibly
 // after the reader has already blocked waiting for that byte.
 func readCommandFn(r io.Reader, version func() uint16) (*Command, error) {
-	var hdr [cmdHdrLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	c := &Command{}
+	var buf []byte
+	var scratch [protoScratchLen]byte
+	if err := readCommandInto(r, version, c, &buf, &scratch); err != nil {
 		return nil, err
 	}
+	return c, nil
+}
+
+// maxReuseBuf caps the payload buffer a reusing reader retains between
+// capsules: the common checkpoint stripe unit fits, while a rare
+// MaxDataLen capsule does not pin 8 MiB per slot forever.
+const maxReuseBuf = 1 << 20
+
+// protoScratchLen sizes the caller-owned scratch the *Into/*Scratch
+// capsule codecs stage fixed headers and extensions in. A header sliced
+// from a local array escapes to the heap when handed to an io.Reader or
+// io.Writer interface, so the hot loops (target reader, target serve,
+// host readLoop) own one scratch array for their connection's lifetime
+// instead of paying that allocation per capsule. 32 covers the largest
+// staged block: cmdHdrLen and phaseExtLen (both 32).
+const protoScratchLen = cmdHdrLen
+
+// readCommandInto is readCommandFn into caller-owned storage: the
+// Command is overwritten in place and the payload lands in *bufp's
+// backing when it fits (larger payloads get a fresh allocation that is
+// not retained). The target's serve loop runs this per slot, so the
+// steady state reads capsules with zero allocations.
+func readCommandInto(r io.Reader, version func() uint16, c *Command, bufp *[]byte, scratch *[protoScratchLen]byte) error {
+	hdr := scratch[:cmdHdrLen]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return err
+	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != cmdMagic {
-		return nil, fmt.Errorf("nvmeof: bad command magic %#x", binary.LittleEndian.Uint32(hdr[0:]))
+		return fmt.Errorf("nvmeof: bad command magic %#x", binary.LittleEndian.Uint32(hdr[0:]))
 	}
 	flags := hdr[5]
 	if flags&^byte(cmdFlagTraced) != 0 {
-		return nil, fmt.Errorf("nvmeof: unknown command flags %#x", flags)
+		return fmt.Errorf("nvmeof: unknown command flags %#x", flags)
 	}
-	c := &Command{
+	*c = Command{
 		Opcode:         Opcode(hdr[4]),
 		CID:            binary.LittleEndian.Uint16(hdr[6:]),
 		NSID:           binary.LittleEndian.Uint32(hdr[8:]),
@@ -299,28 +328,38 @@ func readCommandFn(r io.Reader, version func() uint16) (*Command, error) {
 		Length:         binary.LittleEndian.Uint32(hdr[20:]),
 		ProposeVersion: binary.LittleEndian.Uint16(hdr[28:]),
 	}
+	// Extracted before the trace extension reuses the scratch bytes.
+	dataLen := binary.LittleEndian.Uint32(hdr[24:])
 	if flags&cmdFlagTraced != 0 {
 		if version() < VersionTrace {
-			return nil, fmt.Errorf("nvmeof: traced command on version-%d queue pair", version())
+			return fmt.Errorf("nvmeof: traced command on version-%d queue pair", version())
 		}
-		var ext [traceExtLen]byte
-		if _, err := io.ReadFull(r, ext[:]); err != nil {
-			return nil, err
+		ext := scratch[:traceExtLen]
+		if _, err := io.ReadFull(r, ext); err != nil {
+			return err
 		}
 		c.Traced = true
-		c.TraceID = binary.LittleEndian.Uint64(ext[:])
+		c.TraceID = binary.LittleEndian.Uint64(ext)
 	}
-	dataLen := binary.LittleEndian.Uint32(hdr[24:])
 	if dataLen > MaxDataLen {
-		return nil, fmt.Errorf("nvmeof: in-capsule data %d exceeds limit", dataLen)
+		return fmt.Errorf("nvmeof: in-capsule data %d exceeds limit", dataLen)
 	}
 	if dataLen > 0 {
-		c.Data = make([]byte, dataLen)
-		if _, err := io.ReadFull(r, c.Data); err != nil {
-			return nil, err
+		buf := *bufp
+		if cap(buf) >= int(dataLen) {
+			buf = buf[:dataLen]
+		} else {
+			buf = make([]byte, dataLen)
+			if dataLen <= maxReuseBuf {
+				*bufp = buf
+			}
 		}
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		c.Data = buf
 	}
-	return c, nil
+	return nil
 }
 
 // WriteResponse encodes and writes a response capsule in the legacy
@@ -332,6 +371,14 @@ func WriteResponse(w io.Writer, r *Response) error {
 // WriteResponseV encodes and writes a response capsule at the
 // negotiated capsule version.
 func WriteResponseV(w io.Writer, r *Response, version uint16) error {
+	var scratch [protoScratchLen]byte
+	return writeResponseScratch(w, r, version, &scratch)
+}
+
+// writeResponseScratch is WriteResponseV staging the header and phase
+// extension in caller-owned scratch, so a serve loop that owns one
+// scratch array per connection emits responses with zero allocations.
+func writeResponseScratch(w io.Writer, r *Response, version uint16, scratch *[protoScratchLen]byte) error {
 	if len(r.Data) > MaxDataLen {
 		return fmt.Errorf("nvmeof: response data %d exceeds limit", len(r.Data))
 	}
@@ -345,22 +392,23 @@ func WriteResponseV(w io.Writer, r *Response, version uint16) error {
 	if r.Phases != nil {
 		status |= respFlagPhases
 	}
-	var hdr [rspHdrLen + 8]byte
+	hdr := scratch[:rspHdrLen+4]
 	binary.LittleEndian.PutUint32(hdr[0:], respMagic)
 	binary.LittleEndian.PutUint16(hdr[4:], r.CID)
 	binary.LittleEndian.PutUint16(hdr[6:], status)
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(r.Data)))
 	binary.LittleEndian.PutUint64(hdr[12:], r.Value)
-	if _, err := w.Write(hdr[:rspHdrLen+4]); err != nil {
+	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
 	if r.Phases != nil {
-		var ext [phaseExtLen]byte
+		// The header is on the wire; the extension reuses the scratch.
+		ext := scratch[:phaseExtLen]
 		binary.LittleEndian.PutUint64(ext[0:], r.Phases.WireReadNS)
 		binary.LittleEndian.PutUint64(ext[8:], r.Phases.QueueNS)
 		binary.LittleEndian.PutUint64(ext[16:], r.Phases.ServiceNS)
 		binary.LittleEndian.PutUint64(ext[24:], r.Phases.WireWriteNS)
-		if _, err := w.Write(ext[:]); err != nil {
+		if _, err := w.Write(ext); err != nil {
 			return err
 		}
 	}
@@ -388,26 +436,43 @@ func ReadResponseV(r io.Reader, version uint16) (*Response, error) {
 // readCommandFn; the host's read loop has the mirror-image race with
 // DialConfig storing the negotiated version).
 func readResponseFn(r io.Reader, version func() uint16) (*Response, error) {
-	var hdr [rspHdrLen + 4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	out := &Response{}
+	var scratch [protoScratchLen]byte
+	if err := readResponseInto(r, version, out, &scratch); err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// readResponseInto is readResponseFn into a caller-owned Response,
+// overwritten in place. The host's read loop runs this with one reused
+// Response, so data-less completions (every WRITE/FLUSH) are parsed
+// with zero allocations. Data and Phases, when present, are freshly
+// allocated: both escape into the waiter's copy of the response and
+// must not be overwritten by the next capsule.
+func readResponseInto(r io.Reader, version func() uint16, out *Response, scratch *[protoScratchLen]byte) error {
+	hdr := scratch[:rspHdrLen+4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return err
+	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != respMagic {
-		return nil, fmt.Errorf("nvmeof: bad response magic %#x", binary.LittleEndian.Uint32(hdr[0:]))
+		return fmt.Errorf("nvmeof: bad response magic %#x", binary.LittleEndian.Uint32(hdr[0:]))
 	}
 	status := binary.LittleEndian.Uint16(hdr[4+2:])
-	out := &Response{
+	*out = Response{
 		CID:    binary.LittleEndian.Uint16(hdr[4:]),
 		Status: status &^ respFlagPhases,
 		Value:  binary.LittleEndian.Uint64(hdr[12:]),
 	}
+	// Extracted before the phase extension reuses the scratch bytes.
+	dataLen := binary.LittleEndian.Uint32(hdr[8:])
 	if status&respFlagPhases != 0 {
 		if version() < VersionTrace {
-			return nil, fmt.Errorf("nvmeof: phase timings on version-%d queue pair", version())
+			return fmt.Errorf("nvmeof: phase timings on version-%d queue pair", version())
 		}
-		var ext [phaseExtLen]byte
-		if _, err := io.ReadFull(r, ext[:]); err != nil {
-			return nil, err
+		ext := scratch[:phaseExtLen]
+		if _, err := io.ReadFull(r, ext); err != nil {
+			return err
 		}
 		out.Phases = &PhaseTimings{
 			WireReadNS:  binary.LittleEndian.Uint64(ext[0:]),
@@ -416,17 +481,16 @@ func readResponseFn(r io.Reader, version func() uint16) (*Response, error) {
 			WireWriteNS: binary.LittleEndian.Uint64(ext[24:]),
 		}
 	}
-	dataLen := binary.LittleEndian.Uint32(hdr[8:])
 	if dataLen > MaxDataLen {
-		return nil, fmt.Errorf("nvmeof: response data %d exceeds limit", dataLen)
+		return fmt.Errorf("nvmeof: response data %d exceeds limit", dataLen)
 	}
 	if dataLen > 0 {
 		out.Data = make([]byte, dataLen)
 		if _, err := io.ReadFull(r, out.Data); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // encodeNegotiatedVersion renders the CONNECT-response negotiation

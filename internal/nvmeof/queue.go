@@ -28,7 +28,20 @@ type Queue interface {
 	Close() error
 }
 
+// VectorQueue is the optional zero-copy extension of Queue: initiators
+// that can submit a gather list as one WRITE capsule without staging
+// the pieces into a contiguous buffer implement it. Callers type-assert
+// (see TCPPlane.WriteV) and fall back to a copy when it is absent.
+type VectorQueue interface {
+	// WriteAtV writes the concatenation of bufs at the namespace
+	// offset; each buf travels to the socket as its own iovec.
+	WriteAtV(off int64, bufs [][]byte) error
+}
+
 var (
 	_ Queue = (*Host)(nil)
 	_ Queue = (*HostPool)(nil)
+
+	_ VectorQueue = (*Host)(nil)
+	_ VectorQueue = (*HostPool)(nil)
 )

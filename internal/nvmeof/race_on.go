@@ -1,0 +1,8 @@
+//go:build race
+
+package nvmeof
+
+// raceEnabled reports whether the race detector is compiled in. Alloc
+// regression tests skip under -race: the detector's shadow allocations
+// make every allocs-per-op assertion meaningless.
+const raceEnabled = true

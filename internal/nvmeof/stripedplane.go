@@ -108,6 +108,61 @@ func (s *StripedPlane) forEachSpan(p *sim.Proc, spans []balancer.StripeSpan, fn 
 	return nil
 }
 
+// stripeGroup is one target's share of a striped request. A contiguous
+// striped range touches each target in a contiguous run of that
+// target's own address space (partial units can only occur at the two
+// request ends), so the member spans coalesce into a single
+// [targetOff, targetOff+length) extent per target and the whole request
+// becomes one command per TARGET instead of one command per stripe
+// unit. That per-unit fan-out was the striped-plane scaling regression:
+// a 1 MiB write over two targets at a 64 KiB unit issued 16 goroutines
+// and 16 capsules, each paying full per-command device latency, so two
+// targets ran slower than one.
+type stripeGroup struct {
+	target    int
+	targetOff int64
+	length    int64
+	count     int // member spans, in striped-address order
+	vecOff    int // first slot of this group's gather vector in the shared backing
+}
+
+// inlineStripeGroups sizes the stack backing for per-target groups;
+// wider stripes spill to the heap, they don't fail.
+const inlineStripeGroups = 8
+
+// groupSpans coalesces spans per target into buf. It returns ok=false
+// if any target's spans are not contiguous on that target — geometry
+// guarantees they are for the balancer's round-robin striping, but the
+// caller falls back to the span-at-a-time path rather than trusting
+// that invariant with data placement.
+func groupSpans(spans []balancer.StripeSpan, buf []stripeGroup) ([]stripeGroup, bool) {
+	groups := buf[:0]
+	for _, sp := range spans {
+		found := false
+		for gi := range groups {
+			if groups[gi].target != sp.Target {
+				continue
+			}
+			if groups[gi].targetOff+groups[gi].length != sp.TargetOff {
+				return nil, false
+			}
+			groups[gi].length += sp.Length
+			groups[gi].count++
+			found = true
+			break
+		}
+		if !found {
+			groups = append(groups, stripeGroup{
+				target:    sp.Target,
+				targetOff: sp.TargetOff,
+				length:    sp.Length,
+				count:     1,
+			})
+		}
+	}
+	return groups, true
+}
+
 // Write implements plane.Plane. Synthetic (nil-data) writes stay
 // synthetic per span: each child sees nil data for its unit, exactly
 // as a single-target plane would for the whole transfer.
@@ -122,6 +177,12 @@ func (s *StripedPlane) Write(p *sim.Proc, off, length int64, data []byte, cmdUni
 		return nil
 	}
 	spans := s.geo.Spans(off, length)
+	if p == nil && len(spans) > 1 {
+		var buf [inlineStripeGroups]stripeGroup
+		if groups, ok := groupSpans(spans, buf[:]); ok {
+			return s.writeGrouped(spans, groups, off, data, cmdUnit)
+		}
+	}
 	return s.forEachSpan(p, spans, func(sp balancer.StripeSpan) error {
 		var chunk []byte
 		if data != nil {
@@ -130,6 +191,78 @@ func (s *StripedPlane) Write(p *sim.Proc, off, length int64, data []byte, cmdUni
 		}
 		return s.children[sp.Target].Write(p, sp.TargetOff, sp.Length, chunk, cmdUnit)
 	})
+}
+
+// writeGrouped issues the striped write as one request per target: a
+// gather-list WriteV when the child can take one (TCPPlane over a
+// VectorQueue initiator — fully zero-copy), per-piece Writes otherwise.
+// Like forEachSpan, every target is attempted and the first error wins;
+// a partial failure leaves the other targets' stripes landed, the same
+// exposure a failed chunked single-target write has.
+func (s *StripedPlane) writeGrouped(spans []balancer.StripeSpan, groups []stripeGroup, off int64, data []byte, cmdUnit int64) error {
+	var vecs [][]byte
+	if data != nil {
+		// One shared backing for every group's gather vector: group g
+		// owns vecs[g.vecOff : g.vecOff+g.count], filled in
+		// striped-address order (which is target-offset order within a
+		// group, since the group is contiguous on its target).
+		vecs = make([][]byte, len(spans))
+		pos := 0
+		for gi := range groups {
+			groups[gi].vecOff = pos
+			pos += groups[gi].count
+			vec := vecs[groups[gi].vecOff:groups[gi].vecOff]
+			for _, sp := range spans {
+				if sp.Target != groups[gi].target {
+					continue
+				}
+				rel := sp.Off - off
+				vec = append(vec, data[rel:rel+sp.Length])
+			}
+		}
+	}
+	var errsBuf [inlineStripeGroups]error
+	errs := errsBuf[:]
+	if len(groups) > len(errs) {
+		errs = make([]error, len(groups))
+	}
+	var wg sync.WaitGroup
+	for gi := range groups {
+		g := &groups[gi]
+		wg.Add(1)
+		go func(gi int, g *stripeGroup) {
+			defer wg.Done()
+			child := s.children[g.target]
+			if data == nil {
+				errs[gi] = child.Write(nil, g.targetOff, g.length, nil, cmdUnit)
+				return
+			}
+			vec := vecs[g.vecOff : g.vecOff+g.count]
+			if len(vec) == 1 {
+				errs[gi] = child.Write(nil, g.targetOff, g.length, vec[0], cmdUnit)
+				return
+			}
+			if vw, ok := child.(plane.VectorWriter); ok {
+				errs[gi] = vw.WriteV(nil, g.targetOff, vec)
+				return
+			}
+			toff := g.targetOff
+			for _, b := range vec {
+				if err := child.Write(nil, toff, int64(len(b)), b, cmdUnit); err != nil {
+					errs[gi] = err
+					return
+				}
+				toff += int64(len(b))
+			}
+		}(gi, g)
+	}
+	wg.Wait()
+	for _, err := range errs[:len(groups)] {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Read implements plane.Plane. The nil contract is all-or-nothing: a
@@ -143,6 +276,12 @@ func (s *StripedPlane) Read(p *sim.Proc, off, length int64, cmdUnit int64) ([]by
 		return nil, nil
 	}
 	spans := s.geo.Spans(off, length)
+	if p == nil && len(spans) > 1 {
+		var buf [inlineStripeGroups]stripeGroup
+		if groups, ok := groupSpans(spans, buf[:]); ok {
+			return s.readGrouped(spans, groups, off, length, cmdUnit)
+		}
+	}
 	out := make([]byte, length)
 	var mu sync.Mutex
 	sawNil := false
@@ -168,6 +307,55 @@ func (s *StripedPlane) Read(p *sim.Proc, off, length int64, cmdUnit int64) ([]by
 	}
 	if sawNil {
 		return nil, nil
+	}
+	return out, nil
+}
+
+// readGrouped issues one contiguous read per target and scatters each
+// target's chunk back into stripe order. The nil contract holds: any
+// child returning nil makes the whole read nil.
+func (s *StripedPlane) readGrouped(spans []balancer.StripeSpan, groups []stripeGroup, off, length int64, cmdUnit int64) ([]byte, error) {
+	var chunksBuf [inlineStripeGroups][]byte
+	var errsBuf [inlineStripeGroups]error
+	chunks, errs := chunksBuf[:], errsBuf[:]
+	if len(groups) > inlineStripeGroups {
+		chunks, errs = make([][]byte, len(groups)), make([]error, len(groups))
+	}
+	var wg sync.WaitGroup
+	for gi := range groups {
+		g := &groups[gi]
+		wg.Add(1)
+		go func(gi int, g *stripeGroup) {
+			defer wg.Done()
+			chunks[gi], errs[gi] = s.children[g.target].Read(nil, g.targetOff, g.length, cmdUnit)
+		}(gi, g)
+	}
+	wg.Wait()
+	for _, err := range errs[:len(groups)] {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for gi := range groups {
+		g := &groups[gi]
+		if chunks[gi] == nil {
+			return nil, nil
+		}
+		if int64(len(chunks[gi])) != g.length {
+			return nil, fmt.Errorf("nvmeof: stripe target %d returned %d bytes, want %d", g.target, len(chunks[gi]), g.length)
+		}
+	}
+	out := make([]byte, length)
+	for gi := range groups {
+		g := &groups[gi]
+		pos := int64(0)
+		for _, sp := range spans {
+			if sp.Target != g.target {
+				continue
+			}
+			copy(out[sp.Off-off:sp.Off-off+sp.Length], chunks[gi][pos:pos+sp.Length])
+			pos += sp.Length
+		}
 	}
 	return out, nil
 }

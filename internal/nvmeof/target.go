@@ -34,10 +34,11 @@ type nsStripe struct {
 // queue pair serialize, which is exactly the head-of-line cost a
 // HostPool exists to remove.
 type MemNamespace struct {
-	size    int64
-	delay   time.Duration
-	deleted atomic.Bool
-	stripes []nsStripe
+	size        int64
+	delay       time.Duration
+	bytesPerSec int64 // 0 = infinite device bandwidth
+	deleted     atomic.Bool
+	stripes     []nsStripe
 }
 
 func (ns *MemNamespace) markDeleted() {
@@ -61,15 +62,37 @@ func NewMemNamespace(size int64) *MemNamespace {
 // in-memory store stands in for is not free; the paper's drives program
 // a page in tens of microseconds).
 func NewMemNamespaceWithLatency(size int64, delay time.Duration) *MemNamespace {
+	return NewMemNamespaceWithModel(size, delay, 0)
+}
+
+// NewMemNamespaceWithModel creates a namespace with a two-parameter
+// device model: perCmd is the fixed per-command service latency
+// (command overhead, flash program/read time) and bytesPerSec the
+// device's sequential bandwidth, charged per payload byte on top of
+// the fixed cost (0 = infinite). With only a flat per-command cost,
+// splitting a transfer across commands or targets is modeled as free —
+// which makes single-target large commands look unbeatable and hides
+// exactly the aggregate-bandwidth win striping exists to measure.
+func NewMemNamespaceWithModel(size int64, perCmd time.Duration, bytesPerSec int64) *MemNamespace {
 	n := int((size + stripeBytes - 1) / stripeBytes)
 	if n < 1 {
 		n = 1
 	}
-	ns := &MemNamespace{size: size, delay: delay, stripes: make([]nsStripe, n)}
+	ns := &MemNamespace{size: size, delay: perCmd, bytesPerSec: bytesPerSec, stripes: make([]nsStripe, n)}
 	for i := range ns.stripes {
 		ns.stripes[i].store = extent.New()
 	}
 	return ns
+}
+
+// serviceDelay is the modeled device time for one command moving n
+// payload bytes.
+func (ns *MemNamespace) serviceDelay(n int64) time.Duration {
+	d := ns.delay
+	if ns.bytesPerSec > 0 && n > 0 {
+		d += time.Duration(n * int64(time.Second) / ns.bytesPerSec)
+	}
+	return d
 }
 
 // Size returns the namespace capacity.
@@ -94,8 +117,8 @@ func (ns *MemNamespace) writeAt(off int64, data []byte) uint16 {
 	if ns.deleted.Load() {
 		return StatusInvalidNamespace
 	}
-	if ns.delay > 0 {
-		time.Sleep(ns.delay)
+	if d := ns.serviceDelay(int64(len(data))); d > 0 {
+		time.Sleep(d)
 	}
 	for len(data) > 0 {
 		si := off / stripeBytes
@@ -123,8 +146,8 @@ func (ns *MemNamespace) readAt(off, length int64) ([]byte, uint16) {
 	if ns.deleted.Load() {
 		return nil, StatusInvalidNamespace
 	}
-	if ns.delay > 0 {
-		time.Sleep(ns.delay)
+	if d := ns.serviceDelay(length); d > 0 {
+		time.Sleep(d)
 	}
 	buf := make([]byte, length)
 	for covered := int64(0); covered < length; {
@@ -357,10 +380,22 @@ func (t *Target) deregister(qp *qpConn) {
 // from the socket (backpressure then falls back to TCP flow control).
 const targetSQDepth = 64
 
-// queuedCmd is one parsed command waiting in a queue pair's submission
-// queue, with the timestamps the phase breakdown is computed from.
-type queuedCmd struct {
-	cmd       *Command
+// tgtSlot is one queue-pair submission slot: the parsed command, the
+// response under construction, the retained payload backing, and the
+// timestamps the phase breakdown is computed from. The serve loop
+// preallocates targetSQDepth of these and cycles them through a free
+// list, so the steady-state service path parses, executes, and answers
+// commands without allocating (the run-to-completion discipline of the
+// paper's target, in Go clothes).
+type tgtSlot struct {
+	cmd Command
+	// dataBuf is the payload backing readCommandInto reuses between
+	// capsules (retained up to maxReuseBuf; larger payloads get a
+	// one-off allocation).
+	dataBuf []byte
+	resp    Response
+	phases  PhaseTimings
+
 	readStart time.Time     // first capsule byte available
 	wireRead  time.Duration // first byte available -> capsule parsed
 	queuedAt  time.Time     // capsule parsed; submission-queue wait starts
@@ -391,7 +426,17 @@ func (t *Target) serve(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 1<<20)
 	bw := bufio.NewWriterSize(conn, 1<<20)
 
-	sq := make(chan queuedCmd, targetSQDepth)
+	// Slot pool: the reader acquires a slot, parses into it, and hands
+	// its index to the service loop, which returns it after answering.
+	// Indices, not pointers, travel through the channels, so one slot
+	// array serves the queue pair's whole life with no per-command
+	// allocation.
+	slots := make([]tgtSlot, targetSQDepth)
+	free := make(chan uint16, targetSQDepth)
+	for i := range slots {
+		free <- uint16(i)
+	}
+	sq := make(chan uint16, targetSQDepth)
 	go func() {
 		// Reader: owns br. Exits (closing the submission queue) on
 		// EOF, a read deadline from a draining Close, or a protocol
@@ -401,36 +446,64 @@ func (t *Target) serve(conn net.Conn) {
 		// capsule's first byte arrives.
 		defer close(sq)
 		version := func() uint16 { return uint16(qp.version.Load()) }
+		var scratch [protoScratchLen]byte
 		for {
-			// Block for the first byte outside the wire-read phase:
+			// Acquire the slot before blocking for the first byte: the
+			// wire-read clock must start at first-byte-available, and
 			// idle time waiting for the host to submit is not wire
-			// time, and must not inflate the phase sum past the
-			// host-observed round trip.
+			// time (it must not inflate the phase sum past the
+			// host-observed round trip).
+			idx := <-free
+			s := &slots[idx]
 			if _, err := br.Peek(1); err != nil {
 				return
 			}
-			readStart := time.Now()
-			cmd, err := readCommandFn(br, version)
-			if err != nil {
+			s.readStart = time.Now()
+			if err := readCommandInto(br, version, &s.cmd, &s.dataBuf, &scratch); err != nil {
 				return
 			}
-			now := time.Now()
-			sq <- queuedCmd{cmd: cmd, readStart: readStart, wireRead: now.Sub(readStart), queuedAt: now}
+			if s.cmd.Traced {
+				now := time.Now()
+				s.wireRead = now.Sub(s.readStart)
+				s.queuedAt = now
+			} else {
+				// Untraced commands carry no phase decomposition, so the
+				// post-parse clock read buys nothing: fold the (bufio-fed,
+				// sub-microsecond) parse into the queue wait and save the
+				// read — clock reads are a measurable slice of the
+				// small-command loop.
+				s.wireRead = 0
+				s.queuedAt = s.readStart
+			}
+			sq <- idx
 		}
 	}()
 
 	var connected *MemNamespace
 	admin := false // CONNECT with NSID 0 makes this an admin queue pair
 	var prevWireWrite time.Duration
-	for qc := range sq {
-		cmd := qc.cmd
-		queueWait := time.Since(qc.queuedAt)
+	var respScratch [protoScratchLen]byte
+	for idx := range sq {
+		s := &slots[idx]
+		cmd := &s.cmd
+		// One clock read covers both the queue-wait end and the service
+		// start (they are the same instant); the write path fuses its
+		// reads the same way. Untraced commands skip the interior reads
+		// entirely — nothing reports their per-phase split, and clock
+		// reads are a measurable slice of the small-command service
+		// loop.
+		var serviceStart time.Time
+		var queueWait time.Duration
+		if cmd.Traced {
+			serviceStart = time.Now()
+			queueWait = serviceStart.Sub(s.queuedAt)
+		}
 		t.commands.Inc()
 		t.bytesIn.Add(uint64(len(cmd.Data)))
 		qp.commands.Inc()
 		qp.bytesIn.Add(uint64(len(cmd.Data)))
-		resp := &Response{CID: cmd.CID, Status: StatusOK}
-		serviceStart := time.Now()
+		resp := &s.resp
+		*resp = Response{CID: cmd.CID, Status: StatusOK}
 		switch cmd.Opcode {
 		case OpConnect:
 			if cmd.NSID == 0 {
@@ -507,14 +580,18 @@ func (t *Target) serve(conn net.Conn) {
 		default:
 			resp.Status = StatusInvalidOpcode
 		}
-		service := time.Since(serviceStart)
+		var writeStart time.Time
 		if cmd.Traced {
-			resp.Phases = &PhaseTimings{
-				WireReadNS:  clamp1(qc.wireRead),
+			writeStart = time.Now()
+			// The extension block lives in the slot; WriteResponseV
+			// serializes it synchronously, before the slot is reused.
+			s.phases = PhaseTimings{
+				WireReadNS:  clamp1(s.wireRead),
 				QueueNS:     clamp1(queueWait),
-				ServiceNS:   clamp1(service),
+				ServiceNS:   clamp1(writeStart.Sub(serviceStart)),
 				WireWriteNS: uint64(prevWireWrite), // see PhaseTimings
 			}
+			resp.Phases = &s.phases
 		}
 		if resp.Status != StatusOK {
 			t.errors.Inc()
@@ -522,17 +599,15 @@ func (t *Target) serve(conn net.Conn) {
 		}
 		t.bytesOut.Add(uint64(len(resp.Data)))
 		qp.bytesOut.Add(uint64(len(resp.Data)))
-		writeStart := time.Now()
-		err := WriteResponseV(bw, resp, uint16(qp.version.Load()))
+		err := writeResponseScratch(bw, resp, uint16(qp.version.Load()), &respScratch)
 		if err == nil && len(sq) == 0 {
 			// No command waiting for service: flush the pipelined
 			// responses.
 			err = bw.Flush()
 		}
-		wireWrite := time.Since(writeStart)
-		prevWireWrite = wireWrite
-		t.latency.ObserveDuration(time.Since(qc.queuedAt))
-		t.flight.Record(qp.id, FlightRecord{
+		done := time.Now()
+		t.latency.ObserveDuration(done.Sub(s.queuedAt))
+		rec := FlightRecord{
 			TraceID:   cmd.TraceID,
 			QP:        qp.id,
 			Op:        cmd.Opcode.String(),
@@ -540,23 +615,29 @@ func (t *Target) serve(conn net.Conn) {
 			CID:       cmd.CID,
 			Status:    resp.Status,
 			Bytes:     len(cmd.Data) + len(resp.Data),
-			WallNS:    qc.readStart.UnixNano(),
-			ElapsedNS: int64(time.Since(qc.readStart)),
-			Phases: &PhaseTimings{
-				WireReadNS:  clamp1(qc.wireRead),
-				QueueNS:     clamp1(queueWait),
-				ServiceNS:   clamp1(service),
-				WireWriteNS: clamp1(wireWrite),
-			},
-		})
+			WallNS:    s.readStart.UnixNano(),
+			ElapsedNS: int64(done.Sub(s.readStart)),
+		}
+		if cmd.Traced {
+			wireWrite := done.Sub(writeStart)
+			prevWireWrite = wireWrite
+			rec.Phases = s.phases
+			rec.Phases.WireWriteNS = clamp1(wireWrite)
+			rec.HasPhases = true
+		}
+		t.flight.Record(qp.id, rec)
 		if err != nil {
 			// Response undeliverable: force the reader off the socket,
-			// then drain the queue so its close unblocks this loop.
+			// then drain the queue — recycling each drained slot so a
+			// reader blocked on the free list wakes, hits the closed
+			// socket, and closes sq to end this loop.
 			conn.Close()
-			for range sq {
+			for di := range sq {
+				free <- di
 			}
 			return
 		}
+		free <- idx
 	}
 	// Reader closed the queue; every accepted command was answered
 	// above, so flush the tail and drop the queue pair.

@@ -302,37 +302,58 @@ func TestPropertyResponseCodec(t *testing.T) {
 	}
 }
 
-// TestCIDWraparoundSkipsOccupied pins the wraparound fix: when the
-// uint16 CID counter laps, CIDs still awaiting completions must be
-// skipped, never reassigned (reassignment would strand the earlier
-// waiter and mis-route its completion).
-func TestCIDWraparoundSkipsOccupied(t *testing.T) {
+// TestAbandonedSlotNotReissued pins the timed-out-command contract the
+// old CID-wraparound test pinned for the map-based host: a slot whose
+// owner abandoned it (timeout) keeps its CID out of circulation until
+// the late completion actually arrives, so a stale answer can never be
+// mis-routed to a future command. The read loop reclaims the slot on
+// delivery and only then does the CID return to the free ring.
+func TestAbandonedSlotNotReissued(t *testing.T) {
 	_, addr := startTarget(t, map[uint32]int64{1: model.MB})
 	h, err := Dial(addr, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer h.Close()
-	occupied := []uint16{0xFFFE, 0xFFFF, 1, 2}
-	h.respMu.Lock()
-	h.cid = 0xFFFD
-	for _, cid := range occupied {
-		h.inflight[cid] = nil // abandoned slots, still awaiting completions
+	// Abandon four slots the way a timeout does: acquire, register, then
+	// detach the owner (CAS inflight -> abandoned under respMu).
+	var abandoned []*hostSlot
+	for i := 0; i < 4; i++ {
+		s, err := h.acquireSlot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.registerSlot(s); err != nil {
+			t.Fatal(err)
+		}
+		h.respMu.Lock()
+		if !s.state.CompareAndSwap(slotInflight, slotAbandoned) {
+			t.Fatal("slot not in flight after registration")
+		}
+		h.respMu.Unlock()
+		abandoned = append(abandoned, s)
 	}
-	h.respMu.Unlock()
-	// Each command must land on a fresh CID across the wraparound and
-	// complete normally.
+	// Commands keep completing normally and never land on an abandoned
+	// slot's CID.
 	for i := 0; i < 5; i++ {
 		if _, err := h.Identify(); err != nil {
-			t.Fatalf("identify %d across CID wraparound: %v", i, err)
+			t.Fatalf("identify %d with abandoned slots held: %v", i, err)
 		}
 	}
-	h.respMu.Lock()
-	defer h.respMu.Unlock()
-	for _, cid := range occupied {
-		if _, ok := h.inflight[cid]; !ok {
-			t.Errorf("occupied CID %d was reassigned", cid)
+	for _, s := range abandoned {
+		if got := s.state.Load(); got != slotAbandoned {
+			t.Fatalf("abandoned slot %d reached state %d without a completion", s.idx, got)
 		}
+	}
+	// The late completions arrive; the read loop reclaims each slot.
+	for _, s := range abandoned {
+		h.deliver(&Response{CID: s.idx + 1, Status: StatusOK})
+		if got := s.state.Load(); got != slotFree {
+			t.Fatalf("late completion left slot %d in state %d, want free", s.idx, got)
+		}
+	}
+	if _, err := h.Identify(); err != nil {
+		t.Fatalf("identify after reclaim: %v", err)
 	}
 }
 
@@ -343,20 +364,25 @@ func TestQueueFullRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer h.Close()
-	h.respMu.Lock()
-	for cid := uint16(1); ; cid++ {
-		h.inflight[cid] = nil
-		if cid == 0xFFFF {
+	// Drain the free ring: every slot is now (as far as acquisition is
+	// concerned) in flight.
+	var held []uint16
+	for {
+		idx, ok := h.freeRing.pop()
+		if !ok {
 			break
 		}
+		held = append(held, idx)
 	}
-	h.respMu.Unlock()
+	if len(held) != hostQueueDepth {
+		t.Fatalf("drained %d slots, want %d", len(held), hostQueueDepth)
+	}
 	if _, err := h.Identify(); err == nil {
-		t.Fatal("command accepted with a full CID space")
+		t.Fatal("command accepted with a full slot ring")
 	}
-	h.respMu.Lock()
-	h.inflight = make(map[uint16]*cmdSlot)
-	h.respMu.Unlock()
+	for _, idx := range held {
+		h.freeRing.push(idx)
+	}
 	if _, err := h.Identify(); err != nil {
 		t.Fatalf("identify after queue drained: %v", err)
 	}

@@ -65,6 +65,76 @@ func (t *TCPPlane) Write(p *sim.Proc, off, length int64, data []byte, cmdUnit in
 	return nil
 }
 
+// WriteV implements plane.VectorWriter: the concatenation of bufs is
+// stored at off, forwarded as gather lists when the initiator can
+// submit them zero-copy (VectorQueue) and concatenated into one staging
+// buffer otherwise. Striped planes use this to issue one vectored
+// command per backing target instead of one command per stripe unit.
+func (t *TCPPlane) WriteV(p *sim.Proc, off int64, bufs [][]byte) error {
+	var length int64
+	for _, b := range bufs {
+		length += int64(len(b))
+	}
+	if err := t.check(off, length); err != nil {
+		return err
+	}
+	if length == 0 {
+		return nil
+	}
+	vq, ok := t.host.(VectorQueue)
+	if !ok {
+		// The initiator cannot gather; stage once and take the copy.
+		flat := make([]byte, 0, length)
+		for _, b := range bufs {
+			flat = append(flat, b...)
+		}
+		return t.Write(p, off, length, flat, 0)
+	}
+	// Split into capsule-sized vectored commands, re-slicing the gather
+	// list per chunk (a boundary buffer contributes a sub-slice to two
+	// consecutive chunks; the caller's bufs are never mutated).
+	const maxChunk = MaxDataLen / 2
+	if length <= maxChunk {
+		// Single capsule: the caller's gather list goes down as-is, with
+		// no per-chunk vector to build.
+		return vq.WriteAtV(t.base+off, bufs)
+	}
+	vec := make([][]byte, 0, len(bufs))
+	var sent int64
+	i, cur := 0, []byte(nil)
+	for sent < length {
+		vec = vec[:0]
+		var n int64
+		for n < maxChunk {
+			if len(cur) == 0 {
+				if i >= len(bufs) {
+					break
+				}
+				cur = bufs[i]
+				i++
+				continue
+			}
+			if take := maxChunk - n; int64(len(cur)) > take {
+				vec = append(vec, cur[:take])
+				cur = cur[take:]
+				n += take
+			} else {
+				vec = append(vec, cur)
+				n += int64(len(cur))
+				cur = nil
+			}
+		}
+		if n == 0 {
+			break
+		}
+		if err := vq.WriteAtV(t.base+off+sent, vec); err != nil {
+			return err
+		}
+		sent += n
+	}
+	return nil
+}
+
 // Read implements plane.Plane.
 func (t *TCPPlane) Read(p *sim.Proc, off, length int64, cmdUnit int64) ([]byte, error) {
 	if err := t.check(off, length); err != nil {

@@ -35,6 +35,14 @@ const (
 	MetricQPBatchBytes    = "nvmecr_qp_batch_bytes"
 	MetricQPBatchLatency  = "nvmecr_qp_batch_flush_seconds"
 
+	// Polled-path series: ring occupancy is the queue pair's in-flight
+	// slot count (a gauge updated at register/complete), and the
+	// poll-vs-park counters split completion waits between busy-poll
+	// reaps and scheduler parks (only populated with BusyPoll on).
+	MetricQPRingOccupancy = "nvmecr_qp_ring_occupancy"
+	MetricQPPollHits      = "nvmecr_qp_poll_hits_total"
+	MetricQPPollParks     = "nvmecr_qp_poll_parks_total"
+
 	MetricPoolQueuePairs = "nvmecr_pool_queue_pairs"
 
 	MetricTargetCommands = "nvmecr_target_commands_total"
@@ -70,6 +78,10 @@ type qpTelemetry struct {
 	batchCmds     *telemetry.Histogram
 	batchBytes    *telemetry.Histogram
 	batchFlushLat *telemetry.Histogram
+
+	ringOcc   *telemetry.Gauge
+	pollHits  *telemetry.Counter
+	pollParks *telemetry.Counter
 }
 
 // Batch-shape histogram buckets: capsules per flush tops out at the
@@ -104,6 +116,10 @@ func newQPTelemetry(reg *telemetry.Registry, qp int) qpTelemetry {
 		batchCmds:     reg.Histogram(MetricQPBatchCommands, batchCmdBuckets, l),
 		batchBytes:    reg.Histogram(MetricQPBatchBytes, batchByteBuckets, l),
 		batchFlushLat: reg.Histogram(MetricQPBatchLatency, nil, l),
+
+		ringOcc:   reg.Gauge(MetricQPRingOccupancy, l),
+		pollHits:  reg.Counter(MetricQPPollHits, l),
+		pollParks: reg.Counter(MetricQPPollParks, l),
 	}
 }
 
@@ -129,21 +145,23 @@ func hostWirePhase(rtt time.Duration, p *PhaseTimings) time.Duration {
 	return wire
 }
 
-// observe records one completed round trip.
-func (q *qpTelemetry) observe(cmd *Command, resp *Response, err error, elapsed time.Duration) {
+// observe records one completed round trip. It takes the payload size
+// and the response by value so the hot path's stack-allocated state
+// never escapes into the heap just to be counted.
+func (q *qpTelemetry) observe(payload int, resp Response, err error, elapsed time.Duration) {
 	q.commands.Inc()
 	if err != nil {
 		q.errors.Inc()
 		return
 	}
 	q.latency.ObserveDuration(elapsed)
-	if cmd.Data != nil {
-		q.bytesOut.Add(uint64(len(cmd.Data)))
+	if payload > 0 {
+		q.bytesOut.Add(uint64(payload))
 	}
-	if resp != nil && resp.Data != nil {
+	if resp.Data != nil {
 		q.bytesIn.Add(uint64(len(resp.Data)))
 	}
-	if resp != nil && resp.Phases != nil {
+	if resp.Phases != nil {
 		// Same decomposition the nvmeof.cmd span carries: the target's
 		// queue and service phases, and wire as the remainder of the
 		// host-observed round trip.

@@ -29,3 +29,14 @@ type Plane interface {
 	// Size returns the partition size in bytes.
 	Size() int64
 }
+
+// VectorWriter is the optional gather-write extension of Plane: a plane
+// that can store a discontiguous payload at one offset without staging
+// it into a contiguous buffer implements it. Composite planes (striping)
+// type-assert their children and fall back to per-piece Writes when the
+// child cannot gather.
+type VectorWriter interface {
+	// WriteV stores the concatenation of bufs at off. Every buf must be
+	// non-nil (synthetic transfers use Plane.Write with nil data).
+	WriteV(p *sim.Proc, off int64, bufs [][]byte) error
+}

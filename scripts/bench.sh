@@ -8,14 +8,21 @@
 # Runs the transport hot-path benchmarks — BenchmarkHostPool (batched
 # vs unbatched small commands across queue-pair counts),
 # BenchmarkHostPoolDeviceBound (the device-limited regime where
-# batching must be neutral), and BenchmarkStripedPlane (striped vs
-# single-target large transfers) — and emits BENCH_nvmeof.json with
-# ns/op, MB/s, and allocs/op per case.
+# batching must be neutral), BenchmarkStripedPlane (striped vs
+# single-target large transfers), BenchmarkHostPolled (the busy-poll
+# reap knob on a synchronous submitter), and BenchmarkIndexRing (the
+# raw slot-ring cycle) — and emits BENCH_nvmeof.json with ns/op, MB/s,
+# and allocs/op per case.
 #
-# Regression gate: batched throughput must be >= 1.5x unbatched for
-# small (<=4KB) commands at qp>=4. The gate is only enforced on full
-# runs; quick mode prints the ratio but does not fail on it (200ms
-# samples are too noisy to gate on).
+# Regression gates (full runs only; quick mode prints the values but
+# does not fail on them — 200ms samples are too noisy to gate on):
+#   - batched throughput >= 1.5x unbatched for small (<=4KB) commands
+#     at qp>=4
+#   - striped throughput at targets=2 >= 1.1x targets=1 (aggregate
+#     device bandwidth must actually scale)
+#   - batched steady state at qp=4 runs at 0 allocs/op (the polled
+#     zero-copy submission path's contract; counted process-wide,
+#     in-process target included)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,7 +39,7 @@ trap 'rm -f "$raw"' EXIT
 
 echo "== go test -bench (nvmeof hot paths, benchtime=$benchtime)"
 go test ./internal/nvmeof -run '^$' \
-	-bench 'BenchmarkHostPool|BenchmarkStripedPlane' \
+	-bench 'BenchmarkHostPool|BenchmarkHostPolled|BenchmarkStripedPlane|BenchmarkIndexRing' \
 	-benchmem -benchtime "$benchtime" -count=1 | tee "$raw"
 
 # Benchmark lines look like:
@@ -66,7 +73,7 @@ END {
 }' "$raw" > "$out"
 echo "== wrote $out"
 
-# Gate: batched vs unbatched small-command throughput at qp=4.
+# Gate 1: batched vs unbatched small-command throughput at qp=4.
 ratio="$(awk '
 $1 ~ /^BenchmarkHostPool\/qp=4\/batch=false(-[0-9]+)?$/ { for (i=2;i<=NF;i++) if ($i=="MB/s") base=$(i-1) }
 $1 ~ /^BenchmarkHostPool\/qp=4\/batch=true(-[0-9]+)?$/  { for (i=2;i<=NF;i++) if ($i=="MB/s") got=$(i-1) }
@@ -77,4 +84,27 @@ if [ "$gate" = 1 ]; then
 		echo "FAIL: batching regression — ratio ${ratio}x below 1.5x gate" >&2
 		exit 1
 	}
+fi
+
+# Gate 2: striped aggregate bandwidth must scale — two targets beat one.
+stripe="$(awk '
+$1 ~ /^BenchmarkStripedPlane\/targets=1(-[0-9]+)?$/ { for (i=2;i<=NF;i++) if ($i=="MB/s") base=$(i-1) }
+$1 ~ /^BenchmarkStripedPlane\/targets=2(-[0-9]+)?$/ { for (i=2;i<=NF;i++) if ($i=="MB/s") got=$(i-1) }
+END { if (base > 0) printf "%.2f", got / base; else print "0" }' "$raw")"
+echo "== striped targets=2 / targets=1 throughput: ${stripe}x (gate: >= 1.1x)"
+if [ "$gate" = 1 ]; then
+	awk -v r="$stripe" 'BEGIN { exit (r >= 1.1 ? 0 : 1) }' || {
+		echo "FAIL: striping regression — targets=2 at ${stripe}x of a single target, below 1.1x gate" >&2
+		exit 1
+	}
+fi
+
+# Gate 3: the batched steady state allocates nothing per op.
+allocs="$(awk '
+$1 ~ /^BenchmarkHostPool\/qp=4\/batch=true(-[0-9]+)?$/ { for (i=2;i<=NF;i++) if ($i=="allocs/op") a=$(i-1) }
+END { print (a == "" ? "-1" : a) }' "$raw")"
+echo "== batched steady-state allocations at qp=4: ${allocs} allocs/op (gate: 0)"
+if [ "$gate" = 1 ] && [ "$allocs" != 0 ]; then
+	echo "FAIL: zero-copy regression — batched steady state at ${allocs} allocs/op, want 0" >&2
+	exit 1
 fi

@@ -41,6 +41,16 @@ echo "== go test -race (concurrent transport + telemetry)"
 # equivalence property test.
 go test -race ./internal/nvmeof ./internal/telemetry ./internal/balancer
 
+echo "== go test -race (slot ring + registered buffer lifetime)"
+# The polled submission path's lock-free spine and the zero-copy buffer
+# contract, named explicitly so a test rename cannot silently drop
+# them: the MPMC index ring under concurrent push/pop across the
+# ticket-wraparound boundary, and buffer mutate-after-completion safety
+# under batching and merge (a transport goroutine still touching a
+# completed buffer's bytes is a -race failure here). -count=1 defeats
+# the cache so the race detector actually re-executes them.
+go test -race -count=1 -run 'TestIndexRing|TestBuffer' ./internal/nvmeof
+
 echo "== go test -race (runtime core)"
 go test -race ./internal/core
 
