@@ -155,7 +155,7 @@ func jobDump(b *testing.B, opts Options, ranks int, perRank, chunk int64) (float
 		b.Fatal(err)
 	}
 	elapsed, err := job.Run(func(ctx *RankCtx) error {
-		f, err := ctx.FS.Create(ctx.Proc, fmt.Sprintf("/r%04d", ctx.Rank.ID()), 0o644)
+		f, err := ctx.FS.Open(ctx.Proc, fmt.Sprintf("/r%04d", ctx.Rank.ID()), vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			return err
 		}
@@ -210,7 +210,7 @@ func BenchmarkAblationPrivateNamespace(b *testing.B) {
 			const files = 32
 			elapsed, err := job.Run(func(ctx *RankCtx) error {
 				for j := 0; j < files; j++ {
-					f, err := ctx.FS.Create(ctx.Proc, fmt.Sprintf("/f%03d", j), 0o644)
+					f, err := ctx.FS.Open(ctx.Proc, fmt.Sprintf("/f%03d", j), vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 					if err != nil {
 						return err
 					}

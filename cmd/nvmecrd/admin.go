@@ -14,13 +14,15 @@ import (
 	"time"
 
 	"github.com/nvme-cr/nvmecr/internal/nvmeof"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
 )
 
 // startAdmin serves /metrics (Prometheus text exposition of the
 // target's registry), /healthz, /debug/flight (the flight recorder's
-// last commands per queue pair), and the standard pprof endpoints on
-// addr. It returns the bound address (useful with ":0").
-func startAdmin(addr string, tgt *nvmeof.Target) (string, error) {
+// last commands per queue pair), /tenants (the mount table, when
+// -tenants is set), and the standard pprof endpoints on addr. It
+// returns the bound address (useful with ":0").
+func startAdmin(addr string, tgt *nvmeof.Target, mounts *vfs.Namespace) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("admin listener: %w", err)
@@ -56,6 +58,16 @@ func startAdmin(addr string, tgt *nvmeof.Target) (string, error) {
 			log.Printf("nvmecrd: /debug/flight: %v", err)
 		}
 	})
+	if mounts != nil {
+		mux.HandleFunc("/tenants", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(tenantTable(mounts)); err != nil {
+				log.Printf("nvmecrd: /tenants: %v", err)
+			}
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -17,6 +17,7 @@ import (
 
 	"github.com/nvme-cr/nvmecr/internal/model"
 	"github.com/nvme-cr/nvmecr/internal/nvmeof"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
 	qpStats := flag.Bool("qp-stats", false, "also report per-queue-pair stats each interval")
 	admin := flag.String("admin", "", "admin HTTP listen address for /metrics, /healthz, pprof (empty disables)")
+	tenants := flag.String("tenants", "", "comma-separated tenant mounts `name[:quota-mb]`; each gets /tenants/<name> on an in-memory backend, with nvmecr_mount_* series on /metrics and the table on /tenants")
 	flag.Parse()
 
 	tgt := nvmeof.NewTarget()
@@ -36,13 +38,29 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	var mounts *vfs.Namespace
+	if *tenants != "" {
+		ns, err := buildTenantNamespace(tgt.Telemetry(), *tenants)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mounts = ns
+		for _, m := range ns.Mounts() {
+			qb, _ := m.Quota()
+			if qb > 0 {
+				log.Printf("nvmecrd: tenant %s mounted at %s (quota %d MiB)", m.Name(), m.Path(), qb>>20)
+			} else {
+				log.Printf("nvmecrd: tenant %s mounted at %s (no quota)", m.Name(), m.Path())
+			}
+		}
+	}
 	bound, err := tgt.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("nvmecrd: serving %d namespaces of %d MiB on %s", *count, *sizeMB, bound)
 	if *admin != "" {
-		adminAddr, err := startAdmin(*admin, tgt)
+		adminAddr, err := startAdmin(*admin, tgt, mounts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,74 @@
+// Tenant mount table: -tenants provisions a vfs.Namespace inside the
+// daemon, one mount per tenant on an in-memory backend with an optional
+// byte quota. The mounts' nvmecr_mount_* series live in the target's
+// telemetry registry, so /metrics exposes per-tenant usage alongside
+// the wire counters, and /tenants reports the mount table as JSON.
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/telemetry"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+// buildTenantNamespace parses "name[:quota-mb],..." and mounts each
+// tenant at /tenants/<name>.
+func buildTenantNamespace(reg *telemetry.Registry, spec string) (*vfs.Namespace, error) {
+	ns := vfs.NewNamespace(reg)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, quota := part, int64(0)
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			name = part[:i]
+			mb, err := strconv.ParseInt(part[i+1:], 10, 64)
+			if err != nil || mb <= 0 {
+				return nil, fmt.Errorf("tenant %q: quota must be a positive MiB count", part)
+			}
+			quota = mb * model.MB
+		}
+		if name == "" || strings.ContainsAny(name, "/ ") {
+			return nil, fmt.Errorf("tenant name %q: must be non-empty without '/' or spaces", name)
+		}
+		if _, err := ns.Mount(vfs.MountConfig{
+			Path:       "/tenants/" + name,
+			Backend:    vfs.NewMemBackend(),
+			Name:       name,
+			QuotaBytes: quota,
+		}); err != nil {
+			return nil, fmt.Errorf("tenant %q: %w", name, err)
+		}
+	}
+	if len(ns.Mounts()) == 0 {
+		return nil, fmt.Errorf("-tenants %q: no tenants", spec)
+	}
+	return ns, nil
+}
+
+// tenantStatus is one /tenants row.
+type tenantStatus struct {
+	Name       string `json:"name"`
+	Path       string `json:"path"`
+	QuotaBytes int64  `json:"quota_bytes,omitempty"`
+	BytesUsed  int64  `json:"bytes_used"`
+	InodesUsed int64  `json:"inodes_used"`
+}
+
+func tenantTable(ns *vfs.Namespace) []tenantStatus {
+	var out []tenantStatus
+	for _, m := range ns.Mounts() {
+		b, i := m.Usage()
+		qb, _ := m.Quota()
+		out = append(out, tenantStatus{
+			Name: m.Name(), Path: m.Path(), QuotaBytes: qb,
+			BytesUsed: b, InodesUsed: i,
+		})
+	}
+	return out
+}

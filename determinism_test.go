@@ -31,7 +31,7 @@ func runDeterministicJob(t *testing.T) (time.Duration, []time.Duration) {
 			return err
 		}
 		for step := 0; step < 3; step++ {
-			f, err := ctx.FS.Create(p, fmt.Sprintf("/ckpt/s%02d.tmp", step), 0o644)
+			f, err := ctx.FS.Open(p, fmt.Sprintf("/ckpt/s%02d.tmp", step), vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 			if err != nil {
 				return err
 			}
@@ -57,7 +57,7 @@ func runDeterministicJob(t *testing.T) (time.Duration, []time.Duration) {
 		if len(entries) != 3 {
 			return fmt.Errorf("rank %d sees %d entries", me, len(entries))
 		}
-		g, err := ctx.FS.Open(p, entries[len(entries)-1].Path, vfs.ReadOnly)
+		g, err := ctx.FS.Open(p, entries[len(entries)-1].Path, vfs.O_RDONLY, 0)
 		if err != nil {
 			return err
 		}

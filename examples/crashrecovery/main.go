@@ -64,7 +64,7 @@ func main() {
 			path := fmt.Sprintf("/ckpt/step%03d.dat", step)
 			data := bytes.Repeat([]byte{byte('A' + step)}, (step+1)*256*1024)
 			payloads[path] = data
-			f, err := inst.Create(p, path, 0o644)
+			f, err := inst.Open(p, path, vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -92,7 +92,7 @@ func main() {
 			log.Fatalf("recovery failed: %v", err)
 		}
 		for path, want := range payloads {
-			f, err := fresh.Open(p, path, vfs.ReadOnly)
+			f, err := fresh.Open(p, path, vfs.O_RDONLY, 0)
 			if err != nil {
 				log.Fatalf("post-crash open %s: %v", path, err)
 			}
@@ -107,7 +107,7 @@ func main() {
 		fmt.Printf("recovery replayed the post-snapshot log suffix; runtime is live again\n")
 
 		// Phase 3: the recovered instance keeps serving.
-		f, err := fresh.Create(p, "/ckpt/step100.dat", 0o644)
+		f, err := fresh.Open(p, "/ckpt/step100.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			log.Fatal(err)
 		}

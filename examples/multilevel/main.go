@@ -106,7 +106,7 @@ func main() {
 		world.Comm().Barrier(p, r)
 		start := p.Now()
 		path := fmt.Sprintf("/rank%05d.ckpt%04d.dat", me, 9)
-		f, err := second[me].Open(p, path, vfs.ReadOnly)
+		f, err := second[me].Open(p, path, vfs.O_RDONLY, 0)
 		if err != nil {
 			errs[me] = fmt.Errorf("PFS fallback open: %w", err)
 			return

@@ -28,7 +28,7 @@ func main() {
 		if err := ctx.FS.Mkdir(p, "/ckpt", 0o755); err != nil {
 			return err
 		}
-		f, err := ctx.FS.Create(p, "/ckpt/state.dat", 0o644)
+		f, err := ctx.FS.Open(p, "/ckpt/state.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			return err
 		}
@@ -47,7 +47,7 @@ func main() {
 		}
 
 		// Restart path: read the checkpoint back and verify.
-		g, err := ctx.FS.Open(p, "/ckpt/state.dat", vfs.ReadOnly)
+		g, err := ctx.FS.Open(p, "/ckpt/state.dat", vfs.O_RDONLY, 0)
 		if err != nil {
 			return err
 		}

@@ -87,7 +87,7 @@ func TestOrangeFSStripesEvenly(t *testing.T) {
 	fs := NewOrangeFS(backend, model.Default())
 	client := fs.NewClient(cl.ComputeNodes()[0])
 	env.Go("writer", func(p *sim.Proc) {
-		f, err := client.Create(p, "/big.dat", 0o644)
+		f, err := client.Open(p, "/big.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			t.Error(err)
 			return
@@ -113,7 +113,7 @@ func TestGlusterFSImbalanceAtLowConcurrency(t *testing.T) {
 		client := fs.NewClient(cl.ComputeNodes()[0])
 		env.Go("writer", func(p *sim.Proc) {
 			for i := 0; i < files; i++ {
-				f, err := client.Create(p, fmt.Sprintf("/f%04d", i), 0o644)
+				f, err := client.Open(p, fmt.Sprintf("/f%04d", i), vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 				if err != nil {
 					t.Error(err)
 					return
@@ -147,7 +147,7 @@ func TestCreateStormSerializesAtDirectoryServer(t *testing.T) {
 			i := i
 			client := fs.NewClient(cl.ComputeNodes()[i%16])
 			env.Go("creator", func(p *sim.Proc) {
-				f, err := client.Create(p, fmt.Sprintf("/ckpt/file%05d", i), 0o644)
+				f, err := client.Open(p, fmt.Sprintf("/ckpt/file%05d", i), vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 				if err != nil {
 					t.Error(err)
 					return
@@ -183,7 +183,7 @@ func TestDistWriteReadRoundTrip(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		f, err := client.Create(p, "/d/x", 0o644)
+		f, err := client.Open(p, "/d/x", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			t.Error(err)
 			return
@@ -193,7 +193,7 @@ func TestDistWriteReadRoundTrip(t *testing.T) {
 		}
 		f.Fsync(p)
 		f.Close(p)
-		g, err := client.Open(p, "/d/x", vfs.ReadOnly)
+		g, err := client.Open(p, "/d/x", vfs.O_RDONLY, 0)
 		if err != nil {
 			t.Error(err)
 			return
@@ -205,10 +205,10 @@ func TestDistWriteReadRoundTrip(t *testing.T) {
 		}
 		g.Close(p)
 		// Namespace errors.
-		if _, err := client.Create(p, "/d/x", 0o644); err != vfs.ErrExist {
+		if _, err := client.Open(p, "/d/x", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644); err != vfs.ErrExist {
 			t.Errorf("duplicate create: %v", err)
 		}
-		if _, err := client.Open(p, "/nope", vfs.ReadOnly); err != vfs.ErrNotExist {
+		if _, err := client.Open(p, "/nope", vfs.O_RDONLY, 0); err != vfs.ErrNotExist {
 			t.Errorf("open missing: %v", err)
 		}
 		if err := client.Unlink(p, "/d/x"); err != nil {
@@ -250,7 +250,7 @@ func TestCrailSingleServerOnly(t *testing.T) {
 	}
 	client := crail.NewClient(cl.ComputeNodes()[0])
 	env.Go("w", func(p *sim.Proc) {
-		f, err := client.Create(p, "/c", 0o644)
+		f, err := client.Open(p, "/c", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			t.Error(err)
 			return
@@ -281,7 +281,7 @@ func TestKernelFSExt4SlowerThanXFS(t *testing.T) {
 		for i, c := range clients {
 			i, c := i, c
 			env.Go("proc", func(p *sim.Proc) {
-				f, err := c.Create(p, fmt.Sprintf("/ckpt%02d", i), 0o644)
+				f, err := c.Open(p, fmt.Sprintf("/ckpt%02d", i), vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 				if err != nil {
 					t.Error(err)
 					return
@@ -321,7 +321,7 @@ func TestKernelFSContentRoundTrip(t *testing.T) {
 	c := fs.NewClient()
 	payload := []byte("kernel filesystem payload")
 	env.Go("rw", func(p *sim.Proc) {
-		f, err := c.Create(p, "/f", 0o644)
+		f, err := c.Open(p, "/f", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			t.Error(err)
 			return
@@ -329,7 +329,7 @@ func TestKernelFSContentRoundTrip(t *testing.T) {
 		f.Write(p, payload)
 		f.Fsync(p)
 		f.Close(p)
-		g, _ := c.Open(p, "/f", vfs.ReadOnly)
+		g, _ := c.Open(p, "/f", vfs.O_RDONLY, 0)
 		buf := make([]byte, len(payload))
 		n, _ := g.Read(p, buf)
 		if n != len(payload) || !bytes.Equal(buf, payload) {
@@ -356,7 +356,7 @@ func TestSPDKRawBandwidth(t *testing.T) {
 			t.Fatal(err)
 		}
 		env.Go("w", func(p *sim.Proc) {
-			f, _ := c.Create(p, "/r", 0o644)
+			f, _ := c.Open(p, "/r", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 			vfs.WriteAllN(p, f, 512*model.MB, 4*model.MB)
 			f.Close(p)
 		})
@@ -403,7 +403,7 @@ func TestLustreBandwidthCeiling(t *testing.T) {
 		i := i
 		c := fs.NewClient(cl.ComputeNodes()[i%16])
 		env.Go("w", func(p *sim.Proc) {
-			f, err := c.Create(p, fmt.Sprintf("/l%02d", i), 0o644)
+			f, err := c.Open(p, fmt.Sprintf("/l%02d", i), vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 			if err != nil {
 				t.Error(err)
 				return

@@ -1,0 +1,25 @@
+package baseline
+
+import (
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+// Deprecated Create entry points, kept one release for out-of-repo
+// callers of the old vfs.Client API; scripts/verify.sh rejects new
+// in-repo callers. Each is Open with O_WRONLY|O_CREATE|O_EXCL.
+
+// Deprecated: use Open with vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL.
+func (c *kernelClient) Create(p *sim.Proc, path string, mode uint32) (vfs.File, error) {
+	return c.Open(p, path, vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, mode)
+}
+
+// Deprecated: use Open with vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL.
+func (c *distClient) Create(p *sim.Proc, path string, mode uint32) (vfs.File, error) {
+	return c.Open(p, path, vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, mode)
+}
+
+// Deprecated: use Open with vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL.
+func (c *rawClient) Create(p *sim.Proc, path string, mode uint32) (vfs.File, error) {
+	return c.Open(p, path, vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, mode)
+}

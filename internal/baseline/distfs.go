@@ -49,6 +49,7 @@ type DistFS struct {
 type dfile struct {
 	size    int64
 	content []byte // optional real payload for functional tests
+	mtime   time.Duration
 }
 
 func newDistFS(backend *Backend, place placement, params distParams) *DistFS {
@@ -123,44 +124,48 @@ func (c *distClient) Mkdir(p *sim.Proc, path string, mode uint32) error {
 	return nil
 }
 
-// Create implements vfs.Client.
-func (c *distClient) Create(p *sim.Proc, path string, mode uint32) (vfs.File, error) {
-	c.clientOp(p)
-	path, err := normPath(path)
-	if err != nil {
-		return nil, err
-	}
-	if _, ok := c.fs.files[path]; ok {
-		return nil, vfs.ErrExist
-	}
-	if !c.fs.dirs[parentDir(path)] {
-		return nil, vfs.ErrNotExist
-	}
-	// Every create updates the shared parent directory at its home
-	// metadata server — the serialization the paper measures in
-	// Figure 8b.
-	c.metaRTT(p, path, c.fs.params.createService, c.fs.params.inodeBytes)
-	f := &dfile{}
-	c.fs.files[path] = f
-	return &distFile{client: c, path: path, file: f, writable: true}, nil
-}
-
-// Open implements vfs.Client.
-func (c *distClient) Open(p *sim.Proc, path string, flags vfs.OpenFlags) (vfs.File, error) {
+// Open implements vfs.Backend.
+func (c *distClient) Open(p *sim.Proc, path string, flags vfs.OpenFlags, mode uint32) (vfs.File, error) {
 	c.clientOp(p)
 	path, err := normPath(path)
 	if err != nil {
 		return nil, err
 	}
 	f, ok := c.fs.files[path]
-	if !ok {
+	switch {
+	case ok:
+		if flags.Has(vfs.O_CREATE) && flags.Has(vfs.O_EXCL) {
+			return nil, vfs.ErrExist
+		}
+		c.metaRTT(p, path, c.fs.params.lookupService, 0)
+		if flags.Has(vfs.O_TRUNC) && flags.Writable() && f.size > 0 {
+			c.metaRTT(p, path, c.fs.params.createService, 0)
+			f.size, f.content, f.mtime = 0, nil, p.Now()
+		}
+	case flags.Has(vfs.O_CREATE):
+		if c.fs.dirs[path] {
+			return nil, vfs.ErrIsDir
+		}
+		if !c.fs.dirs[parentDir(path)] {
+			return nil, vfs.ErrNotExist
+		}
+		// Every create updates the shared parent directory at its home
+		// metadata server — the serialization the paper measures in
+		// Figure 8b.
+		c.metaRTT(p, path, c.fs.params.createService, c.fs.params.inodeBytes)
+		f = &dfile{mtime: p.Now()}
+		c.fs.files[path] = f
+	default:
 		if c.fs.dirs[path] {
 			return nil, vfs.ErrIsDir
 		}
 		return nil, vfs.ErrNotExist
 	}
-	c.metaRTT(p, path, c.fs.params.lookupService, 0)
-	return &distFile{client: c, path: path, file: f, writable: flags == vfs.WriteOnly}, nil
+	df := &distFile{client: c, path: path, file: f, writable: flags.Writable(), readable: flags.Readable()}
+	if flags.Has(vfs.O_APPEND) {
+		df.pos = f.size
+	}
+	return df, nil
 }
 
 // Unlink implements vfs.Client.
@@ -193,7 +198,7 @@ func (c *distClient) Stat(p *sim.Proc, path string) (vfs.FileInfo, error) {
 		return vfs.FileInfo{}, vfs.ErrNotExist
 	}
 	c.metaRTT(p, path, c.fs.params.lookupService, 0)
-	return vfs.FileInfo{Path: path, Size: f.size}, nil
+	return vfs.FileInfo{Path: path, Size: f.size, ModTime: f.mtime}, nil
 }
 
 // distFile is an open handle.
@@ -203,6 +208,7 @@ type distFile struct {
 	file     *dfile
 	pos      int64
 	writable bool
+	readable bool
 	closed   bool
 }
 
@@ -262,6 +268,7 @@ func (f *distFile) writeN(p *sim.Proc, n int64) (int64, error) {
 	if f.pos > f.file.size {
 		f.file.size = f.pos
 	}
+	f.file.mtime = p.Now()
 	return n, nil
 }
 
@@ -285,6 +292,9 @@ func (f *distFile) readN(p *sim.Proc, n int64) (int64, error) {
 	c := f.client
 	if f.closed {
 		return 0, vfs.ErrClosed
+	}
+	if !f.readable {
+		return 0, vfs.ErrWriteOnly
 	}
 	if f.pos >= f.file.size {
 		return 0, nil

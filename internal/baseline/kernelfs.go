@@ -49,6 +49,7 @@ type KernelFS struct {
 type kfile struct {
 	size    int64
 	content []byte
+	mtime   time.Duration
 }
 
 // NewKernelFS formats a kernel filesystem over a whole device.
@@ -138,40 +139,44 @@ func (c *kernelClient) Mkdir(p *sim.Proc, path string, mode uint32) error {
 	return nil
 }
 
-// Create implements vfs.Client.
-func (c *kernelClient) Create(p *sim.Proc, path string, mode uint32) (vfs.File, error) {
-	c.trap(p)
-	path, err := normPath(path)
-	if err != nil {
-		return nil, err
-	}
-	if _, ok := c.fs.files[path]; ok {
-		return nil, vfs.ErrExist
-	}
-	if !c.fs.dirs[parentDir(path)] {
-		return nil, vfs.ErrNotExist
-	}
-	c.journalWork(p, c.fs.k.Ext4PerBlock)
-	f := &kfile{}
-	c.fs.files[path] = f
-	return &kernelFile{client: c, file: f, writable: true}, nil
-}
-
-// Open implements vfs.Client.
-func (c *kernelClient) Open(p *sim.Proc, path string, flags vfs.OpenFlags) (vfs.File, error) {
+// Open implements vfs.Backend.
+func (c *kernelClient) Open(p *sim.Proc, path string, flags vfs.OpenFlags, mode uint32) (vfs.File, error) {
 	c.trap(p)
 	path, err := normPath(path)
 	if err != nil {
 		return nil, err
 	}
 	f, ok := c.fs.files[path]
-	if !ok {
+	switch {
+	case ok:
+		if flags.Has(vfs.O_CREATE) && flags.Has(vfs.O_EXCL) {
+			return nil, vfs.ErrExist
+		}
+		if flags.Has(vfs.O_TRUNC) && flags.Writable() && f.size > 0 {
+			c.journalWork(p, c.fs.k.Ext4PerBlock)
+			f.size, f.content, f.mtime = 0, nil, p.Now()
+		}
+	case flags.Has(vfs.O_CREATE):
+		if c.fs.dirs[path] {
+			return nil, vfs.ErrIsDir
+		}
+		if !c.fs.dirs[parentDir(path)] {
+			return nil, vfs.ErrNotExist
+		}
+		c.journalWork(p, c.fs.k.Ext4PerBlock)
+		f = &kfile{mtime: p.Now()}
+		c.fs.files[path] = f
+	default:
 		if c.fs.dirs[path] {
 			return nil, vfs.ErrIsDir
 		}
 		return nil, vfs.ErrNotExist
 	}
-	return &kernelFile{client: c, file: f, writable: flags == vfs.WriteOnly}, nil
+	kf := &kernelFile{client: c, file: f, writable: flags.Writable(), readable: flags.Readable()}
+	if flags.Has(vfs.O_APPEND) {
+		kf.pos = f.size
+	}
+	return kf, nil
 }
 
 // Unlink implements vfs.Client.
@@ -203,7 +208,7 @@ func (c *kernelClient) Stat(p *sim.Proc, path string) (vfs.FileInfo, error) {
 	if !ok {
 		return vfs.FileInfo{}, vfs.ErrNotExist
 	}
-	return vfs.FileInfo{Path: path, Size: f.size}, nil
+	return vfs.FileInfo{Path: path, Size: f.size, ModTime: f.mtime}, nil
 }
 
 type kernelFile struct {
@@ -211,6 +216,7 @@ type kernelFile struct {
 	file     *kfile
 	pos      int64
 	writable bool
+	readable bool
 	closed   bool
 }
 
@@ -269,6 +275,7 @@ func (f *kernelFile) writeN(p *sim.Proc, n int64) (int64, error) {
 	if f.pos > f.file.size {
 		f.file.size = f.pos
 	}
+	f.file.mtime = p.Now()
 	return n, nil
 }
 
@@ -292,6 +299,9 @@ func (f *kernelFile) readN(p *sim.Proc, n int64) (int64, error) {
 	c := f.client
 	if f.closed {
 		return 0, vfs.ErrClosed
+	}
+	if !f.readable {
+		return 0, vfs.ErrWriteOnly
 	}
 	if f.pos >= f.file.size {
 		return 0, nil

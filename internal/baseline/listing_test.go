@@ -17,7 +17,7 @@ func TestDistRenameAndReadDir(t *testing.T) {
 	env.Go("t", func(p *sim.Proc) {
 		c.Mkdir(p, "/d", 0o755)
 		for i := 0; i < 3; i++ {
-			f, err := c.Create(p, fmt.Sprintf("/d/f%d", i), 0o644)
+			f, err := c.Open(p, fmt.Sprintf("/d/f%d", i), vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -70,7 +70,7 @@ func TestKernelFSRenameAndReadDir(t *testing.T) {
 	}
 	c := fs.NewClient()
 	env.Go("t", func(p *sim.Proc) {
-		f, _ := c.Create(p, "/tmp.0", 0o644)
+		f, _ := c.Open(p, "/tmp.0", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		f.WriteN(p, 4096)
 		f.Close(p)
 		if err := c.Rename(p, "/tmp.0", "/final"); err != nil {
@@ -96,7 +96,7 @@ func TestRawClientRenameAndReadDir(t *testing.T) {
 		t.Fatal(err)
 	}
 	env.Go("t", func(p *sim.Proc) {
-		f, _ := c.Create(p, "/r0", 0o644)
+		f, _ := c.Open(p, "/r0", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		f.WriteN(p, 1024)
 		f.Close(p)
 		if err := c.Rename(p, "/r0", "/r1"); err != nil {

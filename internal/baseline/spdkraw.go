@@ -52,22 +52,32 @@ func (c *rawClient) Account() *vfs.Account { return c.acct }
 // Mkdir implements vfs.Client (no-op: raw blocks have no namespace).
 func (c *rawClient) Mkdir(p *sim.Proc, path string, mode uint32) error { return nil }
 
-// Create implements vfs.Client.
-func (c *rawClient) Create(p *sim.Proc, path string, mode uint32) (vfs.File, error) {
-	if c.sizes == nil {
-		c.sizes = map[string]int64{}
-	}
-	base := c.pos
-	return &rawFile{client: c, path: path, base: base, writable: true}, nil
-}
-
-// Open implements vfs.Client.
-func (c *rawClient) Open(p *sim.Proc, path string, flags vfs.OpenFlags) (vfs.File, error) {
+// Open implements vfs.Backend. Raw blocks carry no modification times;
+// FileInfo.ModTime stays zero.
+func (c *rawClient) Open(p *sim.Proc, path string, flags vfs.OpenFlags, mode uint32) (vfs.File, error) {
 	size, ok := c.sizes[path]
-	if !ok {
+	switch {
+	case ok:
+		if flags.Has(vfs.O_CREATE) && flags.Has(vfs.O_EXCL) {
+			return nil, vfs.ErrExist
+		}
+		f := &rawFile{client: c, path: path, base: 0, size: size, writable: flags.Writable(), readable: flags.Readable()}
+		if flags.Has(vfs.O_TRUNC) && flags.Writable() {
+			f.size = 0
+			c.sizes[path] = 0
+		}
+		if flags.Has(vfs.O_APPEND) {
+			f.pos = f.size
+		}
+		return f, nil
+	case flags.Has(vfs.O_CREATE):
+		if c.sizes == nil {
+			c.sizes = map[string]int64{}
+		}
+		return &rawFile{client: c, path: path, base: c.pos, writable: flags.Writable(), readable: flags.Readable()}, nil
+	default:
 		return nil, vfs.ErrNotExist
 	}
-	return &rawFile{client: c, path: path, base: 0, size: size, writable: flags == vfs.WriteOnly}, nil
 }
 
 // Unlink implements vfs.Client.
@@ -92,6 +102,7 @@ type rawFile struct {
 	pos      int64
 	size     int64
 	writable bool
+	readable bool
 	closed   bool
 }
 
@@ -131,6 +142,9 @@ func (f *rawFile) Read(p *sim.Proc, buf []byte) (int, error) {
 func (f *rawFile) ReadN(p *sim.Proc, n int64) (int64, error) {
 	if f.closed {
 		return 0, vfs.ErrClosed
+	}
+	if !f.readable {
+		return 0, vfs.ErrWriteOnly
 	}
 	if f.pos >= f.size {
 		return 0, nil

@@ -183,7 +183,7 @@ func (a *App) RankBody(r *mpi.Rank, p *sim.Proc) error {
 			target = a.second[me]
 		}
 		path := fmt.Sprintf("/rank%05d.ckpt%04d.dat", me, ckpt)
-		f, err := target.Create(p, path, 0o644)
+		f, err := target.Open(p, path, vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			return fmt.Errorf("rank %d ckpt %d: %w", me, ckpt, err)
 		}
@@ -240,7 +240,7 @@ func (a *App) Recover(r *mpi.Rank, p *sim.Proc, recovered *time.Duration) error 
 		}
 	}
 	path := fmt.Sprintf("/rank%05d.ckpt%04d.dat", me, last)
-	f, err := a.clients[me].Open(p, path, vfs.ReadOnly)
+	f, err := a.clients[me].Open(p, path, vfs.O_RDONLY, 0)
 	if err != nil {
 		return fmt.Errorf("rank %d recover: %w", me, err)
 	}

@@ -259,7 +259,7 @@ func crashPropIteration(t *testing.T, seed int64) {
 				path := fmt.Sprintf("/ckpt/rank%03d-step%06d-%s.chk",
 					nextIdx, nextIdx*100+7, strings.Repeat("x", rng.Intn(120)))
 				issued[path] = true
-				f, err := inst.Create(p, path, 0o644)
+				f, err := inst.Open(p, path, vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 				if oops("create "+path, err) {
 					break
 				}
@@ -401,7 +401,7 @@ func crashPropIteration(t *testing.T, seed int64) {
 			if pf.size == 0 {
 				return nil
 			}
-			f, err := rec.Open(p, path, vfs.ReadOnly)
+			f, err := rec.Open(p, path, vfs.O_RDONLY, 0)
 			if err != nil {
 				return fmt.Errorf("open: %w", err)
 			}

@@ -39,7 +39,7 @@ func TestStorageNodeFailureSurfacesAsIOError(t *testing.T) {
 			return
 		}
 		// First checkpoint succeeds everywhere.
-		f, err := c.Create(p, "/ckpt0", 0o644)
+		f, err := c.Open(p, "/ckpt0", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			t.Errorf("rank %d ckpt0: %v", me, err)
 			return
@@ -54,7 +54,7 @@ func TestStorageNodeFailureSurfacesAsIOError(t *testing.T) {
 		world.Comm().Barrier(p, r)
 		// Second checkpoint: ranks on the failed SSD must error; the
 		// rest must succeed.
-		f, err = c.Create(p, "/ckpt1", 0o644)
+		f, err = c.Open(p, "/ckpt1", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		var werr error
 		if err == nil {
 			_, werr = f.WriteN(p, 1<<20)
@@ -92,12 +92,12 @@ func TestCacheBytesSpeedsRepeatedReads(t *testing.T) {
 				t.Errorf("rank %d: %v", r.ID(), err)
 				return
 			}
-			f, _ := c.Create(p, "/data", 0o644)
+			f, _ := c.Open(p, "/data", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 			f.WriteN(p, 8<<20)
 			f.Close(p)
 			// Two full read passes: the second hits the cache.
 			for pass := 0; pass < 2; pass++ {
-				g, err := c.Open(p, "/data", vfs.ReadOnly)
+				g, err := c.Open(p, "/data", vfs.O_RDONLY, 0)
 				if err != nil {
 					t.Error(err)
 					return

@@ -328,6 +328,29 @@ func (rt *Runtime) Finalize(p *sim.Proc, r *mpi.Rank) error {
 // InitRank).
 func (rt *Runtime) Client(rank int) *Client { return rt.clients[rank] }
 
+// Namespace assembles a multi-tenant vfs.Namespace over the initialized
+// ranks: rank r's private microfs is mounted at /rank%04d with its rank
+// id as the telemetry label. Call after every rank has run InitRank;
+// reg may be nil to skip per-mount telemetry. The mounts share the
+// ranks' backends, so traffic through the namespace is charged to the
+// owning rank's account exactly as direct client calls are.
+func (rt *Runtime) Namespace(reg *telemetry.Registry) (*vfs.Namespace, error) {
+	ns := vfs.NewNamespace(reg)
+	for rank, c := range rt.clients {
+		if c == nil {
+			return nil, fmt.Errorf("core: rank %d not initialized; call Namespace after InitRank", rank)
+		}
+		if _, err := ns.Mount(vfs.MountConfig{
+			Path:    fmt.Sprintf("/rank%04d", rank),
+			Backend: c,
+			Name:    fmt.Sprintf("rank%04d", rank),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return ns, nil
+}
+
 // JobStats aggregates per-instance accounting for the paper's Table I.
 type JobStats struct {
 	// MetaStorageBytes is SSD space holding logs + metadata snapshots,

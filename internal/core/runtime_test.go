@@ -67,7 +67,7 @@ func TestJobInitAndCheckpoint(t *testing.T) {
 			return
 		}
 		path := fmt.Sprintf("/ckpt-rank%04d.dat", r.ID())
-		f, err := c.Create(p, path, 0o644)
+		f, err := c.Open(p, path, vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			t.Errorf("rank %d create: %v", r.ID(), err)
 			return
@@ -191,7 +191,7 @@ func TestRemoteDataIntegrity(t *testing.T) {
 			t.Errorf("rank %d: %v", r.ID(), err)
 			return
 		}
-		f, err := c.Create(p, "/state.dat", 0o644)
+		f, err := c.Open(p, "/state.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			t.Error(err)
 			return
@@ -215,7 +215,7 @@ func TestRemoteDataIntegrity(t *testing.T) {
 			t.Errorf("rank %d recover: %v", r.ID(), err)
 			return
 		}
-		g, err := inst2.Open(p, "/state.dat", vfs.ReadOnly)
+		g, err := inst2.Open(p, "/state.dat", vfs.O_RDONLY, 0)
 		if err != nil {
 			t.Errorf("rank %d reopen: %v", r.ID(), err)
 			return
@@ -273,7 +273,7 @@ func TestEfficiencyAtScaleIsHigh(t *testing.T) {
 		if r.ID() == 0 {
 			start = p.Now()
 		}
-		f, err := c.Create(p, fmt.Sprintf("/ckpt%04d", r.ID()), 0o644)
+		f, err := c.Open(p, fmt.Sprintf("/ckpt%04d", r.ID()), vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			t.Error(err)
 			return
@@ -311,7 +311,7 @@ func TestKernelModeChargesKernelTime(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		f, _ := c.Create(p, "/f", 0o644)
+		f, _ := c.Open(p, "/f", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		f.WriteN(p, 1*model.MB)
 		f.Close(p)
 		_, kernel, _ := c.Account().Totals()

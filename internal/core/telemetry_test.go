@@ -31,7 +31,7 @@ func TestRuntimeTelemetry(t *testing.T) {
 			t.Errorf("rank %d init: %v", r.ID(), err)
 			return
 		}
-		f, err := c.Create(p, fmt.Sprintf("/ckpt-rank%04d.dat", r.ID()), 0o644)
+		f, err := c.Open(p, fmt.Sprintf("/ckpt-rank%04d.dat", r.ID()), vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			t.Errorf("rank %d create: %v", r.ID(), err)
 			return

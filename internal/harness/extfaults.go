@@ -181,7 +181,7 @@ func extFaultsRound(sc faultScenario, seed int64) (int, error) {
 				// make log records straddle page boundaries.
 				path := fmt.Sprintf("/ckpt/rank%03d-step%06d-%s.chk",
 					nextIdx, nextIdx*100, strings.Repeat("x", rng.Intn(120)))
-				f, err := inst.Create(p, path, 0o644)
+				f, err := inst.Open(p, path, vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 				if oops(err) {
 					break
 				}
@@ -251,7 +251,7 @@ func extFaultsRound(sc faultScenario, seed int64) (int, error) {
 			if size == 0 {
 				continue
 			}
-			f, err := rec.Open(p, path, vfs.ReadOnly)
+			f, err := rec.Open(p, path, vfs.O_RDONLY, 0)
 			if err != nil {
 				verr = fmt.Errorf("open %s: %v\n%s", path, err, plan.FormatTrace())
 				return

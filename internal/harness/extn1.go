@@ -136,7 +136,7 @@ func n1OverGluster(procs int, perRank int64) (float64, error) {
 		if me == 0 {
 			start = p.Now()
 			// Rank 0 creates the shared file; everyone else opens it.
-			f, err := clients[0].Create(p, "/shared.ckpt", 0o644)
+			f, err := clients[0].Open(p, "/shared.ckpt", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 			if err != nil {
 				errs[me] = err
 				return
@@ -144,7 +144,7 @@ func n1OverGluster(procs int, perRank int64) (float64, error) {
 			f.Close(p)
 		}
 		r.world.Comm().Barrier(p, rank)
-		f, err := clients[me].Open(p, "/shared.ckpt", vfs.WriteOnly)
+		f, err := clients[me].Open(p, "/shared.ckpt", vfs.O_WRONLY, 0)
 		if err != nil {
 			errs[me] = err
 			return

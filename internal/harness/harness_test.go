@@ -35,7 +35,7 @@ func cell(t *testing.T, tab *Table, row, col int) float64 {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"extfaults", "extmtbf", "extn1", "fig1", "fig7a", "fig7b", "fig7c", "fig7d", "fig8a", "fig8b", "fig9strong", "fig9weak", "tab1", "tab2"}
+	want := []string{"extfaults", "extmt", "extmtbf", "extn1", "fig1", "fig7a", "fig7b", "fig7c", "fig7d", "fig8a", "fig8b", "fig9strong", "fig9weak", "tab1", "tab2"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v, want %v", got, want)
@@ -289,5 +289,34 @@ func TestTablePrint(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("printed table missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestExtMTIsolation(t *testing.T) {
+	// The acceptance pin for the multi-tenant namespace: one harness
+	// run, two tenants on different backends under one vfs.Namespace; a
+	// quota breach on the memory mount returns ErrNoSpace (the runner
+	// fails otherwise) while the striped-microfs tenant's traffic and
+	// nvmecr_mount_* series stay clean.
+	tab := runQuick(t, "extmt")
+	if len(tab.Rows) != 2 {
+		t.Fatalf("extmt rows = %d, want 2 tenants", len(tab.Rows))
+	}
+	byName := map[string][]string{}
+	for _, row := range tab.Rows {
+		byName[row[0]] = row
+	}
+	alpha, beta := byName["alpha"], byName["beta"]
+	if alpha == nil || beta == nil {
+		t.Fatalf("missing tenant rows: %v", tab.Rows)
+	}
+	if alpha[4] != "0" || alpha[5] != "false" {
+		t.Errorf("alpha saw quota pressure: %v", alpha)
+	}
+	if beta[4] == "0" || beta[5] != "true" {
+		t.Errorf("beta should have breached its quota: %v", beta)
+	}
+	if aw := cell(t, tab, 0, 3); aw <= 0 {
+		t.Errorf("alpha wrote no bytes: %v", alpha)
 	}
 }

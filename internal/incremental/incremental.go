@@ -68,13 +68,9 @@ func (w *Writer) Checkpoint(p *sim.Proc, path string, state []byte) (int64, erro
 	first := prev == nil
 	shrunk := w.sizes[path] > int64(len(state))
 
-	var f vfs.File
-	var err error
-	if first {
-		f, err = w.client.Create(p, path, 0o644)
-	} else {
-		f, err = w.client.Open(p, path, vfs.WriteOnly)
-	}
+	// Create on first use, then rewrite dirty pages in place — never
+	// O_TRUNC, as clean pages from the previous epoch must survive.
+	f, err := w.client.Open(p, path, vfs.O_WRONLY|vfs.O_CREATE, 0o644)
 	if err != nil {
 		return 0, fmt.Errorf("incremental: %s: %w", path, err)
 	}
@@ -141,7 +137,7 @@ func (w *Writer) Read(p *sim.Proc, path string) ([]byte, error) {
 	if !ok {
 		return nil, vfs.ErrNotExist
 	}
-	f, err := w.client.Open(p, path, vfs.ReadOnly)
+	f, err := w.client.Open(p, path, vfs.O_RDONLY, 0)
 	if err != nil {
 		return nil, err
 	}

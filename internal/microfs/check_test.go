@@ -15,7 +15,7 @@ func TestCheckCleanPartition(t *testing.T) {
 	r.run(t, func(p *sim.Proc) {
 		r.inst.Mkdir(p, "/d", 0o755)
 		for _, name := range []string{"/d/a", "/d/b", "/top"} {
-			f, err := r.inst.Create(p, name, 0o644)
+			f, err := r.inst.Open(p, name, vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -23,7 +23,7 @@ func TestCheckCleanPartition(t *testing.T) {
 			f.Close(p)
 		}
 		r.inst.SnapshotNow(p)
-		g, _ := r.inst.Create(p, "/post-snap", 0o644)
+		g, _ := r.inst.Open(p, "/post-snap", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		g.WriteN(p, 32*model.KB)
 		g.Close(p)
 
@@ -65,7 +65,7 @@ func TestCheckCleanPartition(t *testing.T) {
 func TestCheckLogOnlyPartition(t *testing.T) {
 	r := newRig(t, nil)
 	r.run(t, func(p *sim.Proc) {
-		f, _ := r.inst.Create(p, "/only", 0o644)
+		f, _ := r.inst.Open(p, "/only", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		f.WriteN(p, 32*model.KB)
 		f.Close(p)
 		acct := &vfs.Account{}
@@ -97,7 +97,7 @@ func TestCheckNeverWrites(t *testing.T) {
 	// never trigger one.
 	r := newRig(t, nil)
 	r.run(t, func(p *sim.Proc) {
-		f, _ := r.inst.Create(p, "/x", 0o644)
+		f, _ := r.inst.Open(p, "/x", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		f.WriteN(p, 4096)
 		f.Close(p)
 		acct := &vfs.Account{}

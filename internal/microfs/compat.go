@@ -1,0 +1,14 @@
+package microfs
+
+import (
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+// Deprecated: use Open with vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL.
+// Create preserves the old separate-entry-point semantics (exclusive
+// creation of a new writable file) for one release; scripts/verify.sh
+// rejects new in-repo callers.
+func (inst *Instance) Create(p *sim.Proc, path string, mode uint32) (vfs.File, error) {
+	return inst.Open(p, path, vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, mode)
+}

@@ -55,7 +55,7 @@ func TestCrashDuringSnapshotKeepsOldSnapshot(t *testing.T) {
 	payload := bytes.Repeat([]byte("S"), 128*1024)
 	r.run(t, func(p *sim.Proc) {
 		// Phase 1: a healthy instance writes a file and snapshots.
-		f, err := r.inst.Create(p, "/committed.dat", 0o644)
+		f, err := r.inst.Open(p, "/committed.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,7 +87,7 @@ func TestCrashDuringSnapshotKeepsOldSnapshot(t *testing.T) {
 		if err := crashy.Recover(p); err != nil {
 			t.Fatalf("pre-crash recovery: %v", err)
 		}
-		g, err := crashy.Create(p, "/in-flight.dat", 0o644)
+		g, err := crashy.Open(p, "/in-flight.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,7 +108,7 @@ func TestCrashDuringSnapshotKeepsOldSnapshot(t *testing.T) {
 		if err := fresh.Recover(p); err != nil {
 			t.Fatalf("post-crash recovery: %v", err)
 		}
-		h, err := fresh.Open(p, "/committed.dat", vfs.ReadOnly)
+		h, err := fresh.Open(p, "/committed.dat", vfs.O_RDONLY, 0)
 		if err != nil {
 			t.Fatalf("committed file lost after crashed snapshot: %v", err)
 		}
@@ -127,7 +127,7 @@ func TestAlternatingSnapshotsUseBothSlots(t *testing.T) {
 	r.run(t, func(p *sim.Proc) {
 		slots := map[int]bool{}
 		for i := 0; i < 4; i++ {
-			f, err := r.inst.Create(p, fmt.Sprintf("/f%d", i), 0o644)
+			f, err := r.inst.Open(p, fmt.Sprintf("/f%d", i), vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -175,7 +175,7 @@ func TestCrashMidWriteRecoversConsistentPrefix(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		f, err := crashy.Create(p, "/dump.dat", 0o644)
+		f, err := crashy.Open(p, "/dump.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -197,7 +197,7 @@ func TestCrashMidWriteRecoversConsistentPrefix(t *testing.T) {
 		if err != nil {
 			t.Fatalf("file missing after mid-write crash: %v", err)
 		}
-		g, err := fresh.Open(p, "/dump.dat", vfs.ReadOnly)
+		g, err := fresh.Open(p, "/dump.dat", vfs.O_RDONLY, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -14,6 +14,7 @@ type file struct {
 	ino      *inode
 	pos      int64
 	writable bool
+	readable bool
 	closed   bool
 }
 
@@ -82,6 +83,7 @@ func (f *file) write(p *sim.Proc, data []byte, n int64) (int64, error) {
 		written += r.n
 	}
 	f.pos += n
+	inst.touch(f.ino)
 	inst.stats.Writes++
 	inst.stats.BytesWritten += n
 	return n, nil
@@ -107,6 +109,9 @@ func (f *file) read(p *sim.Proc, n int64, wantData bool) ([]byte, int64, error) 
 	defer inst.enter(p)()
 	if f.closed {
 		return nil, 0, vfs.ErrClosed
+	}
+	if !f.readable {
+		return nil, 0, vfs.ErrWriteOnly
 	}
 	if f.pos >= f.ino.size {
 		return nil, 0, nil // EOF

@@ -151,6 +151,11 @@ type inode struct {
 	mode   uint32
 	isDir  bool
 	opens  int
+	// mtime is the last modification stamp in virtual time. Stamps are
+	// strictly monotonic per instance (ties broken by a nanosecond
+	// bump), so recency ordering survives log replay, which re-applies
+	// many operations at one virtual instant.
+	mtime time.Duration
 }
 
 // Stats counts control- and data-plane activity for one instance.
@@ -181,6 +186,9 @@ type Instance struct {
 	nextIno  uint64
 	openCnt  int
 	dataBase int64
+	// lastMtime is the high-water modification stamp backing the
+	// monotonic mtime tick (see inode.mtime).
+	lastMtime time.Duration
 
 	// curProc is the process currently executing an operation on this
 	// instance. The simulation engine serializes processes, so a plain
@@ -296,6 +304,16 @@ func (inst *Instance) traceSpan(p *sim.Proc, name string, bytes int64) func() {
 		}
 		tr.SpanVirt(name, inst.cfg.Rank, t0, p.Now(), attrs)
 	}
+}
+
+// touch stamps ino with a fresh monotonic modification time.
+func (inst *Instance) touch(ino *inode) {
+	t := inst.env.Now()
+	if t <= inst.lastMtime {
+		t = inst.lastMtime + 1
+	}
+	inst.lastMtime = t
+	ino.mtime = t
 }
 
 // Account returns the instance's time accounting.

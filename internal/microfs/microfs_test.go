@@ -86,7 +86,7 @@ func (r *rig) freshInstance(t *testing.T) *Instance {
 func TestCreateWriteReadRoundTrip(t *testing.T) {
 	r := newRig(t, nil)
 	r.run(t, func(p *sim.Proc) {
-		f, err := r.inst.Create(p, "/ckpt.dat", 0o644)
+		f, err := r.inst.Open(p, "/ckpt.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,7 +100,7 @@ func TestCreateWriteReadRoundTrip(t *testing.T) {
 		if err := f.Close(p); err != nil {
 			t.Fatal(err)
 		}
-		g, err := r.inst.Open(p, "/ckpt.dat", vfs.ReadOnly)
+		g, err := r.inst.Open(p, "/ckpt.dat", vfs.O_RDONLY, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -136,12 +136,12 @@ func TestMkdirHierarchy(t *testing.T) {
 			t.Errorf("Stat(/a/b) = %+v, %v", fi, err)
 		}
 		// Files under directories.
-		f, err := r.inst.Create(p, "/a/b/f.dat", 0o644)
+		f, err := r.inst.Open(p, "/a/b/f.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			t.Fatal(err)
 		}
 		f.Close(p)
-		if _, err := r.inst.Create(p, "/a/b/f.dat", 0o644); err != vfs.ErrExist {
+		if _, err := r.inst.Open(p, "/a/b/f.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644); err != vfs.ErrExist {
 			t.Errorf("duplicate create err = %v", err)
 		}
 	})
@@ -151,7 +151,7 @@ func TestPathValidation(t *testing.T) {
 	r := newRig(t, nil)
 	r.run(t, func(p *sim.Proc) {
 		for _, bad := range []string{"", "relative", "/a//b", "/a/../b"} {
-			if _, err := r.inst.Create(p, bad, 0o644); err == nil {
+			if _, err := r.inst.Open(p, bad, vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644); err == nil {
 				t.Errorf("path %q accepted", bad)
 			}
 		}
@@ -168,25 +168,25 @@ func TestPathValidation(t *testing.T) {
 func TestOpenSemantics(t *testing.T) {
 	r := newRig(t, nil)
 	r.run(t, func(p *sim.Proc) {
-		if _, err := r.inst.Open(p, "/nope", vfs.ReadOnly); err != vfs.ErrNotExist {
+		if _, err := r.inst.Open(p, "/nope", vfs.O_RDONLY, 0); err != vfs.ErrNotExist {
 			t.Errorf("open missing err = %v", err)
 		}
 		r.inst.Mkdir(p, "/d", 0o755)
-		if _, err := r.inst.Open(p, "/d", vfs.ReadOnly); err != vfs.ErrIsDir {
+		if _, err := r.inst.Open(p, "/d", vfs.O_RDONLY, 0); err != vfs.ErrIsDir {
 			t.Errorf("open dir err = %v", err)
 		}
-		f, _ := r.inst.Create(p, "/writeonly", 0o200)
+		f, _ := r.inst.Open(p, "/writeonly", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o200)
 		f.Close(p)
-		if _, err := r.inst.Open(p, "/writeonly", vfs.ReadOnly); err != vfs.ErrPerm {
+		if _, err := r.inst.Open(p, "/writeonly", vfs.O_RDONLY, 0); err != vfs.ErrPerm {
 			t.Errorf("read of 0200 file err = %v", err)
 		}
-		g, _ := r.inst.Create(p, "/readonly", 0o444)
+		g, _ := r.inst.Open(p, "/readonly", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o444)
 		g.Close(p)
-		if _, err := r.inst.Open(p, "/readonly", vfs.WriteOnly); err != vfs.ErrPerm {
+		if _, err := r.inst.Open(p, "/readonly", vfs.O_WRONLY, 0); err != vfs.ErrPerm {
 			t.Errorf("write of 0444 file err = %v", err)
 		}
 		// Read-only handle rejects writes.
-		h, err := r.inst.Open(p, "/readonly", vfs.ReadOnly)
+		h, err := r.inst.Open(p, "/readonly", vfs.O_RDONLY, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -200,7 +200,7 @@ func TestOpenSemantics(t *testing.T) {
 func TestClosedHandleRejected(t *testing.T) {
 	r := newRig(t, nil)
 	r.run(t, func(p *sim.Proc) {
-		f, _ := r.inst.Create(p, "/f", 0o644)
+		f, _ := r.inst.Open(p, "/f", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		f.Close(p)
 		if _, err := f.Write(p, []byte("x")); err != vfs.ErrClosed {
 			t.Errorf("write after close err = %v", err)
@@ -217,12 +217,12 @@ func TestClosedHandleRejected(t *testing.T) {
 func TestSeekOverwrite(t *testing.T) {
 	r := newRig(t, nil)
 	r.run(t, func(p *sim.Proc) {
-		f, _ := r.inst.Create(p, "/f", 0o644)
+		f, _ := r.inst.Open(p, "/f", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		f.Write(p, []byte("aaaaaaaaaa"))
 		f.SeekTo(3)
 		f.Write(p, []byte("BBB"))
 		f.Close(p)
-		g, _ := r.inst.Open(p, "/f", vfs.ReadOnly)
+		g, _ := r.inst.Open(p, "/f", vfs.O_RDONLY, 0)
 		buf := make([]byte, 10)
 		n, _ := g.Read(p, buf)
 		if n != 10 || string(buf) != "aaaBBBaaaa" {
@@ -237,10 +237,10 @@ func TestUnlinkFreesBlocks(t *testing.T) {
 	r.run(t, func(p *sim.Proc) {
 		// Warm the root directory file so its entry block is already
 		// allocated (directory entries are tombstoned, not reclaimed).
-		w, _ := r.inst.Create(p, "/warm", 0o644)
+		w, _ := r.inst.Open(p, "/warm", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		w.Close(p)
 		free0 := r.inst.Pool().Free()
-		f, _ := r.inst.Create(p, "/big", 0o644)
+		f, _ := r.inst.Open(p, "/big", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		f.WriteN(p, 1*model.MB)
 		f.Close(p)
 		if r.inst.Pool().Free() >= free0 {
@@ -269,10 +269,10 @@ func TestUnlinkFreesBlocks(t *testing.T) {
 func TestReadEOF(t *testing.T) {
 	r := newRig(t, nil)
 	r.run(t, func(p *sim.Proc) {
-		f, _ := r.inst.Create(p, "/f", 0o644)
+		f, _ := r.inst.Open(p, "/f", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		f.Write(p, []byte("12345"))
 		f.Close(p)
-		g, _ := r.inst.Open(p, "/f", vfs.ReadOnly)
+		g, _ := r.inst.Open(p, "/f", vfs.O_RDONLY, 0)
 		buf := make([]byte, 100)
 		n, err := g.Read(p, buf)
 		if err != nil || n != 5 {
@@ -292,8 +292,8 @@ func TestOpenFilesTracking(t *testing.T) {
 		if r.inst.OpenFiles() != 0 {
 			t.Fatal("fresh instance has open files")
 		}
-		f, _ := r.inst.Create(p, "/a", 0o644)
-		g, _ := r.inst.Create(p, "/b", 0o644)
+		f, _ := r.inst.Open(p, "/a", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
+		g, _ := r.inst.Open(p, "/b", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if r.inst.OpenFiles() != 2 {
 			t.Errorf("OpenFiles = %d, want 2", r.inst.OpenFiles())
 		}
@@ -308,7 +308,7 @@ func TestOpenFilesTracking(t *testing.T) {
 func TestKernelTimeIsZeroForUserspacePath(t *testing.T) {
 	r := newRig(t, nil)
 	r.run(t, func(p *sim.Proc) {
-		f, _ := r.inst.Create(p, "/f", 0o644)
+		f, _ := r.inst.Open(p, "/f", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		f.WriteN(p, 4*model.MB)
 		f.Fsync(p)
 		f.Close(p)
@@ -322,7 +322,7 @@ func TestKernelTimeIsZeroForUserspacePath(t *testing.T) {
 func TestCoalescingKeepsLogSmall(t *testing.T) {
 	r := newRig(t, nil)
 	r.run(t, func(p *sim.Proc) {
-		f, _ := r.inst.Create(p, "/ckpt", 0o644)
+		f, _ := r.inst.Open(p, "/ckpt", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		vfs.WriteAllN(p, f, 8*model.MB, 32*model.KB) // 256 sequential writes
 		f.Close(p)
 	})
@@ -341,7 +341,7 @@ func TestRecoveryFromSnapshotAndLog(t *testing.T) {
 	payloadB := bytes.Repeat([]byte("B1"), 40*1024) // 80 KB
 	r.run(t, func(p *sim.Proc) {
 		r.inst.Mkdir(p, "/ckpt", 0o755)
-		f, err := r.inst.Create(p, "/ckpt/step1.dat", 0o644)
+		f, err := r.inst.Open(p, "/ckpt/step1.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -352,7 +352,7 @@ func TestRecoveryFromSnapshotAndLog(t *testing.T) {
 			t.Fatal(err)
 		}
 		// step2 exists only in the post-snapshot log.
-		g, err := r.inst.Create(p, "/ckpt/step2.dat", 0o644)
+		g, err := r.inst.Open(p, "/ckpt/step2.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -379,7 +379,7 @@ func TestRecoveryFromSnapshotAndLog(t *testing.T) {
 			if fi.Size != int64(len(tc.want)) {
 				t.Fatalf("%s size = %d, want %d", tc.path, fi.Size, len(tc.want))
 			}
-			h, err := inst2.Open(p, tc.path, vfs.ReadOnly)
+			h, err := inst2.Open(p, tc.path, vfs.O_RDONLY, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -394,7 +394,7 @@ func TestRecoveryFromSnapshotAndLog(t *testing.T) {
 			h.Close(p)
 		}
 		// The recovered instance keeps working: new files land fine.
-		h, err := inst2.Create(p, "/ckpt/step3.dat", 0o644)
+		h, err := inst2.Open(p, "/ckpt/step3.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			t.Fatalf("create after recovery: %v", err)
 		}
@@ -407,14 +407,14 @@ func TestRecoveryLogOnlyNoSnapshot(t *testing.T) {
 	r := newRig(t, nil)
 	payload := bytes.Repeat([]byte("Z9"), 30*1024)
 	r.run(t, func(p *sim.Proc) {
-		f, _ := r.inst.Create(p, "/only-log.dat", 0o644)
+		f, _ := r.inst.Open(p, "/only-log.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		vfs.WriteAll(p, f, payload, 32*model.KB)
 		f.Close(p)
 		inst2 := r.freshInstance(t)
 		if err := inst2.Recover(p); err != nil {
 			t.Fatalf("Recover: %v", err)
 		}
-		h, err := inst2.Open(p, "/only-log.dat", vfs.ReadOnly)
+		h, err := inst2.Open(p, "/only-log.dat", vfs.O_RDONLY, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -430,11 +430,11 @@ func TestRecoveryLogOnlyNoSnapshot(t *testing.T) {
 func TestRecoveryAfterUnlink(t *testing.T) {
 	r := newRig(t, nil)
 	r.run(t, func(p *sim.Proc) {
-		f, _ := r.inst.Create(p, "/temp.dat", 0o644)
+		f, _ := r.inst.Open(p, "/temp.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		f.WriteN(p, 64*model.KB)
 		f.Close(p)
 		r.inst.Unlink(p, "/temp.dat")
-		g, _ := r.inst.Create(p, "/keep.dat", 0o644)
+		g, _ := r.inst.Open(p, "/keep.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		g.Write(p, []byte("keep me"))
 		g.Close(p)
 		inst2 := r.freshInstance(t)
@@ -444,7 +444,7 @@ func TestRecoveryAfterUnlink(t *testing.T) {
 		if _, err := inst2.Stat(p, "/temp.dat"); err != vfs.ErrNotExist {
 			t.Errorf("unlinked file resurfaced: %v", err)
 		}
-		h, err := inst2.Open(p, "/keep.dat", vfs.ReadOnly)
+		h, err := inst2.Open(p, "/keep.dat", vfs.O_RDONLY, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -466,7 +466,7 @@ func TestBackgroundSnapshotTriggers(t *testing.T) {
 	r.inst.StartBackground()
 	r.run(t, func(p *sim.Proc) {
 		for i := 0; i < 40; i++ {
-			f, err := r.inst.Create(p, fmt.Sprintf("/f%03d", i), 0o644)
+			f, err := r.inst.Open(p, fmt.Sprintf("/f%03d", i), vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -489,7 +489,7 @@ func TestForcedSnapshotOnLogFull(t *testing.T) {
 	r.run(t, func(p *sim.Proc) {
 		// Far more records than a 4 KB log holds; forced snapshots
 		// must reclaim space transparently.
-		f, err := r.inst.Create(p, "/f", 0o644)
+		f, err := r.inst.Open(p, "/f", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -510,10 +510,10 @@ func TestStatsCounting(t *testing.T) {
 	r := newRig(t, nil)
 	r.run(t, func(p *sim.Proc) {
 		r.inst.Mkdir(p, "/d", 0o755)
-		f, _ := r.inst.Create(p, "/d/f", 0o644)
+		f, _ := r.inst.Open(p, "/d/f", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		f.WriteN(p, 100)
 		f.Close(p)
-		g, _ := r.inst.Open(p, "/d/f", vfs.ReadOnly)
+		g, _ := r.inst.Open(p, "/d/f", vfs.O_RDONLY, 0)
 		g.ReadN(p, 100)
 		g.Close(p)
 		r.inst.Unlink(p, "/d/f")
@@ -561,7 +561,7 @@ func TestGlobalNamespaceSerializesMetadata(t *testing.T) {
 			env.Go("client", func(p *sim.Proc) {
 				defer wg.Done()
 				for j := 0; j < 10; j++ {
-					f, err := inst.Create(p, fmt.Sprintf("/f%02d", j), 0o644)
+					f, err := inst.Open(p, fmt.Sprintf("/f%02d", j), vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 					if err != nil {
 						t.Error(err)
 						return
@@ -586,7 +586,7 @@ func TestGlobalNamespaceSerializesMetadata(t *testing.T) {
 func TestModelRecoveryChargesTime(t *testing.T) {
 	r := newRig(t, nil)
 	r.run(t, func(p *sim.Proc) {
-		f, _ := r.inst.Create(p, "/f", 0o644)
+		f, _ := r.inst.Open(p, "/f", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		f.WriteN(p, 1*model.MB)
 		f.Close(p)
 		r.inst.SnapshotNow(p)
@@ -616,7 +616,7 @@ func TestRandomOpsAgainstReference(t *testing.T) {
 				size := rng.Intn(200*1024) + 1
 				data := make([]byte, size)
 				rng.Read(data)
-				f, err := r.inst.Create(p, path, 0o644)
+				f, err := r.inst.Open(p, path, vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -637,7 +637,7 @@ func TestRandomOpsAgainstReference(t *testing.T) {
 				n := rng.Intn(len(ref[path])) + 1
 				data := make([]byte, n)
 				rng.Read(data)
-				f, err := r.inst.Open(p, path, vfs.WriteOnly)
+				f, err := r.inst.Open(p, path, vfs.O_WRONLY, 0)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -689,7 +689,7 @@ func TestRandomOpsAgainstReference(t *testing.T) {
 				}
 				continue
 			}
-			f, err := inst2.Open(p, path, vfs.ReadOnly)
+			f, err := inst2.Open(p, path, vfs.O_RDONLY, 0)
 			if err != nil {
 				t.Fatalf("Open(%s) after recovery: %v", path, err)
 			}

@@ -1,0 +1,83 @@
+package microfs
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+// TestModTimeRecencySurvivesRecovery pins the checkpoint-discovery
+// contract: ModTime orders files by recency of last write, the order is
+// strict even for operations at the same virtual instant, and it
+// survives snapshot + WAL-replay recovery (where every replayed record
+// applies at one instant).
+func TestModTimeRecencySurvivesRecovery(t *testing.T) {
+	r := newRig(t, nil)
+	r.run(t, func(p *sim.Proc) {
+		write := func(inst *Instance, path string, n int64) {
+			t.Helper()
+			f, err := inst.Open(p, path, vfs.O_WRONLY|vfs.O_CREATE, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteN(p, n); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Fsync(p); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := r.inst.Mkdir(p, "/ckpt", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		write(r.inst, "/ckpt/epoch0", 8192)
+		write(r.inst, "/ckpt/epoch1", 8192)
+		// Snapshot, then keep writing so recovery replays a WAL tail on
+		// top of the snapshot.
+		if err := r.inst.SnapshotNow(p); err != nil {
+			t.Fatal(err)
+		}
+		write(r.inst, "/ckpt/epoch2", 8192)
+		write(r.inst, "/ckpt/epoch0", 4096) // rewrite: epoch0 is newest again
+
+		newest := func(inst *Instance) []vfs.FileInfo {
+			t.Helper()
+			entries, err := inst.ReadDir(p, "/ckpt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Slice(entries, func(i, j int) bool { return entries[i].ModTime > entries[j].ModTime })
+			return entries
+		}
+		wantOrder := []string{"/ckpt/epoch0", "/ckpt/epoch2", "/ckpt/epoch1"}
+		check := func(entries []vfs.FileInfo, phase string) {
+			t.Helper()
+			if len(entries) != len(wantOrder) {
+				t.Fatalf("%s: %d entries, want %d", phase, len(entries), len(wantOrder))
+			}
+			var prev time.Duration = -1
+			for i, e := range entries {
+				if e.Path != wantOrder[i] {
+					t.Fatalf("%s: recency order %v, want %v", phase, entries, wantOrder)
+				}
+				if i > 0 && e.ModTime == prev {
+					t.Fatalf("%s: %s and %s share mtime %v; ties break discovery", phase, entries[i-1].Path, e.Path, e.ModTime)
+				}
+				prev = e.ModTime
+			}
+		}
+		check(newest(r.inst), "live")
+
+		fresh := r.freshInstance(t)
+		if err := fresh.Recover(p); err != nil {
+			t.Fatalf("recovery: %v", err)
+		}
+		check(newest(fresh), "recovered")
+	})
+}

@@ -95,56 +95,70 @@ func (inst *Instance) Mkdir(p *sim.Proc, path string, mode uint32) error {
 	return nil
 }
 
-// Create implements vfs.Client.
-func (inst *Instance) Create(p *sim.Proc, path string, mode uint32) (vfs.File, error) {
-	defer inst.enter(p)()
-	defer inst.metaLock(p)()
-	path, err := normalize(path)
-	if err != nil {
-		return nil, err
-	}
-	inst.acct.Charge(p, vfs.User, inst.cfg.Host.BTreeOp+inst.cfg.Host.InodeAlloc)
-	ino, err := inst.applyCreate(path, mode, false)
-	if err != nil {
-		return nil, err
-	}
-	if err := inst.logOp(p, wal.Record{Op: wal.OpCreate, Path: path, Inode: ino.id, Mode: mode}); err != nil {
-		return nil, err
-	}
-	if err := inst.writeDirTail(p, parentOf(path)); err != nil {
-		return nil, err
-	}
-	inst.stats.Creates++
-	ino.opens++
-	inst.openCnt++
-	return &file{inst: inst, ino: ino, writable: true}, nil
-}
-
-// Open implements vfs.Client.
-func (inst *Instance) Open(p *sim.Proc, path string, flags vfs.OpenFlags) (vfs.File, error) {
+// Open implements vfs.Backend. With O_CREATE an absent file is created
+// (one provenance record, like the old Create entry point); O_EXCL
+// makes an existing file an error; a writable O_TRUNC logs a truncate
+// record and drops the file to zero length (blocks stay allocated so
+// replayed block placement is unchanged); O_APPEND positions the handle
+// at end-of-file.
+func (inst *Instance) Open(p *sim.Proc, path string, flags vfs.OpenFlags, mode uint32) (vfs.File, error) {
 	defer inst.enter(p)()
 	path, err := normalize(path)
 	if err != nil {
 		return nil, err
 	}
 	inst.acct.Charge(p, vfs.User, inst.cfg.Host.BTreeOp)
-	ino, err := inst.lookup(path)
-	if err != nil {
-		return nil, err
+	ino, lerr := inst.lookup(path)
+	switch {
+	case lerr == nil:
+		if flags.Has(vfs.O_CREATE) && flags.Has(vfs.O_EXCL) {
+			return nil, vfs.ErrExist
+		}
+		if ino.isDir {
+			return nil, vfs.ErrIsDir
+		}
+		if flags.Writable() && ino.mode&0o200 == 0 {
+			return nil, vfs.ErrPerm
+		}
+		if flags.Readable() && ino.mode&0o400 == 0 {
+			return nil, vfs.ErrPerm
+		}
+		if flags.Has(vfs.O_TRUNC) && flags.Writable() && ino.size > 0 {
+			unlock := inst.metaLock(p)
+			terr := inst.logOp(p, wal.Record{Op: wal.OpTruncate, Inode: ino.id, Length: 0})
+			unlock()
+			if terr != nil {
+				return nil, terr
+			}
+			ino.size = 0
+			inst.touch(ino)
+		}
+		inst.stats.Opens++
+	case errors.Is(lerr, vfs.ErrNotExist) && flags.Has(vfs.O_CREATE):
+		unlock := inst.metaLock(p)
+		inst.acct.Charge(p, vfs.User, inst.cfg.Host.InodeAlloc)
+		ino, err = inst.applyCreate(path, mode, false)
+		if err == nil {
+			err = inst.logOp(p, wal.Record{Op: wal.OpCreate, Path: path, Inode: ino.id, Mode: mode})
+		}
+		if err == nil {
+			err = inst.writeDirTail(p, parentOf(path))
+		}
+		unlock()
+		if err != nil {
+			return nil, err
+		}
+		inst.stats.Creates++
+	default:
+		return nil, lerr
 	}
-	if ino.isDir {
-		return nil, vfs.ErrIsDir
+	f := &file{inst: inst, ino: ino, writable: flags.Writable(), readable: flags.Readable()}
+	if flags.Has(vfs.O_APPEND) {
+		f.pos = ino.size
 	}
-	if flags == vfs.WriteOnly && ino.mode&0o200 == 0 {
-		return nil, vfs.ErrPerm
-	}
-	if flags == vfs.ReadOnly && ino.mode&0o400 == 0 {
-		return nil, vfs.ErrPerm
-	}
-	inst.stats.Opens++
 	ino.opens++
 	inst.openCnt++
-	return &file{inst: inst, ino: ino, writable: flags == vfs.WriteOnly}, nil
+	return f, nil
 }
 
 // Unlink implements vfs.Client.
@@ -259,6 +273,7 @@ func (inst *Instance) ReadDir(p *sim.Proc, path string) ([]vfs.FileInfo, error) 
 		if ino, ok := inst.inodes[id]; ok {
 			out = append(out, vfs.FileInfo{
 				Path: name, Size: ino.size, Inode: ino.id, Mode: ino.mode, IsDir: ino.isDir,
+				ModTime: ino.mtime,
 			})
 		}
 		return true
@@ -279,7 +294,10 @@ func (inst *Instance) Stat(p *sim.Proc, path string) (vfs.FileInfo, error) {
 	if err != nil {
 		return vfs.FileInfo{}, err
 	}
-	return vfs.FileInfo{Path: path, Size: ino.size, Inode: ino.id, Mode: ino.mode, IsDir: ino.isDir}, nil
+	return vfs.FileInfo{
+		Path: path, Size: ino.size, Inode: ino.id, Mode: ino.mode, IsDir: ino.isDir,
+		ModTime: ino.mtime,
+	}, nil
 }
 
 // lookup resolves a normalized path to its inode.
@@ -314,6 +332,7 @@ func (inst *Instance) applyCreate(path string, mode uint32, isDir bool) (*inode,
 		return nil, vfs.ErrExist
 	}
 	ino := &inode{id: inst.nextIno, mode: mode, isDir: isDir}
+	inst.touch(ino)
 	inst.nextIno++
 	inst.inodes[ino.id] = ino
 	inst.tree.Insert(path, ino.id)

@@ -16,7 +16,7 @@ func TestRenameCommitIdiom(t *testing.T) {
 	r := newRig(t, nil)
 	payload := bytes.Repeat([]byte("atomic"), 10000)
 	r.run(t, func(p *sim.Proc) {
-		f, err := r.inst.Create(p, "/ckpt.tmp", 0o644)
+		f, err := r.inst.Open(p, "/ckpt.tmp", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -29,7 +29,7 @@ func TestRenameCommitIdiom(t *testing.T) {
 		if _, err := r.inst.Stat(p, "/ckpt.tmp"); err != vfs.ErrNotExist {
 			t.Errorf("old name still visible: %v", err)
 		}
-		g, err := r.inst.Open(p, "/ckpt.dat", vfs.ReadOnly)
+		g, err := r.inst.Open(p, "/ckpt.dat", vfs.O_RDONLY, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -48,9 +48,9 @@ func TestRenameErrors(t *testing.T) {
 		if err := r.inst.Rename(p, "/missing", "/x"); err != vfs.ErrNotExist {
 			t.Errorf("rename missing: %v", err)
 		}
-		a, _ := r.inst.Create(p, "/a", 0o644)
+		a, _ := r.inst.Open(p, "/a", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		a.Close(p)
-		b, _ := r.inst.Create(p, "/b", 0o644)
+		b, _ := r.inst.Open(p, "/b", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		b.Close(p)
 		if err := r.inst.Rename(p, "/a", "/b"); err != vfs.ErrExist {
 			t.Errorf("rename onto existing: %v", err)
@@ -69,7 +69,7 @@ func TestRenameSurvivesRecovery(t *testing.T) {
 	r := newRig(t, nil)
 	payload := []byte("renamed and recovered")
 	r.run(t, func(p *sim.Proc) {
-		f, _ := r.inst.Create(p, "/tmp.0", 0o644)
+		f, _ := r.inst.Open(p, "/tmp.0", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		f.Write(p, payload)
 		f.Close(p)
 		r.inst.Rename(p, "/tmp.0", "/final.dat")
@@ -81,7 +81,7 @@ func TestRenameSurvivesRecovery(t *testing.T) {
 		if _, err := inst2.Stat(p, "/tmp.0"); err != vfs.ErrNotExist {
 			t.Errorf("temp name resurfaced after recovery: %v", err)
 		}
-		g, err := inst2.Open(p, "/final.dat", vfs.ReadOnly)
+		g, err := inst2.Open(p, "/final.dat", vfs.O_RDONLY, 0)
 		if err != nil {
 			t.Fatalf("renamed file missing after recovery: %v", err)
 		}
@@ -100,12 +100,12 @@ func TestReadDirListing(t *testing.T) {
 		r.inst.Mkdir(p, "/ckpt", 0o755)
 		r.inst.Mkdir(p, "/ckpt/sub", 0o755)
 		for i := 0; i < 5; i++ {
-			f, _ := r.inst.Create(p, fmt.Sprintf("/ckpt/step%03d.dat", i), 0o644)
+			f, _ := r.inst.Open(p, fmt.Sprintf("/ckpt/step%03d.dat", i), vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 			f.WriteN(p, int64(i+1)*1024)
 			f.Close(p)
 		}
 		// A grandchild must not appear in /ckpt's listing.
-		g, _ := r.inst.Create(p, "/ckpt/sub/deep.dat", 0o644)
+		g, _ := r.inst.Open(p, "/ckpt/sub/deep.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		g.Close(p)
 
 		entries, err := r.inst.ReadDir(p, "/ckpt")
@@ -151,7 +151,7 @@ func TestReadDirDiscoversLatestCheckpoint(t *testing.T) {
 	r.run(t, func(p *sim.Proc) {
 		r.inst.Mkdir(p, "/ckpt", 0o755)
 		for i := 0; i < 7; i++ {
-			f, _ := r.inst.Create(p, fmt.Sprintf("/ckpt/step%05d.dat", i*10), 0o644)
+			f, _ := r.inst.Open(p, fmt.Sprintf("/ckpt/step%05d.dat", i*10), vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 			f.Close(p)
 		}
 		entries, err := r.inst.ReadDir(p, "/ckpt")

@@ -44,6 +44,7 @@ type snapInode struct {
 	Blocks []int64
 	Mode   uint32
 	IsDir  bool
+	Mtime  int64 // modification stamp, nanoseconds of virtual time
 }
 
 // snapImage is the gob-encoded snapshot body.
@@ -95,6 +96,7 @@ func (inst *Instance) SnapshotNow(p *sim.Proc) error {
 	for _, ino := range inst.inodes {
 		img.Inodes = append(img.Inodes, snapInode{
 			ID: ino.id, Size: ino.size, Blocks: ino.blocks, Mode: ino.mode, IsDir: ino.isDir,
+			Mtime: int64(ino.mtime),
 		})
 	}
 	inst.tree.Ascend(func(path string, ino uint64) bool {
@@ -302,6 +304,10 @@ func (inst *Instance) restoreSnapshot(img *snapImage) error {
 	for _, si := range img.Inodes {
 		inst.inodes[si.ID] = &inode{
 			id: si.ID, size: si.Size, blocks: si.Blocks, mode: si.Mode, isDir: si.IsDir,
+			mtime: time.Duration(si.Mtime),
+		}
+		if d := time.Duration(si.Mtime); d > inst.lastMtime {
+			inst.lastMtime = d
 		}
 	}
 	for _, sp := range img.Paths {
@@ -331,6 +337,9 @@ func (inst *Instance) replay(rec wal.Record) error {
 			return fmt.Errorf("microfs: write record for unknown inode %d", rec.Inode)
 		}
 		_, err := inst.growTo(ino, int64(rec.Offset+rec.Length))
+		if err == nil {
+			inst.touch(ino)
+		}
 		return err
 	case wal.OpUnlink:
 		return inst.applyUnlink(rec.Path)
@@ -344,6 +353,7 @@ func (inst *Instance) replay(rec wal.Record) error {
 		if int64(rec.Length) < ino.size {
 			ino.size = int64(rec.Length)
 		}
+		inst.touch(ino)
 		return nil
 	default:
 		return fmt.Errorf("microfs: unknown record op %v", rec.Op)

@@ -98,7 +98,7 @@ func TestMicrofsOverRealTCP(t *testing.T) {
 	env := sim.NewEnv()
 	inst, h1 := newInstance(env)
 	env.Go("writer", func(p *sim.Proc) {
-		f, err := inst.Create(p, "/a.dat", 0o644)
+		f, err := inst.Open(p, "/a.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			t.Error(err)
 			return
@@ -109,7 +109,7 @@ func TestMicrofsOverRealTCP(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		g, err := inst.Create(p, "/b.dat", 0o644)
+		g, err := inst.Open(p, "/b.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			t.Error(err)
 			return
@@ -133,7 +133,7 @@ func TestMicrofsOverRealTCP(t *testing.T) {
 			return
 		}
 		for path, want := range map[string][]byte{"/a.dat": payloadA, "/b.dat": payloadB} {
-			f, err := inst2.Open(p, path, vfs.ReadOnly)
+			f, err := inst2.Open(p, path, vfs.O_RDONLY, 0)
 			if err != nil {
 				t.Errorf("open %s: %v", path, err)
 				return

@@ -60,7 +60,7 @@ func NewWriter(p *sim.Proc, client vfs.Client, name string, rank int, seqBase in
 	if rank < 0 || rank >= 1<<20 {
 		return nil, fmt.Errorf("plfs: rank %d out of range", rank)
 	}
-	f, err := client.Create(p, dataPath(name, rank), 0o644)
+	f, err := client.Open(p, dataPath(name, rank), vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("plfs: %w", err)
 	}
@@ -125,7 +125,7 @@ func (w *Writer) Close(p *sim.Proc) error {
 	if err := w.data.Close(p); err != nil {
 		return err
 	}
-	idx, err := w.client.Create(p, indexPath(w.name, w.rank), 0o644)
+	idx, err := w.client.Open(p, indexPath(w.name, w.rank), vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 	if err != nil {
 		return err
 	}
@@ -175,7 +175,7 @@ func NewReader(p *sim.Proc, clients []vfs.Client, name string) (*Reader, error) 
 		if err != nil {
 			return nil, fmt.Errorf("plfs: rank %d index: %w", rank, err)
 		}
-		f, err := client.Open(p, indexPath(name, rank), vfs.ReadOnly)
+		f, err := client.Open(p, indexPath(name, rank), vfs.O_RDONLY, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -268,7 +268,7 @@ func (r *Reader) ReadAt(p *sim.Proc, off, length int64) ([]byte, error) {
 		e := r.flat[i]
 		from := max64(e.logical, off)
 		to := min64(e.logical+e.length, end)
-		f, err := r.clients[e.rank].Open(p, dataPath(r.name, e.rank), vfs.ReadOnly)
+		f, err := r.clients[e.rank].Open(p, dataPath(r.name, e.rank), vfs.O_RDONLY, 0)
 		if err != nil {
 			return nil, fmt.Errorf("plfs: rank %d data: %w", e.rank, err)
 		}

@@ -118,31 +118,12 @@ func New(client vfs.Client) *Interceptor {
 	return &Interceptor{client: client, fds: make(map[int]*fdEntry), nextFD: 3}
 }
 
-// Open implements open(2) for the supported flag subset. O_CREAT on an
-// existing file (without O_TRUNC) opens it; with a missing file it
-// creates it.
+// Open implements open(2) for the supported flag subset. The constants
+// above share the Linux ABI encoding with vfs.OpenFlags, so the bitmask
+// passes straight through — O_CREAT-on-existing, O_TRUNC, and access
+// modes are all resolved by the backend.
 func (ic *Interceptor) Open(p *sim.Proc, path string, flags int, mode uint32) (int, Errno) {
-	var f vfs.File
-	var err error
-	writing := flags&OWronly != 0
-	if flags&OCreat != 0 {
-		f, err = ic.client.Create(p, path, mode)
-		if errors.Is(err, vfs.ErrExist) && flags&OTrunc == 0 {
-			// POSIX open(O_CREAT) without O_EXCL succeeds on an
-			// existing file.
-			vf := vfs.ReadOnly
-			if writing {
-				vf = vfs.WriteOnly
-			}
-			f, err = ic.client.Open(p, path, vf)
-		}
-	} else {
-		vf := vfs.ReadOnly
-		if writing {
-			vf = vfs.WriteOnly
-		}
-		f, err = ic.client.Open(p, path, vf)
-	}
+	f, err := ic.client.Open(p, path, vfs.OpenFlags(flags), mode)
 	if err != nil {
 		return -1, mapErr(err)
 	}

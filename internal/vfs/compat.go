@@ -1,0 +1,23 @@
+package vfs
+
+import "github.com/nvme-cr/nvmecr/internal/sim"
+
+// Compatibility shims for the pre-mount, pre-bitmask vfs API. Everything
+// in this file is deprecated and will be removed one release after the
+// mount-based API landed; scripts/verify.sh rejects new in-repo callers.
+
+// Deprecated: use O_RDONLY. ReadOnly is the old two-value enum's read
+// mode; its value coincides with O_RDONLY, so stored flag values keep
+// their meaning.
+const ReadOnly = O_RDONLY
+
+// Deprecated: use O_WRONLY. WriteOnly is the old two-value enum's write
+// mode; its value coincides with O_WRONLY.
+const WriteOnly = O_WRONLY
+
+// Deprecated: use b.Open with O_WRONLY|O_CREATE|O_EXCL. Create preserves
+// the old separate-entry-point semantics: exclusive creation of a new
+// writable file, ErrExist when the path already exists.
+func Create(p *sim.Proc, b Backend, path string, mode uint32) (File, error) {
+	return b.Open(p, path, O_WRONLY|O_CREATE|O_EXCL, mode)
+}

@@ -1,0 +1,371 @@
+package vfs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/sim"
+)
+
+// MemBackend is a complete in-memory Backend: a DRAM-tenant mount for
+// mixed checkpoint + general-file namespaces, and the reference backend
+// for Namespace tests. It is safe for concurrent use and tolerates a
+// nil *sim.Proc (operations are instantaneous, so no virtual time needs
+// charging), which lets -race suites drive it from plain goroutines.
+type MemBackend struct {
+	acct Account
+
+	mu       sync.Mutex
+	nodes    map[string]*memNode
+	nextIno  uint64
+	lastTick time.Duration
+}
+
+// memNode is one in-memory file or directory.
+type memNode struct {
+	ino   uint64
+	mode  uint32
+	isDir bool
+	data  []byte
+	mtime time.Duration
+}
+
+// NewMemBackend creates an empty in-memory filesystem with a root
+// directory.
+func NewMemBackend() *MemBackend {
+	b := &MemBackend{nodes: map[string]*memNode{}, nextIno: 1}
+	b.nodes["/"] = &memNode{ino: 1, mode: 0o755, isDir: true}
+	b.nextIno = 2
+	return b
+}
+
+// Account implements Client (a MemBackend used standalone is a Client).
+func (b *MemBackend) Account() *Account { return &b.acct }
+
+// tick returns a monotonically increasing modification stamp: the
+// process's virtual time when available, bumped so that successive
+// mutations always order by recency even at the same virtual instant.
+func (b *MemBackend) tick(p *sim.Proc) time.Duration {
+	t := time.Duration(0)
+	if p != nil {
+		t = p.Now()
+	}
+	if t <= b.lastTick {
+		t = b.lastTick + 1
+	}
+	b.lastTick = t
+	return t
+}
+
+func memParent(path string) string {
+	i := strings.LastIndexByte(path, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return path[:i]
+}
+
+// Mkdir implements Backend.
+func (b *MemBackend) Mkdir(p *sim.Proc, path string, mode uint32) error {
+	path, err := normalizeNS(path)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.nodes[path]; ok {
+		return ErrExist
+	}
+	parent, ok := b.nodes[memParent(path)]
+	if !ok {
+		return ErrNotExist
+	}
+	if !parent.isDir {
+		return ErrNotDir
+	}
+	b.nodes[path] = &memNode{ino: b.nextIno, mode: mode, isDir: true, mtime: b.tick(p)}
+	b.nextIno++
+	return nil
+}
+
+// Open implements Backend.
+func (b *MemBackend) Open(p *sim.Proc, path string, flags OpenFlags, mode uint32) (File, error) {
+	path, err := normalizeNS(path)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	node, ok := b.nodes[path]
+	switch {
+	case ok:
+		if node.isDir {
+			return nil, ErrIsDir
+		}
+		if flags.Has(O_CREATE) && flags.Has(O_EXCL) {
+			return nil, ErrExist
+		}
+		if flags.Writable() && node.mode&0o200 == 0 {
+			return nil, ErrPerm
+		}
+		if flags.Readable() && node.mode&0o400 == 0 {
+			return nil, ErrPerm
+		}
+		if flags.Has(O_TRUNC) && flags.Writable() && len(node.data) > 0 {
+			node.data = nil
+			node.mtime = b.tick(p)
+		}
+	case flags.Has(O_CREATE):
+		parent, pok := b.nodes[memParent(path)]
+		if !pok {
+			return nil, ErrNotExist
+		}
+		if !parent.isDir {
+			return nil, ErrNotDir
+		}
+		node = &memNode{ino: b.nextIno, mode: mode, mtime: b.tick(p)}
+		b.nextIno++
+		b.nodes[path] = node
+	default:
+		return nil, ErrNotExist
+	}
+	f := &memHandle{b: b, node: node, readable: flags.Readable(), writable: flags.Writable()}
+	if flags.Has(O_APPEND) {
+		f.pos = int64(len(node.data))
+	}
+	return f, nil
+}
+
+// Unlink implements Backend.
+func (b *MemBackend) Unlink(p *sim.Proc, path string) error {
+	path, err := normalizeNS(path)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	node, ok := b.nodes[path]
+	if !ok {
+		return ErrNotExist
+	}
+	if node.isDir {
+		return ErrIsDir
+	}
+	delete(b.nodes, path)
+	return nil
+}
+
+// Rename implements Backend.
+func (b *MemBackend) Rename(p *sim.Proc, oldPath, newPath string) error {
+	oldPath, err := normalizeNS(oldPath)
+	if err != nil {
+		return err
+	}
+	newPath, err = normalizeNS(newPath)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	node, ok := b.nodes[oldPath]
+	if !ok {
+		return ErrNotExist
+	}
+	if node.isDir {
+		return ErrIsDir
+	}
+	if _, exists := b.nodes[newPath]; exists {
+		return ErrExist
+	}
+	parent, pok := b.nodes[memParent(newPath)]
+	if !pok {
+		return ErrNotExist
+	}
+	if !parent.isDir {
+		return ErrNotDir
+	}
+	delete(b.nodes, oldPath)
+	b.nodes[newPath] = node
+	return nil
+}
+
+// ReadDir implements Backend.
+func (b *MemBackend) ReadDir(p *sim.Proc, dir string) ([]FileInfo, error) {
+	dir, err := normalizeNS(dir)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	node, ok := b.nodes[dir]
+	if !ok {
+		return nil, ErrNotExist
+	}
+	if !node.isDir {
+		return nil, ErrNotDir
+	}
+	prefix := dir
+	if prefix != "/" {
+		prefix += "/"
+	}
+	var out []FileInfo
+	for path, n := range b.nodes {
+		if path == dir || !strings.HasPrefix(path, prefix) {
+			continue
+		}
+		rest := path[len(prefix):]
+		if rest == "" || strings.ContainsRune(rest, '/') {
+			continue
+		}
+		out = append(out, FileInfo{
+			Path: path, Size: int64(len(n.data)), Inode: n.ino,
+			Mode: n.mode, IsDir: n.isDir, ModTime: n.mtime,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// Stat implements Backend.
+func (b *MemBackend) Stat(p *sim.Proc, path string) (FileInfo, error) {
+	path, err := normalizeNS(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	node, ok := b.nodes[path]
+	if !ok {
+		return FileInfo{}, ErrNotExist
+	}
+	return FileInfo{
+		Path: path, Size: int64(len(node.data)), Inode: node.ino,
+		Mode: node.mode, IsDir: node.isDir, ModTime: node.mtime,
+	}, nil
+}
+
+// memHandle is an open handle onto a MemBackend node.
+type memHandle struct {
+	b        *MemBackend
+	node     *memNode
+	pos      int64
+	readable bool
+	writable bool
+	closed   bool
+}
+
+// Write implements File.
+func (f *memHandle) Write(p *sim.Proc, data []byte) (int, error) {
+	n, err := f.write(p, data, int64(len(data)))
+	return int(n), err
+}
+
+// WriteN implements File (synthetic bytes materialize as zeros).
+func (f *memHandle) WriteN(p *sim.Proc, n int64) (int64, error) {
+	return f.write(p, nil, n)
+}
+
+func (f *memHandle) write(p *sim.Proc, data []byte, n int64) (int64, error) {
+	f.b.mu.Lock()
+	defer f.b.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if !f.writable {
+		return 0, ErrReadOnly
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	end := f.pos + n
+	if int64(len(f.node.data)) < end {
+		f.node.data = append(f.node.data, make([]byte, end-int64(len(f.node.data)))...)
+	}
+	if data != nil {
+		copy(f.node.data[f.pos:end], data)
+	}
+	f.pos = end
+	f.node.mtime = f.b.tick(p)
+	return n, nil
+}
+
+// Read implements File.
+func (f *memHandle) Read(p *sim.Proc, buf []byte) (int, error) {
+	f.b.mu.Lock()
+	defer f.b.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if !f.readable {
+		return 0, ErrWriteOnly
+	}
+	if f.pos >= int64(len(f.node.data)) {
+		return 0, nil
+	}
+	n := copy(buf, f.node.data[f.pos:])
+	f.pos += int64(n)
+	return n, nil
+}
+
+// ReadN implements File.
+func (f *memHandle) ReadN(p *sim.Proc, n int64) (int64, error) {
+	f.b.mu.Lock()
+	defer f.b.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if !f.readable {
+		return 0, ErrWriteOnly
+	}
+	rem := int64(len(f.node.data)) - f.pos
+	if rem <= 0 {
+		return 0, nil
+	}
+	if n > rem {
+		n = rem
+	}
+	f.pos += n
+	return n, nil
+}
+
+// SeekTo implements File.
+func (f *memHandle) SeekTo(offset int64) error {
+	f.b.mu.Lock()
+	defer f.b.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	f.pos = offset
+	return nil
+}
+
+// Fsync implements File (DRAM: nothing to flush).
+func (f *memHandle) Fsync(p *sim.Proc) error {
+	f.b.mu.Lock()
+	defer f.b.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close implements File.
+func (f *memHandle) Close(p *sim.Proc) error {
+	f.b.mu.Lock()
+	defer f.b.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	f.closed = true
+	return nil
+}
+
+var (
+	_ Backend = (*MemBackend)(nil)
+	_ Client  = (*MemBackend)(nil)
+)

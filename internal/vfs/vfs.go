@@ -1,12 +1,14 @@
 // Package vfs defines the filesystem interface every storage system in
 // this repository implements — NVMe-CR's microfs as well as the OrangeFS,
-// GlusterFS, Crail, ext4/XFS, and Lustre baselines — plus the time
-// accounting (user/kernel/IO) used to reproduce the paper's kernel-time
-// measurements.
+// GlusterFS, Crail, ext4/XFS, and Lustre baselines — plus the mount-based
+// Namespace that composes several backends into one multi-tenant tree,
+// and the time accounting (user/kernel/IO) used to reproduce the paper's
+// kernel-time measurements.
 package vfs
 
 import (
 	"errors"
+	"strings"
 	"time"
 
 	"github.com/nvme-cr/nvmecr/internal/sim"
@@ -20,8 +22,15 @@ var (
 	ErrNotDir   = errors.New("vfs: not a directory")
 	ErrClosed   = errors.New("vfs: file already closed")
 	ErrReadOnly = errors.New("vfs: file not open for writing")
-	ErrNoSpace  = errors.New("vfs: no space left on device")
-	ErrPerm     = errors.New("vfs: permission denied")
+	// ErrWriteOnly is returned by Read on a handle opened O_WRONLY.
+	ErrWriteOnly = errors.New("vfs: file not open for reading")
+	ErrNoSpace   = errors.New("vfs: no space left on device")
+	ErrPerm      = errors.New("vfs: permission denied")
+	// ErrCrossMount is returned by Namespace.Rename when the two paths
+	// resolve to different mounts: rename is atomic only within one
+	// backend, so moving data across mounts must be an explicit
+	// copy+unlink in the application.
+	ErrCrossMount = errors.New("vfs: rename across mount boundary")
 )
 
 // FileInfo describes a file.
@@ -31,27 +40,105 @@ type FileInfo struct {
 	Inode uint64
 	Mode  uint32
 	IsDir bool
+	// ModTime is the file's last modification instant in virtual time
+	// (time since simulation start). Restart-time checkpoint discovery
+	// orders candidates by recency with it instead of relying on path
+	// naming conventions. Backends that do not track modification times
+	// leave it zero.
+	ModTime time.Duration
 }
 
-// OpenFlags selects the access mode for Open.
+// OpenFlags is the POSIX-style open flag bitmask: an access mode
+// (O_RDONLY, O_WRONLY, or O_RDWR) OR-ed with zero or more of O_CREATE,
+// O_EXCL, O_TRUNC, and O_APPEND. The values match the Linux ABI so the
+// POSIX interception layer passes flags through unmodified.
 type OpenFlags int
 
 const (
-	// ReadOnly opens for reading.
-	ReadOnly OpenFlags = iota
-	// WriteOnly opens for writing (appending or overwriting).
-	WriteOnly
+	// O_RDONLY opens for reading only.
+	O_RDONLY OpenFlags = 0x0
+	// O_WRONLY opens for writing only.
+	O_WRONLY OpenFlags = 0x1
+	// O_RDWR opens for reading and writing.
+	O_RDWR OpenFlags = 0x2
+	// O_ACCMODE masks the access mode out of a flag set.
+	O_ACCMODE OpenFlags = 0x3
+	// O_CREATE creates the file (with the Open call's mode argument)
+	// when it does not exist.
+	O_CREATE OpenFlags = 0x40
+	// O_EXCL, with O_CREATE, fails with ErrExist when the file already
+	// exists — the exclusive-create semantics of the old Create entry
+	// point.
+	O_EXCL OpenFlags = 0x80
+	// O_TRUNC truncates an existing file to length zero when the handle
+	// is writable.
+	O_TRUNC OpenFlags = 0x200
+	// O_APPEND positions the handle at end-of-file on open.
+	O_APPEND OpenFlags = 0x400
 )
 
-// Client is one process's view of a storage system. Methods block the
-// calling simulation process for the modeled duration of the operation.
-type Client interface {
+// Access returns the access-mode bits (O_RDONLY, O_WRONLY, or O_RDWR).
+func (f OpenFlags) Access() OpenFlags { return f & O_ACCMODE }
+
+// Has reports whether every bit of flag is set.
+func (f OpenFlags) Has(flag OpenFlags) bool { return f&flag == flag }
+
+// Readable reports whether the access mode permits reads.
+func (f OpenFlags) Readable() bool {
+	a := f.Access()
+	return a == O_RDONLY || a == O_RDWR
+}
+
+// Writable reports whether the access mode permits writes.
+func (f OpenFlags) Writable() bool {
+	a := f.Access()
+	return a == O_WRONLY || a == O_RDWR
+}
+
+// String renders the flag set in open(2) notation.
+func (f OpenFlags) String() string {
+	var b strings.Builder
+	switch f.Access() {
+	case O_RDONLY:
+		b.WriteString("O_RDONLY")
+	case O_WRONLY:
+		b.WriteString("O_WRONLY")
+	case O_RDWR:
+		b.WriteString("O_RDWR")
+	default:
+		b.WriteString("O_ACCMODE?")
+	}
+	for _, part := range []struct {
+		bit  OpenFlags
+		name string
+	}{
+		{O_CREATE, "O_CREATE"},
+		{O_EXCL, "O_EXCL"},
+		{O_TRUNC, "O_TRUNC"},
+		{O_APPEND, "O_APPEND"},
+	} {
+		if f.Has(part.bit) {
+			b.WriteString("|")
+			b.WriteString(part.name)
+		}
+	}
+	return b.String()
+}
+
+// Backend is one filesystem implementation: the seven operations a
+// storage system must provide to serve a mount in a Namespace. Methods
+// block the calling simulation process for the modeled duration of the
+// operation. Paths are absolute within the backend ("/" is the backend's
+// own root); the Namespace translates between namespace-absolute and
+// backend-relative paths at the mount boundary.
+type Backend interface {
 	// Mkdir creates a directory.
 	Mkdir(p *sim.Proc, path string, mode uint32) error
-	// Create creates and opens a new file for writing.
-	Create(p *sim.Proc, path string, mode uint32) (File, error)
-	// Open opens an existing file.
-	Open(p *sim.Proc, path string, flags OpenFlags) (File, error)
+	// Open opens a file. With O_CREATE the file is created (using mode)
+	// when absent; with O_CREATE|O_EXCL an existing file is an
+	// ErrExist; with O_TRUNC a writable open truncates to zero length;
+	// with O_APPEND the handle starts positioned at end-of-file.
+	Open(p *sim.Proc, path string, flags OpenFlags, mode uint32) (File, error)
 	// Unlink removes a file.
 	Unlink(p *sim.Proc, path string) error
 	// Rename atomically moves a file (the write-to-temp-then-rename
@@ -62,6 +149,12 @@ type Client interface {
 	ReadDir(p *sim.Proc, path string) ([]FileInfo, error)
 	// Stat describes a file.
 	Stat(p *sim.Proc, path string) (FileInfo, error)
+}
+
+// Client is one process's view of a storage system: a Backend plus its
+// time accounting.
+type Client interface {
+	Backend
 	// Account exposes the client's time accounting.
 	Account() *Account
 }

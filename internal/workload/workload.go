@@ -20,7 +20,7 @@ import (
 // application packs its state into the buffer, charged as user CPU at
 // model.Host.AppSerializeBW.
 func Dump(p *sim.Proc, client vfs.Client, path string, bytes, chunk int64) error {
-	f, err := client.Create(p, path, 0o644)
+	f, err := client.Open(p, path, vfs.O_WRONLY|vfs.O_CREATE|vfs.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("workload: create %s: %w", path, err)
 	}
@@ -50,7 +50,7 @@ func Dump(p *sim.Proc, client vfs.Client, path string, bytes, chunk int64) error
 // ReadBack opens a checkpoint file and reads `bytes` fully — the
 // restart path.
 func ReadBack(p *sim.Proc, client vfs.Client, path string, bytes, chunk int64) error {
-	f, err := client.Open(p, path, vfs.ReadOnly)
+	f, err := client.Open(p, path, vfs.O_RDONLY, 0)
 	if err != nil {
 		return fmt.Errorf("workload: open %s: %w", path, err)
 	}
@@ -68,7 +68,7 @@ func ReadBack(p *sim.Proc, client vfs.Client, path string, bytes, chunk int64) e
 // file-per-process pattern of Figure 8b.
 func Storm(p *sim.Proc, client vfs.Client, prefix string, n int) error {
 	for i := 0; i < n; i++ {
-		f, err := client.Create(p, fmt.Sprintf("%s%06d", prefix, i), 0o644)
+		f, err := client.Open(p, fmt.Sprintf("%s%06d", prefix, i), vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			return err
 		}

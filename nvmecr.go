@@ -12,7 +12,7 @@
 //
 //	job, _ := nvmecr.NewJob(nvmecr.JobConfig{Ranks: 64})
 //	elapsed, _ := job.Run(func(ctx *nvmecr.RankCtx) error {
-//		f, _ := ctx.FS.Create(ctx.Proc, "/ckpt.dat", 0o644)
+//		f, _ := ctx.FS.Open(ctx.Proc, "/ckpt.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 //		f.WriteN(ctx.Proc, 64<<20)
 //		f.Fsync(ctx.Proc)
 //		return f.Close(ctx.Proc)
@@ -58,6 +58,10 @@ type (
 	Client = vfs.Client
 	// File is an open file handle.
 	File = vfs.File
+	// OpenFlags is the POSIX-style open(2) flag bitmask.
+	OpenFlags = vfs.OpenFlags
+	// FileInfo describes one file or directory.
+	FileInfo = vfs.FileInfo
 	// PlaneMode selects the data-plane path.
 	PlaneMode = core.PlaneMode
 	// ExperimentOptions configures harness runs.
@@ -90,6 +94,43 @@ type (
 	// TargetSnapshot is a target's aggregate and per-QP counters.
 	TargetSnapshot = telemetry.TargetSnapshot
 )
+
+// Multi-tenant namespaces (mount table over pluggable backends; see
+// docs/vfs.md).
+type (
+	// Backend is the six-method contract a storage engine implements to
+	// be mountable (microfs instances, baselines, MemBackend all do).
+	Backend = vfs.Backend
+	// Namespace is a mount table dispatching paths to backends by
+	// longest-prefix match, with per-mount quotas and telemetry.
+	Namespace = vfs.Namespace
+	// MountConfig describes one mount: path, backend, quotas, fault
+	// plan, telemetry label.
+	MountConfig = vfs.MountConfig
+	// MountPoint is one live mount (usage, quota, backend accessors).
+	MountPoint = vfs.Mount
+	// MemBackend is a heap-backed Backend for tests, tooling, and
+	// tenants that need no durability.
+	MemBackend = vfs.MemBackend
+)
+
+// Open flags (Linux ABI encoding; combine with |).
+const (
+	O_RDONLY = vfs.O_RDONLY
+	O_WRONLY = vfs.O_WRONLY
+	O_RDWR   = vfs.O_RDWR
+	O_CREATE = vfs.O_CREATE
+	O_EXCL   = vfs.O_EXCL
+	O_TRUNC  = vfs.O_TRUNC
+	O_APPEND = vfs.O_APPEND
+)
+
+// NewNamespace creates an empty mount table. reg may be nil to skip
+// per-mount telemetry.
+func NewNamespace(reg *Registry) *Namespace { return vfs.NewNamespace(reg) }
+
+// NewMemBackend creates an empty in-memory backend.
+func NewMemBackend() *MemBackend { return vfs.NewMemBackend() }
 
 // NewRegistry creates an empty metrics registry.
 func NewRegistry() *Registry { return telemetry.New() }

@@ -16,7 +16,7 @@ func TestJobQuickstart(t *testing.T) {
 		t.Fatal(err)
 	}
 	elapsed, err := job.Run(func(ctx *RankCtx) error {
-		f, err := ctx.FS.Create(ctx.Proc, "/state.dat", 0o644)
+		f, err := ctx.FS.Open(ctx.Proc, "/state.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			return err
 		}
@@ -69,7 +69,7 @@ func TestJobCaptureReadBack(t *testing.T) {
 	payload := bytes.Repeat([]byte("verify"), 10000)
 	_, err = job.Run(func(ctx *RankCtx) error {
 		p := ctx.Proc
-		f, err := ctx.FS.Create(p, "/v.dat", 0o644)
+		f, err := ctx.FS.Open(p, "/v.dat", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644)
 		if err != nil {
 			return err
 		}
@@ -79,7 +79,7 @@ func TestJobCaptureReadBack(t *testing.T) {
 		if err := f.Close(p); err != nil {
 			return err
 		}
-		g, err := ctx.FS.Open(p, "/v.dat", vfs.ReadOnly)
+		g, err := ctx.FS.Open(p, "/v.dat", vfs.O_RDONLY, 0)
 		if err != nil {
 			return err
 		}
@@ -100,8 +100,8 @@ func TestJobCaptureReadBack(t *testing.T) {
 
 func TestExperimentsListed(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 14 {
-		t.Errorf("Experiments() = %v, want 14 entries", ids)
+	if len(ids) != 15 {
+		t.Errorf("Experiments() = %v, want 15 entries", ids)
 	}
 	tab, err := RunExperiment("fig7a", ExperimentOptions{Quick: true})
 	if err != nil {

@@ -51,6 +51,25 @@ echo "== go test -race (slot ring + registered buffer lifetime)"
 # the cache so the race detector actually re-executes them.
 go test -race -count=1 -run 'TestIndexRing|TestBuffer' ./internal/nvmeof
 
+echo "== go test -race (mount table / multi-tenant namespace)"
+# The vfs.Namespace is used from live goroutines (nvmecrd -tenants), not
+# just the serialized simulation: mount resolution, quota counters, and
+# per-mount telemetry must be race-clean.
+go test -race ./internal/vfs
+
+echo "== deprecated vfs API gate"
+# The old Create/ReadOnly/WriteOnly surface lives on only inside the
+# compat shims; new in-repo callers must use Open with O_* flags.
+deprecated="$(grep -rn --include='*.go' \
+	-e 'vfs\.ReadOnly' -e 'vfs\.WriteOnly' \
+	-e '\.Create(\(p\|ctx\.Proc\|nil\), ' \
+	. | grep -v '/compat\.go:' || true)"
+if [ -n "$deprecated" ]; then
+	echo "deprecated vfs API used outside compat shims:"
+	echo "$deprecated"
+	exit 1
+fi
+
 echo "== go test -race (runtime core)"
 go test -race ./internal/core
 
