@@ -13,16 +13,30 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/nvme-cr/nvmecr/internal/health"
 	"github.com/nvme-cr/nvmecr/internal/nvmeof"
 	"github.com/nvme-cr/nvmecr/internal/vfs"
 )
 
+// healthzDoc is the structured /healthz response: the health engine's
+// per-layer rollup plus the target's headline counters.
+type healthzDoc struct {
+	Status     health.State                  `json:"status"`
+	Layers     map[string]health.LayerHealth `json:"layers"`
+	QueuePairs int                           `json:"queue_pairs"`
+	Commands   uint64                        `json:"commands"`
+	Errors     uint64                        `json:"errors"`
+}
+
 // startAdmin serves /metrics (Prometheus text exposition of the
-// target's registry), /healthz, /debug/flight (the flight recorder's
-// last commands per queue pair), /tenants (the mount table, when
-// -tenants is set), and the standard pprof endpoints on addr. It
-// returns the bound address (useful with ":0").
-func startAdmin(addr string, tgt *nvmeof.Target, mounts *vfs.Namespace) (string, error) {
+// target's registry), /healthz (per-layer JSON rollup; plaintext kept
+// behind ?format=text for legacy probes), /health (the engine's full
+// per-subject verdicts), /debug/flight (the flight recorder's last
+// commands per queue pair), /tenants (the mount table, when -tenants
+// is set), and the standard pprof endpoints on addr. It returns the
+// bound address (useful with ":0"). eng may be nil (-health-interval
+// 0): /health answers 404 and /healthz rolls up with no layers.
+func startAdmin(addr string, tgt *nvmeof.Target, mounts *vfs.Namespace, eng *health.Engine) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("admin listener: %w", err)
@@ -36,9 +50,34 @@ func startAdmin(addr string, tgt *nvmeof.Target, mounts *vfs.Namespace) (string,
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		snap := tgt.Snapshot()
-		fmt.Fprintf(w, "ok\nqueue_pairs %d\ncommands %d\nerrors %d\n",
-			len(snap.QueuePairs), snap.Commands, snap.Errors)
+		if r.URL.Query().Get("format") == "text" {
+			fmt.Fprintf(w, "ok\nqueue_pairs %d\ncommands %d\nerrors %d\n",
+				len(snap.QueuePairs), snap.Commands, snap.Errors)
+			return
+		}
+		doc := healthzDoc{
+			Layers:     map[string]health.LayerHealth{},
+			QueuePairs: len(snap.QueuePairs),
+			Commands:   snap.Commands,
+			Errors:     snap.Errors,
+		}
+		if eng != nil {
+			roll := eng.Rollup()
+			doc.Status, doc.Layers = roll.Status, roll.Layers
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if doc.Status >= health.Suspect {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			log.Printf("nvmecrd: /healthz: %v", err)
+		}
 	})
+	if eng != nil {
+		mux.Handle("/health", health.Handler(eng))
+	}
 	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

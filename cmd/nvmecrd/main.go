@@ -15,6 +15,7 @@ import (
 	"os/signal"
 	"time"
 
+	"github.com/nvme-cr/nvmecr/internal/health"
 	"github.com/nvme-cr/nvmecr/internal/model"
 	"github.com/nvme-cr/nvmecr/internal/nvmeof"
 	"github.com/nvme-cr/nvmecr/internal/vfs"
@@ -27,8 +28,10 @@ func main() {
 	latency := flag.Duration("latency", 0, "simulated per-command device latency (e.g. 20us; 0 = none)")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
 	qpStats := flag.Bool("qp-stats", false, "also report per-queue-pair stats each interval")
-	admin := flag.String("admin", "", "admin HTTP listen address for /metrics, /healthz, pprof (empty disables)")
+	admin := flag.String("admin", "", "admin HTTP listen address for /metrics, /health, /healthz, pprof (empty disables)")
 	tenants := flag.String("tenants", "", "comma-separated tenant mounts `name[:quota-mb]`; each gets /tenants/<name> on an in-memory backend, with nvmecr_mount_* series on /metrics and the table on /tenants")
+	healthEvery := flag.Duration("health-interval", time.Second, "health-engine evaluation cadence (0 disables the engine)")
+	incidentDir := flag.String("incident-dir", "", "directory for black-box incident bundles on SLO breach or suspect verdicts (empty disables capture)")
 	flag.Parse()
 
 	tgt := nvmeof.NewTarget()
@@ -59,12 +62,36 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("nvmecrd: serving %d namespaces of %d MiB on %s", *count, *sizeMB, bound)
+
+	var eng *health.Engine
+	if *healthEvery > 0 {
+		eng = health.New(health.Config{
+			Interval: *healthEvery,
+			Registry: tgt.Telemetry(),
+			Capture:  health.CaptureConfig{Dir: *incidentDir},
+		})
+		if _, err := health.BindTarget(eng, tgt, bound, nil); err != nil {
+			log.Fatal(err)
+		}
+		if mounts != nil {
+			if _, err := health.BindNamespace(eng, mounts, nil, nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+		eng.Start()
+		defer eng.Close()
+		if *incidentDir != "" {
+			log.Printf("nvmecrd: health engine every %v, incidents to %s", *healthEvery, *incidentDir)
+		} else {
+			log.Printf("nvmecrd: health engine every %v", *healthEvery)
+		}
+	}
 	if *admin != "" {
-		adminAddr, err := startAdmin(*admin, tgt, mounts)
+		adminAddr, err := startAdmin(*admin, tgt, mounts, eng)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("nvmecrd: admin on http://%s (/metrics, /healthz, /debug/pprof)", adminAddr)
+		log.Printf("nvmecrd: admin on http://%s (/metrics, /health, /healthz, /debug/pprof)", adminAddr)
 	}
 
 	stop := make(chan os.Signal, 1)

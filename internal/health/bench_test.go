@@ -1,0 +1,95 @@
+package health
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/nvmeof"
+	"github.com/nvme-cr/nvmecr/internal/telemetry"
+)
+
+// BenchmarkHostPoolHealth measures the hot-path cost of running the
+// health engine alongside a loaded pool: engine=off is the baseline,
+// engine=on adds a bound engine ticking at 5ms. scripts/bench.sh gates
+// the ratio at <5%.
+func BenchmarkHostPoolHealth(b *testing.B) {
+	for _, engineOn := range []bool{false, true} {
+		label := "off"
+		if engineOn {
+			label = "on"
+		}
+		b.Run("engine="+label, func(b *testing.B) {
+			tgt := nvmeof.NewTarget()
+			if err := tgt.AddNamespace(1, nvmeof.NewMemNamespace(64<<20)); err != nil {
+				b.Fatal(err)
+			}
+			addr, err := tgt.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tgt.Close()
+			reg := telemetry.New()
+			pool, err := nvmeof.DialPool(addr, 1, nvmeof.PoolConfig{
+				QueuePairs: 4, Telemetry: reg,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pool.Close()
+			if engineOn {
+				e := New(Config{Interval: 5 * time.Millisecond, Registry: reg})
+				if _, err := BindHostPool(e, pool, PoolBindConfig{Target: "bench"}); err != nil {
+					b.Fatal(err)
+				}
+				e.Start()
+				defer e.Close()
+			}
+			payload := make([]byte, 4096)
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if err := pool.WriteAt(int64(i%1024)*4096, payload); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkEngineTick measures one evaluation pass over a realistic
+// subject count; steady state must not allocate beyond verdict-free
+// bookkeeping.
+func BenchmarkEngineTick(b *testing.B) {
+	reg := telemetry.New()
+	e := New(Config{Registry: reg})
+	for i := 0; i < 16; i++ {
+		qp := telemetry.Labels{"qp": strconv.Itoa(i)}
+		c := reg.Counter("nvmecr_qp_commands_total", qp)
+		c.Add(uint64(1000 * i))
+		reg.Histogram("nvmecr_qp_command_latency_seconds", telemetry.DefLatencyBuckets, qp).Observe(0.001)
+		labels := qp
+		series := make([]SeriesPoint, 1)
+		if _, err := e.Register(SubjectConfig{
+			Kind: "qp", Name: "bench/qp" + strconv.Itoa(i),
+			Objectives: []Objective{ErrorRatioObjective("o", 0.01)},
+			Collect: func(snap *telemetry.RegistrySnapshot) Sample {
+				n := snap.Counter("nvmecr_qp_commands_total", labels)
+				series[0] = SeriesPoint{Total: n}
+				return Sample{Series: series, Commands: n, Live: true}
+			},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	e.Tick() // warm the snapshot buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Tick()
+	}
+}

@@ -1,0 +1,40 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// healthResponse is the /health JSON document.
+type healthResponse struct {
+	Status   State     `json:"status"`
+	Tick     uint64    `json:"tick"`
+	Subjects []Verdict `json:"subjects"`
+}
+
+// Handler serves the engine's verdicts as JSON: overall status, tick
+// count, and every subject ordered by kind then name. The HTTP status
+// is 200 while the worst subject is healthy or degraded and 503 from
+// suspect on, so dumb load-balancer checks get the right signal
+// without parsing.
+func Handler(e *Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp := healthResponse{
+			Status:   Healthy,
+			Tick:     e.Ticks(),
+			Subjects: e.Verdicts(),
+		}
+		for _, v := range resp.Subjects {
+			if v.State > resp.Status {
+				resp.Status = v.State
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if resp.Status >= Suspect {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+	})
+}

@@ -1,0 +1,137 @@
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// CaptureConfig bounds black-box incident capture.
+type CaptureConfig struct {
+	// Dir is the incident directory root. Empty disables capture.
+	Dir string
+	// MaxIncidents caps how many incident bundles are kept; the oldest
+	// are pruned (default 8).
+	MaxIncidents int
+	// Cooldown is the minimum interval between captures for one
+	// subject, so a flapping subject cannot churn the disk (default
+	// 30s).
+	Cooldown time.Duration
+}
+
+func (c CaptureConfig) withDefaults() CaptureConfig {
+	if c.MaxIncidents <= 0 {
+		c.MaxIncidents = 8
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * time.Second
+	}
+	return c
+}
+
+// incidentMeta is the bundle's meta.json payload.
+type incidentMeta struct {
+	Reason     string  `json:"reason"`
+	CapturedAt string  `json:"captured_at"`
+	UnixNS     int64   `json:"unix_ns"`
+	Verdict    Verdict `json:"verdict"`
+}
+
+// sanitizeName makes a subject name filesystem-safe.
+func sanitizeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// capture writes one incident bundle for the subject and returns its
+// directory: meta.json (the verdict and reason), blackbox.json (the
+// subject's flight-recorder payload), metrics.prom (the full registry
+// at capture time), and goroutine/heap pprof snapshots. Bundles beyond
+// MaxIncidents are pruned oldest-first; a per-subject cooldown bounds
+// churn. Returns "" (no error) when capture is disabled or cooling
+// down.
+func (e *Engine) capture(s *Subject, reason string, v Verdict) (string, error) {
+	cfg := e.cfg.Capture
+	if cfg.Dir == "" {
+		return "", nil
+	}
+	now := e.cfg.Now()
+	s.mu.Lock()
+	if !s.lastCapture.IsZero() && now.Sub(s.lastCapture) < cfg.Cooldown {
+		s.mu.Unlock()
+		return "", nil
+	}
+	s.lastCapture = now
+	s.mu.Unlock()
+
+	// %020d nanos: lexical order is chronological order, which is what
+	// both pruning and a human running ls rely on.
+	dir := filepath.Join(cfg.Dir, fmt.Sprintf("%020d-%s-%s",
+		now.UnixNano(), sanitizeName(v.Kind), sanitizeName(v.Name)))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+
+	writeJSON := func(name string, payload any) {
+		b, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			b = []byte(fmt.Sprintf("{\"marshal_error\": %q}", err.Error()))
+		}
+		_ = os.WriteFile(filepath.Join(dir, name), b, 0o644)
+	}
+	writeJSON("meta.json", incidentMeta{
+		Reason:     reason,
+		CapturedAt: now.UTC().Format(time.RFC3339Nano),
+		UnixNS:     now.UnixNano(),
+		Verdict:    v,
+	})
+	if s.cfg.Blackbox != nil {
+		writeJSON("blackbox.json", s.cfg.Blackbox())
+	}
+	if f, err := os.Create(filepath.Join(dir, "metrics.prom")); err == nil {
+		_ = e.cfg.Registry.WritePrometheus(f)
+		f.Close()
+	}
+	for _, prof := range []string{"goroutine", "heap"} {
+		if p := pprof.Lookup(prof); p != nil {
+			if f, err := os.Create(filepath.Join(dir, prof+".pprof")); err == nil {
+				_ = p.WriteTo(f, 0)
+				f.Close()
+			}
+		}
+	}
+	e.pruneIncidents(cfg)
+	return dir, nil
+}
+
+// pruneIncidents deletes the oldest bundles beyond MaxIncidents.
+func (e *Engine) pruneIncidents(cfg CaptureConfig) {
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return
+	}
+	var dirs []string
+	for _, ent := range entries {
+		if ent.IsDir() {
+			dirs = append(dirs, ent.Name())
+		}
+	}
+	if len(dirs) <= cfg.MaxIncidents {
+		return
+	}
+	sort.Strings(dirs) // zero-padded nanos: lexical == chronological
+	for _, name := range dirs[:len(dirs)-cfg.MaxIncidents] {
+		_ = os.RemoveAll(filepath.Join(cfg.Dir, name))
+	}
+}

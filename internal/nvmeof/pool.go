@@ -91,8 +91,9 @@ func (c PoolConfig) withDefaults() PoolConfig {
 // instruments share those series (same registry, same qp label) and
 // additionally count pool-level events: retries and reconnects.
 type qpSlot struct {
-	id  int
-	tel qpTelemetry
+	id   int
+	tel  qpTelemetry
+	bias atomic.Int32 // QPBias, set by external health judgment
 
 	mu           sync.Mutex
 	host         *Host
@@ -241,6 +242,13 @@ func (p *HostPool) acquire() (*qpSlot, *Host, error) {
 	// concentration point stable; a queue pair spills once its depth
 	// reaches the batch command budget, and if every pair is at budget
 	// the shallowest wins (same as the unbatched policy).
+	// Biased queue pairs never win outright: BiasSoft carries a depth
+	// handicap so siblings are preferred until they are genuinely
+	// deeper, and BiasAvoid pairs are a separate last-resort class used
+	// only when nothing else is up.
+	var avoid *qpSlot
+	var avoidHost *Host
+	avoidDepth := 0
 	if p.fill > 0 {
 		var best *qpSlot
 		var bestHost *Host
@@ -254,17 +262,30 @@ func (p *HostPool) acquire() (*qpSlot, *Host, error) {
 				continue
 			}
 			d := h.InFlight()
-			if d < p.fill {
-				return s, h, nil
+			switch QPBias(s.bias.Load()) {
+			case BiasAvoid:
+				if avoid == nil || d < avoidDepth {
+					avoid, avoidHost, avoidDepth = s, h, d
+				}
+				continue
+			case BiasSoft:
+				d += softBiasHandicap
+			default:
+				if d < p.fill {
+					return s, h, nil
+				}
 			}
 			if best == nil || d < bestDepth {
 				best, bestHost, bestDepth = s, h, d
 			}
 		}
-		if best == nil {
-			return nil, nil, ErrNoQueuePairs
+		if best != nil {
+			return best, bestHost, nil
 		}
-		return best, bestHost, nil
+		if avoid != nil {
+			return avoid, avoidHost, nil
+		}
+		return nil, nil, ErrNoQueuePairs
 	}
 	start := int(atomic.AddUint32(&p.rr, 1))
 	var best *qpSlot
@@ -280,17 +301,30 @@ func (p *HostPool) acquire() (*qpSlot, *Host, error) {
 			continue
 		}
 		d := h.InFlight()
+		b := QPBias(s.bias.Load())
+		if b == BiasAvoid {
+			if avoid == nil || d < avoidDepth {
+				avoid, avoidHost, avoidDepth = s, h, d
+			}
+			continue
+		}
+		if b == BiasSoft {
+			d += softBiasHandicap
+		}
 		if best == nil || d < bestDepth {
 			best, bestHost, bestDepth = s, h, d
 		}
-		if d == 0 {
-			break // idle queue pair: no need to keep probing
+		if b == BiasNone && d == 0 {
+			break // idle unbiased queue pair: no need to keep probing
 		}
 	}
-	if best == nil {
-		return nil, nil, ErrNoQueuePairs
+	if best != nil {
+		return best, bestHost, nil
 	}
-	return best, bestHost, nil
+	if avoid != nil {
+		return avoid, avoidHost, nil
+	}
+	return nil, nil, ErrNoQueuePairs
 }
 
 // noteFailure marks a slot's host dead (if it still occupies the slot)

@@ -575,3 +575,66 @@ func BenchmarkHostPolled(b *testing.B) {
 		})
 	}
 }
+
+// TestQPBiasShiftsTraffic pins the health-engine integration contract:
+// an avoided queue pair stops receiving new commands while its siblings
+// absorb the load, and clearing the bias restores sharing.
+func TestQPBiasShiftsTraffic(t *testing.T) {
+	_, addr := startTarget(t, map[uint32]int64{1: 16 * model.MB})
+	p, err := DialPool(addr, 1, PoolConfig{QueuePairs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	perQP := func() []uint64 {
+		snaps := p.Snapshot()
+		out := make([]uint64, len(snaps))
+		for i, s := range snaps {
+			out[i] = s.Commands
+		}
+		return out
+	}
+	run := func(n int) {
+		buf := []byte("bias probe payload")
+		for i := 0; i < n; i++ {
+			if err := p.WriteAt(int64(i%64)*512, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	p.SetQPBias(1, BiasAvoid)
+	if got := p.QPBias(1); got != BiasAvoid {
+		t.Fatalf("QPBias(1) = %v, want avoid", got)
+	}
+	before := perQP()
+	run(200)
+	after := perQP()
+	if d := after[1] - before[1]; d != 0 {
+		t.Fatalf("avoided qp 1 received %d commands, want 0", d)
+	}
+	if d := after[0] - before[0]; d < 200 {
+		t.Fatalf("qp 0 received %d commands, want >= 200", d)
+	}
+
+	// Clearing the bias lets qp 1 compete again.
+	p.SetQPBias(1, BiasNone)
+	before = perQP()
+	run(200)
+	after = perQP()
+	if d := after[1] - before[1]; d == 0 {
+		t.Fatal("qp 1 received no traffic after bias cleared")
+	}
+
+	// Soft bias only dampens: with a single serialized submitter every
+	// sibling is idle at selection time, so the handicapped pair never
+	// wins, but it must still be eligible (picked when others are deep).
+	p.SetQPBias(1, BiasSoft)
+	before = perQP()
+	run(100)
+	after = perQP()
+	if d := after[0] - before[0]; d < 100 {
+		t.Fatalf("soft bias: qp 0 received %d of 100 serialized commands", d)
+	}
+}

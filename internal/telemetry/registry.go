@@ -101,6 +101,26 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// FloatGauge is a gauge holding a float64 — health scores, SLO burn
+// rates, ratios. Like the other instruments it is concurrency- and
+// nil-safe.
+type FloatGauge struct{ v atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *FloatGauge) Set(v float64) {
+	if g != nil {
+		g.v.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current gauge value.
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.v.Load())
+}
+
 // DefLatencyBuckets covers one microsecond to ~10 seconds, the span
 // from an in-memory namespace access to a badly stalled fabric round
 // trip. Values are seconds, Prometheus-style.
@@ -230,6 +250,7 @@ type instrument struct {
 	labels Labels
 	c      *Counter
 	g      *Gauge
+	fg     *FloatGauge
 	h      *Histogram
 }
 
@@ -289,6 +310,17 @@ func (r *Registry) Gauge(name string, labels Labels) *Gauge {
 		in.g = &Gauge{}
 	}
 	return in.g
+}
+
+// FloatGauge returns the float gauge registered under name+labels.
+func (r *Registry) FloatGauge(name string, labels Labels) *FloatGauge {
+	in := r.lookup("floatgauge", name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in.fg == nil {
+		in.fg = &FloatGauge{}
+	}
+	return in.fg
 }
 
 // Histogram returns the histogram registered under name+labels with the
@@ -360,6 +392,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case in.g != nil:
 			emitType(in.name, "gauge")
 			print("%s%s %d\n", in.name, promLabels(in.labels, "", ""), in.g.Value())
+		case in.fg != nil:
+			emitType(in.name, "gauge")
+			print("%s%s %g\n", in.name, promLabels(in.labels, "", ""), in.fg.Value())
 		case in.h != nil:
 			emitType(in.name, "histogram")
 			var cum uint64
@@ -379,4 +414,219 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return err
+}
+
+// InstrumentKind discriminates RegistrySnapshot entries.
+type InstrumentKind uint8
+
+const (
+	KindCounter InstrumentKind = iota + 1
+	KindGauge
+	KindFloatGauge
+	KindHistogram
+)
+
+// InstrumentSnapshot is one series at one instant, as captured by
+// Registry.Snapshot. Labels and Bounds alias the live instrument's
+// (immutable) maps and slices; Counts is owned by the snapshot and
+// reused across captures.
+type InstrumentSnapshot struct {
+	Name   string
+	Labels Labels
+	Kind   InstrumentKind
+
+	// Value is the instrument's scalar: the counter or (float) gauge
+	// value, or the histogram's observation count.
+	Value float64
+	// U is the exact unsigned value for counters and histogram counts
+	// (Value rounds above 2^53).
+	U uint64
+
+	// Histogram-only: per-bucket observation counts (not cumulative),
+	// with one trailing +Inf bucket beyond the last bound.
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+}
+
+// CountAtOrBelow returns how many observations fell into buckets whose
+// upper bound is <= v — the "good event" count for a latency objective
+// with threshold v (bucket granularity; choose thresholds on bucket
+// bounds for exact counts).
+func (s *InstrumentSnapshot) CountAtOrBelow(v float64) uint64 {
+	if s == nil || s.Kind != KindHistogram {
+		return 0
+	}
+	var cum uint64
+	for i, b := range s.Bounds {
+		if b > v {
+			break
+		}
+		cum += s.Counts[i]
+	}
+	return cum
+}
+
+// Quantile estimates the q-th quantile from the snapshot's buckets, the
+// same interpolation Histogram.Quantile computes on the live series.
+func (s *InstrumentSnapshot) Quantile(q float64) float64 {
+	if s == nil || s.Kind != KindHistogram || s.U == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.U)
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i == len(s.Bounds) {
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// RegistrySnapshot is a point-in-time copy of every instrument in a
+// Registry, captured with reusable buffers so a poller on a fixed
+// cadence (the health engine) adds no per-tick garbage. Pass the same
+// *RegistrySnapshot back to Registry.Snapshot to reuse it.
+type RegistrySnapshot struct {
+	Instruments []InstrumentSnapshot
+}
+
+// Snapshot captures every registered instrument into dst (allocated
+// when nil) and returns it. Instrument order is registration order and
+// stable across captures, so dst's per-entry bucket buffers are reused;
+// steady-state captures allocate nothing.
+func (r *Registry) Snapshot(dst *RegistrySnapshot) *RegistrySnapshot {
+	if dst == nil {
+		dst = new(RegistrySnapshot)
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := len(r.order)
+	if cap(dst.Instruments) < n {
+		grown := make([]InstrumentSnapshot, n)
+		// Carry over the old entries: registration order is append-only,
+		// so index i keeps its instrument and its Counts buffer stays
+		// the right size.
+		copy(grown, dst.Instruments)
+		dst.Instruments = grown
+	}
+	dst.Instruments = dst.Instruments[:n]
+	for i, in := range r.order {
+		out := &dst.Instruments[i]
+		out.Name, out.Labels = in.name, in.labels
+		out.Bounds = nil
+		out.Sum = 0
+		switch {
+		case in.c != nil:
+			out.Kind = KindCounter
+			out.U = in.c.Value()
+			out.Value = float64(out.U)
+		case in.g != nil:
+			out.Kind = KindGauge
+			out.U = 0
+			out.Value = float64(in.g.Value())
+		case in.fg != nil:
+			out.Kind = KindFloatGauge
+			out.U = 0
+			out.Value = in.fg.Value()
+		case in.h != nil:
+			out.Kind = KindHistogram
+			out.Bounds = in.h.bounds
+			nb := len(in.h.counts)
+			if cap(out.Counts) < nb {
+				out.Counts = make([]uint64, nb)
+			}
+			out.Counts = out.Counts[:nb]
+			for j := range in.h.counts {
+				out.Counts[j] = in.h.counts[j].Load()
+			}
+			out.U = in.h.count.Load()
+			out.Value = float64(out.U)
+			out.Sum = in.h.Sum()
+		}
+	}
+	return dst
+}
+
+// labelsEqual reports whether two label sets carry identical pairs.
+func labelsEqual(a, b Labels) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// labelsInclude reports whether labels carries every pair in match (a
+// subset test, for summing across an extra dimension like "op").
+func labelsInclude(labels, match Labels) bool {
+	for k, v := range match {
+		if lv, ok := labels[k]; !ok || lv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Find returns the snapshot entry for name with exactly these labels,
+// or nil. Linear scan: snapshots are read a handful of times per tick.
+func (s *RegistrySnapshot) Find(name string, labels Labels) *InstrumentSnapshot {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Instruments {
+		in := &s.Instruments[i]
+		if in.Name == name && labelsEqual(in.Labels, labels) {
+			return in
+		}
+	}
+	return nil
+}
+
+// Counter returns the counter value for name+labels (0 when absent).
+func (s *RegistrySnapshot) Counter(name string, labels Labels) uint64 {
+	if in := s.Find(name, labels); in != nil && in.Kind == KindCounter {
+		return in.U
+	}
+	return 0
+}
+
+// SumCounters sums every counter named name whose labels include all of
+// match — e.g. nvmecr_mount_ops_total{mount="a"} summed across its
+// per-op label.
+func (s *RegistrySnapshot) SumCounters(name string, match Labels) uint64 {
+	if s == nil {
+		return 0
+	}
+	var sum uint64
+	for i := range s.Instruments {
+		in := &s.Instruments[i]
+		if in.Name == name && in.Kind == KindCounter && labelsInclude(in.Labels, match) {
+			sum += in.U
+		}
+	}
+	return sum
 }

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"math"
 	"math/rand"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -197,5 +198,120 @@ func TestNilInstrumentsAreNoOps(t *testing.T) {
 	}
 	if (h.Latency() != LatencySnapshot{}) {
 		t.Fatal("nil histogram Latency must be zero")
+	}
+}
+
+func TestFloatGauge(t *testing.T) {
+	r := New()
+	fg := r.FloatGauge("nvmecr_health_score", Labels{"kind": "qp"})
+	fg.Set(0.875)
+	if got := fg.Value(); got != 0.875 {
+		t.Fatalf("Value = %v, want 0.875", got)
+	}
+	if again := r.FloatGauge("nvmecr_health_score", Labels{"kind": "qp"}); again != fg {
+		t.Fatal("same name+labels returned a different FloatGauge")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE nvmecr_health_score gauge") {
+		t.Fatalf("missing TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, `nvmecr_health_score{kind="qp"} 0.875`) {
+		t.Fatalf("missing sample line:\n%s", out)
+	}
+	var nilFG *FloatGauge
+	nilFG.Set(3)
+	if nilFG.Value() != 0 {
+		t.Fatal("nil FloatGauge not a no-op")
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := New()
+	c := r.Counter("cmds_total", Labels{"qp": "0"})
+	c.Add(42)
+	g := r.Gauge("depth", nil)
+	g.Set(-3)
+	fg := r.FloatGauge("score", nil)
+	fg.Set(0.5)
+	h := r.Histogram("lat_seconds", []float64{0.001, 0.01, 0.1}, nil)
+	h.Observe(0.0005) // bucket 0
+	h.Observe(0.005)  // bucket 1
+	h.Observe(0.005)  // bucket 1
+	h.Observe(5)      // +Inf bucket
+
+	var snap RegistrySnapshot
+	r.Snapshot(&snap)
+
+	if len(snap.Instruments) != 4 {
+		t.Fatalf("got %d instruments, want 4", len(snap.Instruments))
+	}
+	if got := snap.Counter("cmds_total", Labels{"qp": "0"}); got != 42 {
+		t.Fatalf("Counter = %d, want 42", got)
+	}
+	if in := snap.Find("depth", nil); in == nil || in.Kind != KindGauge || in.Value != -3 {
+		t.Fatalf("gauge snapshot wrong: %+v", in)
+	}
+	if in := snap.Find("score", nil); in == nil || in.Kind != KindFloatGauge || in.Value != 0.5 {
+		t.Fatalf("floatgauge snapshot wrong: %+v", in)
+	}
+	hs := snap.Find("lat_seconds", nil)
+	if hs == nil || hs.Kind != KindHistogram {
+		t.Fatalf("histogram snapshot missing: %+v", hs)
+	}
+	if hs.U != 4 {
+		t.Fatalf("histogram count = %d, want 4", hs.U)
+	}
+	if got := hs.CountAtOrBelow(0.01); got != 3 {
+		t.Fatalf("CountAtOrBelow(0.01) = %d, want 3", got)
+	}
+	if got := hs.CountAtOrBelow(0.001); got != 1 {
+		t.Fatalf("CountAtOrBelow(0.001) = %d, want 1", got)
+	}
+	// Quantile on the snapshot must match the live histogram exactly.
+	for _, q := range []float64{0.25, 0.5, 0.9, 0.99} {
+		if got, want := hs.Quantile(q), h.Quantile(q); got != want {
+			t.Fatalf("Quantile(%v) = %v, live = %v", q, got, want)
+		}
+	}
+	// Mutate after snapshot: the snapshot must not move.
+	c.Add(100)
+	if got := snap.Counter("cmds_total", Labels{"qp": "0"}); got != 42 {
+		t.Fatalf("snapshot moved with live counter: %d", got)
+	}
+
+	// SumCounters across a label dimension.
+	r.Counter("ops_total", Labels{"mount": "a", "op": "read"}).Add(3)
+	r.Counter("ops_total", Labels{"mount": "a", "op": "write"}).Add(4)
+	r.Counter("ops_total", Labels{"mount": "b", "op": "read"}).Add(9)
+	r.Snapshot(&snap)
+	if got := snap.SumCounters("ops_total", Labels{"mount": "a"}); got != 7 {
+		t.Fatalf("SumCounters(mount=a) = %d, want 7", got)
+	}
+	if got := snap.SumCounters("ops_total", nil); got != 16 {
+		t.Fatalf("SumCounters(all) = %d, want 16", got)
+	}
+}
+
+// TestSnapshotSteadyStateAllocs is the regression gate for the health
+// engine's polling path: once the snapshot has seen the registry's full
+// instrument set, re-capturing into the same buffer must not allocate.
+func TestSnapshotSteadyStateAllocs(t *testing.T) {
+	r := New()
+	for i := 0; i < 8; i++ {
+		qp := Labels{"qp": strconv.Itoa(i)}
+		r.Counter("cmds_total", qp).Add(uint64(i))
+		r.Gauge("depth", qp).Set(int64(i))
+		r.Histogram("lat_seconds", DefLatencyBuckets, qp).Observe(0.001)
+	}
+	snap := r.Snapshot(nil) // warm-up sizes every buffer
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Snapshot(snap)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Snapshot allocates %v per run, want 0", allocs)
 	}
 }

@@ -383,3 +383,58 @@ func TestNamespaceAccountCharging(t *testing.T) {
 		t.Fatal("Account must return a stable non-nil pointer")
 	}
 }
+
+// TestMountStats covers the aggregate per-mount summary, including the
+// registry-less path the health engine's tenant objectives rely on.
+func TestMountStats(t *testing.T) {
+	for _, withReg := range []bool{true, false} {
+		var reg *telemetry.Registry
+		if withReg {
+			reg = telemetry.New()
+		}
+		ns := NewNamespace(reg)
+		m, err := ns.Mount(MountConfig{
+			Path: "/t", Backend: NewMemBackend(), QuotaBytes: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := ns.Open(nil, "/t/a", O_RDWR|O_CREATE, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(nil, []byte("12345")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(nil, []byte("too much")); err == nil {
+			t.Fatal("quota breach not rejected")
+		}
+		f.Close(nil)
+		if _, err := ns.Stat(nil, "/t/a"); err != nil {
+			t.Fatal(err)
+		}
+
+		st := m.Stats()
+		if st.Ops < 2 {
+			t.Errorf("withReg=%v: Ops = %d, want >= 2 (open+stat)", withReg, st.Ops)
+		}
+		if st.QuotaRejections != 1 {
+			t.Errorf("withReg=%v: QuotaRejections = %d, want 1", withReg, st.QuotaRejections)
+		}
+		if st.BytesWritten != 5 {
+			t.Errorf("withReg=%v: BytesWritten = %d, want 5", withReg, st.BytesWritten)
+		}
+		if st.BytesUsed != 5 || st.InodesUsed != 1 {
+			t.Errorf("withReg=%v: usage = %d bytes / %d inodes, want 5/1", withReg, st.BytesUsed, st.InodesUsed)
+		}
+		if withReg {
+			// The aggregate must agree with the labeled per-op series.
+			var snap telemetry.RegistrySnapshot
+			reg.Snapshot(&snap)
+			sum := snap.SumCounters("nvmecr_mount_ops_total", telemetry.Labels{"mount": "/t"})
+			if sum != st.Ops {
+				t.Errorf("per-op sum %d != aggregate %d", sum, st.Ops)
+			}
+		}
+	}
+}

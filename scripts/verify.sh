@@ -57,6 +57,12 @@ echo "== go test -race (mount table / multi-tenant namespace)"
 # per-mount telemetry must be race-clean.
 go test -race ./internal/vfs
 
+echo "== go test -race (health/SLO engine)"
+# The engine ticks from its own goroutine while subjects register,
+# deregister, and serve /health concurrently; transitions drive pool
+# bias from the tick goroutine. All of it must be race-clean.
+go test -race ./internal/health
+
 echo "== deprecated vfs API gate"
 # The old Create/ReadOnly/WriteOnly surface lives on only inside the
 # compat shims; new in-repo callers must use Open with O_* flags.
@@ -89,5 +95,37 @@ echo "$report" | grep -q "microfs.fsync" || { echo "trace report missing microfs
 echo "$report" | grep -q "epoch 0" || { echo "trace report missing checkpoint epochs"; exit 1; }
 go run ./cmd/nvmecr-trace -chrome "$tmp/chrome.json" "$tmp/trace.jsonl" >/dev/null
 grep -q '"traceEvents"' "$tmp/chrome.json" || { echo "chrome export invalid"; exit 1; }
+
+echo "== nvmecrd /health smoke test"
+# Boot the daemon on ephemeral ports and check the three health
+# surfaces: /health (per-subject verdicts), /healthz (per-layer JSON
+# rollup), and the legacy plaintext form behind ?format=text.
+go build -o "$tmp/nvmecrd" ./cmd/nvmecrd
+"$tmp/nvmecrd" -addr 127.0.0.1:0 -admin 127.0.0.1:0 -stats 0 \
+	-health-interval 50ms >"$tmp/nvmecrd.log" 2>&1 &
+daemon=$!
+trap 'kill "$daemon" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+admin=""
+i=0
+while [ "$i" -lt 50 ]; do
+	admin="$(sed -n 's|.*admin on http://\([^ ]*\) .*|\1|p' "$tmp/nvmecrd.log")"
+	[ -n "$admin" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$admin" ]; then
+	echo "nvmecrd admin address never appeared:"
+	cat "$tmp/nvmecrd.log"
+	exit 1
+fi
+curl -fsS "http://$admin/health" | grep -q '"status"' \
+	|| { echo "/health missing status field"; exit 1; }
+curl -fsS "http://$admin/healthz" | grep -q '"layers"' \
+	|| { echo "/healthz missing layers rollup"; exit 1; }
+curl -fsS "http://$admin/healthz?format=text" | grep -q '^ok' \
+	|| { echo "/healthz?format=text lost the legacy form"; exit 1; }
+curl -fsS "http://$admin/metrics" | grep -q '^nvmecr_health_state' \
+	|| { echo "/metrics missing nvmecr_health_state"; exit 1; }
+kill "$daemon"
 
 echo "tier-1 verify: OK"
