@@ -10,9 +10,10 @@
 // name), the per-opcode NVMe-oF phase breakdown (wire / queue /
 // service p50/p95/p99, from nvmeof.cmd spans), the top-K slowest
 // commands annotated with any flight-recorder context dumped into the
-// trace (nvmeof.flight events), and a timeline of health-engine state
+// trace (nvmeof.flight events), a timeline of health-engine state
 // transitions (health.transition events) with their incident bundles
-// for forensics. -epochs adds per-rank checkpoint-epoch
+// for forensics, and a timeline of stripe-migration state transitions
+// (rebalance.transition events). -epochs adds per-rank checkpoint-epoch
 // critical paths derived from the virtual-clock microfs spans. -chrome
 // exports the whole trace as Chrome trace_event JSON, loadable in
 // Perfetto (ui.perfetto.dev) or chrome://tracing: the wall and virtual
@@ -82,6 +83,7 @@ func main() {
 	printSlowest(w, events, *topK)
 	printFlightDumps(w, events)
 	printHealth(w, events)
+	printRebalance(w, events)
 	if *epochs {
 		printEpochs(w, events)
 	}
@@ -376,6 +378,47 @@ func printHealth(w io.Writer, events []telemetry.Event) {
 func mustFloat(ev telemetry.Event, key string) float64 {
 	f, _ := attrFloat(ev, key)
 	return f
+}
+
+// printRebalance lists the migration plane's state transitions in
+// trace order: each migration's member, state chain, spare label, and
+// bytes copied so far — the timeline of a live stripe move, from drain
+// through cutover (or rollback).
+func printRebalance(w io.Writer, events []telemetry.Event) {
+	var base int64
+	for _, ev := range events {
+		if ev.Name != "rebalance.transition" {
+			continue
+		}
+		if base == 0 {
+			base = ev.WallNS
+			fmt.Fprintf(w, "Rebalance migrations\n")
+		}
+		at := time.Duration(ev.WallNS - base)
+		from := attrString(ev, "from")
+		if from == "" {
+			from = "new"
+		}
+		line := fmt.Sprintf("  +%-12v migration %d member %d (group %d): %s -> %s",
+			at.Round(time.Microsecond),
+			int64(mustFloat(ev, "migration")),
+			int64(mustFloat(ev, "child")),
+			int64(mustFloat(ev, "group")),
+			from, attrString(ev, "to"))
+		if spare := attrString(ev, "spare"); spare != "" {
+			line += " spare=" + spare
+		}
+		if copied := mustFloat(ev, "copied"); copied > 0 {
+			line += fmt.Sprintf(" copied=%d", int64(copied))
+		}
+		if reason := attrString(ev, "reason"); reason != "" {
+			line += " reason=" + reason
+		}
+		fmt.Fprintln(w, line)
+	}
+	if base != 0 {
+		fmt.Fprintln(w)
+	}
 }
 
 // printFlightDumps summarises every flight-recorder dump in the trace:

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/telemetry"
+)
+
+// rebalanceEvent builds one rebalance.transition event the way it
+// round-trips through JSON: numeric attributes decode as float64.
+func rebalanceEvent(wallNS int64, migration, child, group float64, from, to, spare string, copied float64, reason string) telemetry.Event {
+	return telemetry.Event{
+		Name:   "rebalance.transition",
+		WallNS: wallNS,
+		Attrs: map[string]any{
+			"migration": migration, "child": child, "group": group,
+			"from": from, "to": to, "spare": spare,
+			"copied": copied, "reason": reason,
+		},
+	}
+}
+
+func TestPrintRebalanceTimeline(t *testing.T) {
+	base := int64(1_000_000_000)
+	events := []telemetry.Event{
+		{Name: "health.transition", WallNS: base - 1000}, // ignored
+		rebalanceEvent(base, 1, 3, 1, "", "draining", "", 0, "health:dead"),
+		rebalanceEvent(base+int64(5*time.Millisecond), 1, 3, 1, "draining", "copying", "127.0.0.1:7777", 0, "health:dead"),
+		rebalanceEvent(base+int64(40*time.Millisecond), 1, 3, 1, "copying", "cutover", "127.0.0.1:7777", 1048576, "health:dead"),
+		rebalanceEvent(base+int64(41*time.Millisecond), 1, 3, 1, "cutover", "done", "127.0.0.1:7777", 1048576, "health:dead"),
+	}
+	var buf bytes.Buffer
+	printRebalance(&buf, events)
+	out := buf.String()
+
+	for _, want := range []string{
+		"Rebalance migrations",
+		"migration 1 member 3 (group 1): new -> draining",
+		"draining -> copying spare=127.0.0.1:7777",
+		"copying -> cutover spare=127.0.0.1:7777 copied=1048576",
+		"cutover -> done",
+		"+40ms",
+		"reason=health:dead",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintRebalanceEmptyTraceSilent(t *testing.T) {
+	var buf bytes.Buffer
+	printRebalance(&buf, []telemetry.Event{{Name: "health.transition"}})
+	if buf.Len() != 0 {
+		t.Fatalf("no rebalance events must print nothing, got %q", buf.String())
+	}
+}

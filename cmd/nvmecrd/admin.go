@@ -15,6 +15,7 @@ import (
 
 	"github.com/nvme-cr/nvmecr/internal/health"
 	"github.com/nvme-cr/nvmecr/internal/nvmeof"
+	"github.com/nvme-cr/nvmecr/internal/rebalance"
 	"github.com/nvme-cr/nvmecr/internal/vfs"
 )
 
@@ -33,10 +34,12 @@ type healthzDoc struct {
 // behind ?format=text for legacy probes), /health (the engine's full
 // per-subject verdicts), /debug/flight (the flight recorder's last
 // commands per queue pair), /tenants (the mount table, when -tenants
-// is set), and the standard pprof endpoints on addr. It returns the
-// bound address (useful with ":0"). eng may be nil (-health-interval
-// 0): /health answers 404 and /healthz rolls up with no layers.
-func startAdmin(addr string, tgt *nvmeof.Target, mounts *vfs.Namespace, eng *health.Engine) (string, error) {
+// is set), /rebalance (migration progress, and POST ?child=N to force
+// a move, when -mirror is set), and the standard pprof endpoints on
+// addr. It returns the bound address (useful with ":0"). eng may be
+// nil (-health-interval 0): /health answers 404 and /healthz rolls up
+// with no layers. mig may be nil (no -mirror): /rebalance answers 404.
+func startAdmin(addr string, tgt *nvmeof.Target, mounts *vfs.Namespace, eng *health.Engine, mig *rebalance.Migrator) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("admin listener: %w", err)
@@ -77,6 +80,9 @@ func startAdmin(addr string, tgt *nvmeof.Target, mounts *vfs.Namespace, eng *hea
 	})
 	if eng != nil {
 		mux.Handle("/health", health.Handler(eng))
+	}
+	if mig != nil {
+		mux.Handle("/rebalance", mig.Handler())
 	}
 	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

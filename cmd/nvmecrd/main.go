@@ -18,6 +18,7 @@ import (
 	"github.com/nvme-cr/nvmecr/internal/health"
 	"github.com/nvme-cr/nvmecr/internal/model"
 	"github.com/nvme-cr/nvmecr/internal/nvmeof"
+	"github.com/nvme-cr/nvmecr/internal/rebalance"
 	"github.com/nvme-cr/nvmecr/internal/vfs"
 )
 
@@ -32,6 +33,10 @@ func main() {
 	tenants := flag.String("tenants", "", "comma-separated tenant mounts `name[:quota-mb]`; each gets /tenants/<name> on an in-memory backend, with nvmecr_mount_* series on /metrics and the table on /tenants")
 	healthEvery := flag.Duration("health-interval", time.Second, "health-engine evaluation cadence (0 disables the engine)")
 	incidentDir := flag.String("incident-dir", "", "directory for black-box incident bundles on SLO breach or suspect verdicts (empty disables capture)")
+	mirror := flag.String("mirror", "", "comma-separated member target addresses to aggregate as a mirrored striped plane (mirror-head mode; count must be a multiple of -mirror-replicas)")
+	mirrorReplicas := flag.Int("mirror-replicas", 2, "replicas per mirror group in -mirror mode")
+	mirrorUnitKB := flag.Int64("mirror-unit-kb", 64, "stripe unit in KiB in -mirror mode")
+	mirrorJournal := flag.String("mirror-journal", "nvmecr-rebalance.journal", "migration journal path in -mirror mode (interrupted migrations resume or roll back from it on restart)")
 	flag.Parse()
 
 	tgt := nvmeof.NewTarget()
@@ -86,8 +91,23 @@ func main() {
 			log.Printf("nvmecrd: health engine every %v", *healthEvery)
 		}
 	}
+	var head *mirrorHead
+	if *mirror != "" {
+		head, err = startMirror(eng, tgt.Telemetry(), *mirror, *mirrorReplicas, *mirrorUnitKB, *mirrorJournal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer head.Close()
+		geo := head.plane.Geometry()
+		log.Printf("nvmecrd: mirror head over %d members (%d groups x %d replicas, unit %d KiB, %d MiB usable), journal %s",
+			head.plane.Children(), geo.Groups(), geo.Replicas, *mirrorUnitKB, head.plane.Size()>>20, *mirrorJournal)
+	}
 	if *admin != "" {
-		adminAddr, err := startAdmin(*admin, tgt, mounts, eng)
+		var mig *rebalance.Migrator
+		if head != nil {
+			mig = head.migrator
+		}
+		adminAddr, err := startAdmin(*admin, tgt, mounts, eng, mig)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -2,20 +2,30 @@ package balancer
 
 import "fmt"
 
-// StripeGeometry is a RAID-0 layout of one rank's partition across N
-// targets: unit-sized blocks rotate round-robin, so block k of the
-// striped address space lives on target k%N at block k/N of that
-// target's segment. It extends the balancer's placement model — ranks
-// map to SSDs round-robin (AllocateSSDs), and with striping a single
-// rank's partition itself spreads round-robin across several of them,
-// the paper's aggregate-bandwidth shape (§IV): one rank drives N
-// devices concurrently instead of queueing behind one.
+// StripeGeometry is the layout of one rank's partition across N
+// targets. With Replicas <= 1 it is plain RAID-0: unit-sized blocks
+// rotate round-robin, so block k of the striped address space lives on
+// target k%N at block k/N of that target's segment. With Replicas = R
+// it is RAID-10-shaped: the N targets form N/R mirror groups of R
+// members each, the address space stripes round-robin over the GROUPS,
+// and every member of a group carries an identical copy of its group's
+// units. It extends the balancer's placement model — ranks map to SSDs
+// round-robin (AllocateSSDs), and with striping a single rank's
+// partition itself spreads round-robin across several of them, the
+// paper's aggregate-bandwidth shape (§IV): one rank drives N devices
+// concurrently instead of queueing behind one. Mirroring buys the
+// availability the ROADMAP's millions-of-users deployment needs: any
+// R-1 members of a group can die without losing a byte.
 type StripeGeometry struct {
-	// Targets is the stripe width N (>= 1).
+	// Targets is the total member count N (>= 1), replicas included.
 	Targets int
 	// Unit is the stripe unit in bytes (> 0): the run of contiguous
-	// bytes placed on one target before rotating to the next.
+	// bytes placed on one group before rotating to the next.
 	Unit int64
+	// Replicas is the mirror width R: every stripe unit is stored on R
+	// distinct targets. 0 and 1 both mean unreplicated RAID-0. Targets
+	// must be a whole number of R-member groups.
+	Replicas int
 }
 
 // Validate rejects degenerate geometries.
@@ -26,23 +36,64 @@ func (g StripeGeometry) Validate() error {
 	if g.Unit <= 0 {
 		return fmt.Errorf("balancer: stripe unit %d", g.Unit)
 	}
+	if g.Replicas < 0 {
+		return fmt.Errorf("balancer: stripe replicas %d", g.Replicas)
+	}
+	if r := g.replicas(); g.Targets%r != 0 {
+		return fmt.Errorf("balancer: %d targets do not form whole %d-way mirror groups", g.Targets, r)
+	}
 	return nil
 }
 
+// replicas normalizes the mirror width: 0 means unreplicated.
+func (g StripeGeometry) replicas() int {
+	if g.Replicas < 1 {
+		return 1
+	}
+	return g.Replicas
+}
+
+// Groups returns the number of mirror groups (the RAID-0 width the
+// address space actually stripes over). Unreplicated geometry has one
+// group per target.
+func (g StripeGeometry) Groups() int { return g.Targets / g.replicas() }
+
+// Member returns the target index of one replica of a group: members
+// of group i are the Replicas consecutive targets starting at
+// i*Replicas. Keeping members adjacent keeps target indices stable
+// when a replica is swapped out — the group map never reshuffles.
+func (g StripeGeometry) Member(group, replica int) int {
+	return group*g.replicas() + replica
+}
+
+// GroupOf returns the mirror group a target belongs to.
+func (g StripeGeometry) GroupOf(target int) int { return target / g.replicas() }
+
+// Logical returns the unreplicated geometry the address-space math runs
+// over: one "target" per mirror group. Span decomposition of a
+// mirrored geometry is span decomposition of its logical geometry with
+// Span.Target meaning GROUP.
+func (g StripeGeometry) Logical() StripeGeometry {
+	return StripeGeometry{Targets: g.Groups(), Unit: g.Unit}
+}
+
 // UsableSize returns the striped address-space size carried by targets
-// whose smallest segment is childSize bytes: each target contributes
-// whole units only, so the tail remainder of every segment is unused.
+// whose smallest segment is childSize bytes: each group contributes
+// whole units only (the tail remainder of every segment is unused),
+// and mirrored copies contribute capacity once.
 func (g StripeGeometry) UsableSize(childSize int64) int64 {
 	if childSize < 0 {
 		return 0
 	}
-	return int64(g.Targets) * (childSize / g.Unit) * g.Unit
+	return int64(g.Groups()) * (childSize / g.Unit) * g.Unit
 }
 
-// StripeSpan is one contiguous run of a striped request on one target:
-// bytes [Off, Off+Length) of the striped address space live at
-// [TargetOff, TargetOff+Length) on target Target. A span never crosses
-// a unit boundary.
+// StripeSpan is one contiguous run of a striped request on one target
+// (one GROUP for mirrored geometry — every member of the group stores
+// the same bytes at the same member-local offset): bytes
+// [Off, Off+Length) of the striped address space live at
+// [TargetOff, TargetOff+Length) on target/group Target. A span never
+// crosses a unit boundary before coalescing.
 type StripeSpan struct {
 	Target    int
 	TargetOff int64
@@ -51,13 +102,16 @@ type StripeSpan struct {
 }
 
 // Spans decomposes the striped byte range [off, off+length) into
-// per-target spans, in striped-address order. Spans on the same target
-// whose target offsets are adjacent are coalesced (a request larger
-// than Targets*Unit revisits each target with contiguous runs).
+// per-group spans, in striped-address order. Spans on the same group
+// whose member offsets are adjacent are coalesced (a request larger
+// than Groups*Unit revisits each group with contiguous runs). For
+// mirrored geometry Span.Target is the GROUP index; resolve members
+// with Member.
 func (g StripeGeometry) Spans(off, length int64) []StripeSpan {
 	if length <= 0 {
 		return nil
 	}
+	groups := int64(g.Groups())
 	out := make([]StripeSpan, 0, (length+g.Unit-1)/g.Unit+1)
 	for cur := off; cur < off+length; {
 		stripeNo := cur / g.Unit
@@ -67,8 +121,8 @@ func (g StripeGeometry) Spans(off, length int64) []StripeSpan {
 			n = rest
 		}
 		s := StripeSpan{
-			Target:    int(stripeNo % int64(g.Targets)),
-			TargetOff: (stripeNo/int64(g.Targets))*g.Unit + in,
+			Target:    int(stripeNo % groups),
+			TargetOff: (stripeNo/groups)*g.Unit + in,
 			Off:       cur,
 			Length:    n,
 		}

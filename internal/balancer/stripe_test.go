@@ -99,4 +99,59 @@ func TestStripeValidate(t *testing.T) {
 	if err := (StripeGeometry{Targets: 2, Unit: 4096}).Validate(); err != nil {
 		t.Errorf("valid geometry rejected: %v", err)
 	}
+	if err := (StripeGeometry{Targets: 3, Unit: 8, Replicas: 2}).Validate(); err == nil {
+		t.Error("3 targets in 2-way mirror groups accepted")
+	}
+	if err := (StripeGeometry{Targets: 2, Unit: 8, Replicas: -1}).Validate(); err == nil {
+		t.Error("negative replica count accepted")
+	}
+	if err := (StripeGeometry{Targets: 6, Unit: 8, Replicas: 3}).Validate(); err != nil {
+		t.Errorf("valid mirrored geometry rejected: %v", err)
+	}
+}
+
+// TestStripeMirrorGroups pins the mirrored layout: members of a group
+// are adjacent target indices, the address space stripes over groups,
+// and mirrored copies contribute capacity once.
+func TestStripeMirrorGroups(t *testing.T) {
+	g := StripeGeometry{Targets: 6, Unit: 8, Replicas: 2}
+	if got := g.Groups(); got != 3 {
+		t.Fatalf("Groups = %d, want 3", got)
+	}
+	if got := g.Member(1, 0); got != 2 {
+		t.Errorf("Member(1,0) = %d, want 2", got)
+	}
+	if got := g.Member(2, 1); got != 5 {
+		t.Errorf("Member(2,1) = %d, want 5", got)
+	}
+	for target := 0; target < g.Targets; target++ {
+		if got, want := g.GroupOf(target), target/2; got != want {
+			t.Errorf("GroupOf(%d) = %d, want %d", target, got, want)
+		}
+	}
+	// Capacity: 3 groups x 2 whole units of a 20-byte child.
+	if got := g.UsableSize(20); got != 3*16 {
+		t.Errorf("UsableSize(20) = %d, want %d", got, 3*16)
+	}
+	// Span math over the mirrored geometry equals span math over its
+	// logical (group-level RAID-0) geometry, with Target meaning group.
+	logical := g.Logical()
+	if logical.Targets != 3 || logical.Unit != 8 || logical.Replicas != 0 {
+		t.Fatalf("Logical = %+v", logical)
+	}
+	a := g.Spans(4, 100)
+	b := logical.Spans(4, 100)
+	if len(a) != len(b) {
+		t.Fatalf("mirrored spans %+v diverge from logical %+v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("span %d: mirrored %+v, logical %+v", i, a[i], b[i])
+		}
+	}
+	// Unreplicated fields keep their old meaning: one group per target.
+	flat := StripeGeometry{Targets: 4, Unit: 8}
+	if flat.Groups() != 4 || flat.Member(3, 0) != 3 || flat.GroupOf(2) != 2 {
+		t.Errorf("unreplicated geometry group helpers broken: %+v", flat)
+	}
 }

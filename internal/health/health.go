@@ -273,6 +273,7 @@ type Subject struct {
 	burnG  [][2]*telemetry.FloatGauge // per objective: fast, slow
 
 	mu          sync.Mutex
+	listeners   []func(old, new State, v Verdict)
 	state       State
 	score       float64
 	live        bool
@@ -623,7 +624,27 @@ func (s *Subject) evaluate(snap *telemetry.RegistrySnapshot, tick uint64) {
 		if s.cfg.OnTransition != nil {
 			s.cfg.OnTransition(old, tentative, v)
 		}
+		s.mu.Lock()
+		var listeners []func(old, new State, v Verdict)
+		listeners = append(listeners, s.listeners...)
+		s.mu.Unlock()
+		for _, fn := range listeners {
+			fn(old, tentative, v)
+		}
 	}
+}
+
+// Subscribe adds a transition listener that runs (outside the
+// subject's locks, on the evaluation goroutine) after every state
+// change, alongside the registration-time OnTransition hook. It lets
+// consumers that did not register the subject — the rebalancing
+// control plane chief among them — react to verdicts instead of
+// re-deriving judgment from raw series. Listeners cannot be removed;
+// subjects live as long as their engine.
+func (s *Subject) Subscribe(fn func(old, new State, v Verdict)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.listeners = append(s.listeners, fn)
 }
 
 // emitTransition records a health.transition tracer event.

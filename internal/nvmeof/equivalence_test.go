@@ -35,6 +35,7 @@ const (
 type eqWorld struct {
 	t      *testing.T
 	plane  plane.Plane
+	sp     *StripedPlane
 	plan   *faults.Plan
 	expect []byte
 
@@ -48,7 +49,17 @@ type eqWorld struct {
 // reference) striped at eqStripeUnit, each of total/n bytes so every
 // world exposes exactly `total` bytes and offsets mean the same thing.
 func newEqWorld(t *testing.T, n int, total, seed int64) *eqWorld {
+	return newMirroredEqWorld(t, n, 1, total, seed)
+}
+
+// newMirroredEqWorld builds a world of groups*replicas targets mirrored
+// R-way: the striped address space is `total` bytes over `groups`
+// mirror groups, each member namespace total/groups bytes, so every
+// world (single, striped, mirrored) exposes identical capacity and
+// offsets mean the same thing.
+func newMirroredEqWorld(t *testing.T, groups, replicas int, total, seed int64) *eqWorld {
 	t.Helper()
+	n := groups * replicas
 	w := &eqWorld{
 		t: t,
 		plan: faults.NewPlan(seed, faults.Rule{
@@ -57,7 +68,7 @@ func newEqWorld(t *testing.T, n int, total, seed int64) *eqWorld {
 		}),
 	}
 	children := make([]plane.Plane, n)
-	childSize := total / int64(n)
+	childSize := total / int64(groups)
 	for i := 0; i < n; i++ {
 		ns := NewMemNamespace(childSize)
 		tgt := NewTarget()
@@ -89,11 +100,12 @@ func newEqWorld(t *testing.T, n int, total, seed int64) *eqWorld {
 		w.nss = append(w.nss, ns)
 		w.addrs = append(w.addrs, addr)
 	}
-	sp, err := NewStripedPlane(children, eqStripeUnit)
+	sp, err := NewMirroredPlane(children, eqStripeUnit, replicas)
 	if err != nil {
 		t.Fatal(err)
 	}
 	w.plane = sp
+	w.sp = sp
 	w.expect = make([]byte, sp.Size())
 	t.Cleanup(func() {
 		w.mu.Lock()
@@ -127,6 +139,46 @@ func (w *eqWorld) kill(i int) error {
 		time.Sleep(2 * time.Millisecond)
 	}
 	return fmt.Errorf("restart target %d: %w", i, err)
+}
+
+// wipeKill is the disk-death variant of kill: target i's process dies
+// AND its namespace is replaced with a fresh empty one — the data is
+// gone. Only a mirror sibling (and migration) can bring the member's
+// bytes back. Call it only on a member already marked down.
+func (w *eqWorld) wipeKill(i int) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.targets[i].Close()
+	w.nss[i] = NewMemNamespace(w.nss[i].Size())
+	tgt := NewTarget()
+	if err := tgt.AddNamespace(1, w.nss[i]); err != nil {
+		return err
+	}
+	var err error
+	for try := 0; try < 400; try++ {
+		if _, err = tgt.Listen(w.addrs[i]); err == nil {
+			w.targets[i] = tgt
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("restart wiped target %d: %w", i, err)
+}
+
+// mustSync retries one rebuild chunk until it copies — target kills
+// mid-migration make individual chunk syncs fail transiently.
+func (w *eqWorld) mustSync(child int, off, length int64) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, err := w.sp.SyncChunk(child, off, length)
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("sync chunk [%d,+%d) of child %d never completed: %w", off, length, child, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // mustWrite retries a plane write until it is acknowledged: the workload

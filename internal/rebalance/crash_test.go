@@ -1,0 +1,303 @@
+package rebalance
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/nvme-cr/nvmecr/internal/faults"
+	"github.com/nvme-cr/nvmecr/internal/nvmeof"
+)
+
+// The migration-journal crash property: a seeded fault plan crashes
+// the migrator at drain, at an arbitrary copy chunk, or between copy
+// and cutover; the "process" (plane + migrator) is then rebuilt over
+// the same durable stores and journal, Recover runs, and afterwards:
+//
+//   - the journal holds EXACTLY one terminal record for the migration
+//     (no double-charged stripe),
+//   - if it ended done, the recovered member alone serves every acked
+//     byte of its group (no stale read from a half-synced spare),
+//   - if it ended rolledback, the member is down — unable to serve
+//     stale bytes — and the group still serves from its sibling.
+//
+// Failures print the seed and the fault trace for replay.
+
+// crashIteration runs one seeded crash/recover cycle. Returns a
+// description of what happened for the campaign's tally.
+func crashIteration(t *testing.T, seed int64) string {
+	t.Helper()
+	w := newWorld(t, 2, 2)
+	expect := w.fill(seed)
+	victim := int(seed % int64(len(w.members)))
+
+	plan := faults.NewPlan(seed,
+		faults.Rule{Name: "crash-at-drain", Layer: faults.LayerProcess, Op: "rebalance-drain", Probability: 0.15, Count: 1, Kind: faults.KindCrash},
+		faults.Rule{Name: "crash-mid-copy", Layer: faults.LayerProcess, Op: "rebalance-copy", Probability: 0.10, Count: 1, Kind: faults.KindCrash},
+		faults.Rule{Name: "crash-pre-cutover", Layer: faults.LayerProcess, Op: "rebalance-cutover", Probability: 0.5, Count: 1, Kind: faults.KindCrash},
+	)
+	w.boot(&Config{Faults: plan})
+
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Fatalf("seed=%d victim=%d: %s\nfaults: %s",
+			seed, victim, fmt.Sprintf(format, args...), plan.FormatTrace())
+	}
+
+	_, err := w.mig.Migrate(victim, "crash-test")
+	crashed := errors.Is(err, ErrCrashed)
+	if err != nil && !crashed {
+		fail("migrate failed outside the crash model: %v", err)
+	}
+
+	if crashed {
+		// Process restart: rebuild plane and migrator over the same
+		// durable member stores, spare pool, and journal; recover
+		// BEFORE serving traffic. No faults the second time — the
+		// crashed process does not come back just to crash again
+		// (recovery-loop crashes are a separate rule set).
+		w.boot(nil)
+		if _, err := w.mig.Recover(); err != nil {
+			fail("recover: %v", err)
+		}
+	}
+
+	// Invariant 1: exactly one terminal journal record per migration.
+	terminal := countTerminalRecords(t, w.journal.Path())
+	for id, n := range terminal {
+		if n != 1 {
+			fail("migration %d has %d terminal records, want exactly 1", id, n)
+		}
+	}
+	if len(terminal) != 1 {
+		fail("journal holds %d migrations, want 1", len(terminal))
+	}
+	if open := w.journal.Open(); len(open) != 0 {
+		fail("migrations still open after recovery: %+v", open)
+	}
+
+	// Invariant 2/3 by outcome.
+	geo := w.sp.Geometry()
+	group := geo.GroupOf(victim)
+	var sibling int
+	for r := 0; r < w.replicas; r++ {
+		if m := geo.Member(group, r); m != victim {
+			sibling = m
+		}
+	}
+	var outcome State
+	for _, st := range w.journal.All() {
+		outcome = st.State
+	}
+	switch outcome {
+	case StateDone:
+		// The member (spare or original) must alone serve its group.
+		if w.sp.State(victim) != nvmeof.ChildLive {
+			fail("done migration left member %s", w.sp.State(victim))
+		}
+		if err := w.sp.SetChildDown(sibling); err != nil {
+			fail("downing sibling: %v", err)
+		}
+		got, err := w.sp.Read(nil, 0, w.sp.Size(), 0)
+		if err != nil {
+			fail("read from recovered member: %v", err)
+		}
+		if !bytes.Equal(got, expect) {
+			fail("stale/incomplete read from recovered member")
+		}
+		return "done"
+	case StateRolledBack:
+		// The member stays down: it cannot serve stale bytes; the
+		// sibling serves everything.
+		if w.sp.State(victim) != nvmeof.ChildDown {
+			fail("rolledback migration left member %s, want down", w.sp.State(victim))
+		}
+		got, err := w.sp.Read(nil, 0, w.sp.Size(), 0)
+		if err != nil {
+			fail("degraded read after rollback: %v", err)
+		}
+		if !bytes.Equal(got, expect) {
+			fail("degraded read after rollback diverges")
+		}
+		return "rolledback"
+	default:
+		fail("migration ended in non-terminal state %q", outcome)
+		return ""
+	}
+}
+
+// countTerminalRecords scans the raw journal file (not the replayed
+// tail — the tail can't see a double append) counting terminal records
+// per migration ID.
+func countTerminalRecords(t *testing.T, path string) map[int64]int {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	out := map[int64]int{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			continue
+		}
+		if r.State.Terminal() {
+			out[r.Migration]++
+		}
+	}
+	return out
+}
+
+// TestMigrationCrashRecovery is the seeded campaign: 100 iterations
+// (20 in -short mode) of crash-at-a-random-step plus recovery. The
+// probabilities are tuned so the campaign exercises crash-free runs,
+// drain crashes, mid-copy crashes, and the copy/cutover gap.
+func TestMigrationCrashRecovery(t *testing.T) {
+	iters := 100
+	if testing.Short() {
+		iters = 20
+	}
+	const baseSeed = 0xBEEF
+	tally := map[string]int{}
+	for i := 0; i < iters; i++ {
+		seed := int64(baseSeed + i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			tally[crashIteration(t, seed)]++
+		})
+	}
+	// The campaign must actually exercise both terminal outcomes;
+	// a tuning drift that stops producing one would hollow the test.
+	if tally["done"] == 0 || tally["rolledback"] == 0 {
+		t.Fatalf("campaign outcome tally %v lacks coverage of both terminals", tally)
+	}
+}
+
+// TestRecoverResumesFromJournaledSpare pins the copying-state resume
+// path deterministically: crash exactly between copy and cutover, then
+// prove recovery re-attaches the journaled spare — the same store, by
+// label — and finishes onto it.
+func TestRecoverResumesFromJournaledSpare(t *testing.T) {
+	w := newWorld(t, 1, 2)
+	expect := w.fill(7)
+	plan := faults.NewPlan(1, faults.Rule{
+		Name: "gap", Layer: faults.LayerProcess, Op: "rebalance-cutover", Nth: 1, Kind: faults.KindCrash,
+	})
+	w.boot(&Config{Faults: plan})
+	_, err := w.mig.Migrate(1, "gap-crash")
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("migrate = %v, want injected crash in the copy/cutover gap", err)
+	}
+	var spareLabel string
+	for _, r := range w.journal.Open() {
+		spareLabel = r.Spare
+	}
+	if spareLabel == "" {
+		t.Fatal("no spare label journaled before the gap")
+	}
+
+	w.boot(nil)
+	sts, err := w.mig.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if len(sts) != 1 || sts[0].State != StateDone {
+		t.Fatalf("recover statuses = %+v, want one done", sts)
+	}
+	if w.sp.Child(1) != w.spares[spareLabel] {
+		t.Error("recovery attached a different plane than the journaled spare")
+	}
+	if err := w.sp.SetChildDown(0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.sp.Read(nil, 0, w.sp.Size(), 0)
+	if err != nil || !bytes.Equal(got, expect) {
+		t.Fatalf("recovered spare serves wrong bytes (err=%v)", err)
+	}
+}
+
+// TestRecoverRollsBackUnreachableSpare: the journaled spare no longer
+// exists at recovery (the spare machine died too) — the migration must
+// roll back, the member stays down, and no stale promotion happens.
+func TestRecoverRollsBackUnreachableSpare(t *testing.T) {
+	w := newWorld(t, 1, 2)
+	expect := w.fill(8)
+	plan := faults.NewPlan(2, faults.Rule{
+		Name: "gap", Layer: faults.LayerProcess, Op: "rebalance-cutover", Nth: 1, Kind: faults.KindCrash,
+	})
+	w.boot(&Config{Faults: plan})
+	if _, err := w.mig.Migrate(1, "doomed"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want injected crash, got %v", err)
+	}
+	// The spare pool loses everything across the restart.
+	for k := range w.spares {
+		delete(w.spares, k)
+	}
+	w.boot(nil)
+	sts, err := w.mig.Recover()
+	if err == nil {
+		t.Fatal("recover with unreachable spare reported success")
+	}
+	if len(sts) != 1 || sts[0].State != StateRolledBack {
+		t.Fatalf("recover statuses = %+v, want one rolledback", sts)
+	}
+	if w.sp.State(1) != nvmeof.ChildDown {
+		t.Fatalf("member state %s after rollback, want down", w.sp.State(1))
+	}
+	got, rerr := w.sp.Read(nil, 0, w.sp.Size(), 0)
+	if rerr != nil || !bytes.Equal(got, expect) {
+		t.Fatalf("degraded read after rollback diverges (err=%v)", rerr)
+	}
+	// The journal is clean: a fresh Migrate of the same member works.
+	st, err := w.mig.Migrate(1, "retry")
+	if err != nil || st.State != StateDone {
+		t.Fatalf("fresh migrate after rollback: %v (%+v)", err, st)
+	}
+}
+
+// TestRecoverCrashDuringRecovery: recovery itself can crash in the
+// copy/cutover gap; a second recovery must still converge to exactly
+// one terminal record.
+func TestRecoverCrashDuringRecovery(t *testing.T) {
+	w := newWorld(t, 1, 2)
+	expect := w.fill(9)
+	plan := faults.NewPlan(3, faults.Rule{
+		Name: "gap", Layer: faults.LayerProcess, Op: "rebalance-cutover", Nth: 1, Kind: faults.KindCrash,
+	})
+	w.boot(&Config{Faults: plan})
+	if _, err := w.mig.Migrate(1, "doomed"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want injected crash, got %v", err)
+	}
+	// First recovery crashes at its own cutover too.
+	plan2 := faults.NewPlan(4, faults.Rule{
+		Name: "gap2", Layer: faults.LayerProcess, Op: "rebalance-cutover", Nth: 1, Kind: faults.KindCrash,
+	})
+	w.boot(&Config{Faults: plan2})
+	if _, err := w.mig.Recover(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("first recovery = %v, want injected crash", err)
+	}
+	// Second recovery finishes.
+	w.boot(nil)
+	if _, err := w.mig.Recover(); err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	terminal := countTerminalRecords(t, filepath.Join(w.dir, "rebalance.journal"))
+	for id, n := range terminal {
+		if n != 1 {
+			t.Fatalf("migration %d has %d terminal records after double recovery", id, n)
+		}
+	}
+	if err := w.sp.SetChildDown(0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.sp.Read(nil, 0, w.sp.Size(), 0)
+	if err != nil || !bytes.Equal(got, expect) {
+		t.Fatalf("read after double recovery diverges (err=%v)", err)
+	}
+}

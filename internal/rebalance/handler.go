@@ -1,0 +1,46 @@
+package rebalance
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the migration control plane over HTTP:
+//
+//	GET  /rebalance            → {"migrations": [Status...]}
+//	POST /rebalance?child=N    → start migrating member N (202; the
+//	                             move runs asynchronously, poll GET)
+//
+// Mount it on the daemon's admin mux next to /metrics and /healthz.
+func (m *Migrator) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(struct {
+				Migrations []Status `json:"migrations"`
+			}{m.Migrations()})
+		case http.MethodPost:
+			child, err := strconv.Atoi(r.URL.Query().Get("child"))
+			if err != nil {
+				http.Error(w, "rebalance: ?child=N is required", http.StatusBadRequest)
+				return
+			}
+			if child < 0 || child >= m.cfg.Plane.Children() {
+				http.Error(w, "rebalance: child out of range", http.StatusBadRequest)
+				return
+			}
+			reason := r.URL.Query().Get("reason")
+			if reason == "" {
+				reason = "admin"
+			}
+			go m.Migrate(child, reason)
+			w.WriteHeader(http.StatusAccepted)
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{"child": child, "accepted": true})
+		default:
+			http.Error(w, "rebalance: GET or POST", http.StatusMethodNotAllowed)
+		}
+	})
+}

@@ -1,0 +1,384 @@
+package rebalance
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/nvme-cr/nvmecr/internal/nvmeof"
+	"github.com/nvme-cr/nvmecr/internal/plane"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/telemetry"
+)
+
+// testPlane is a durable in-memory plane.Plane double: its buffer
+// plays the member device, outliving any plane/migrator "process"
+// built over it — crash tests rebuild the control plane over the same
+// testPlanes, exactly the device-outlives-process model.
+type testPlane struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+func newTestPlane(size int64) *testPlane { return &testPlane{data: make([]byte, size)} }
+
+func (m *testPlane) Write(p *sim.Proc, off, length int64, data []byte, cmdUnit int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 || length < 0 || off+length > int64(len(m.data)) {
+		return fmt.Errorf("testplane: write [%d,+%d) out of range", off, length)
+	}
+	if data != nil {
+		copy(m.data[off:off+length], data)
+	}
+	return nil
+}
+
+func (m *testPlane) Read(p *sim.Proc, off, length int64, cmdUnit int64) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 || length < 0 || off+length > int64(len(m.data)) {
+		return nil, fmt.Errorf("testplane: read [%d,+%d) out of range", off, length)
+	}
+	return append([]byte(nil), m.data[off:off+length]...), nil
+}
+
+func (m *testPlane) Flush(p *sim.Proc) error { return nil }
+func (m *testPlane) Size() int64             { m.mu.Lock(); defer m.mu.Unlock(); return int64(len(m.data)) }
+
+// world is one migrator test fixture: a mirrored plane over durable
+// testPlanes, a journal on disk, and a durable label-keyed spare pool.
+type world struct {
+	t         *testing.T
+	dir       string
+	members   []*testPlane // the "devices" behind the plane's slots
+	spares    map[string]*testPlane
+	spareSeq  int
+	sp        *nvmeof.StripedPlane
+	journal   *Journal
+	mig       *Migrator
+	reg       *telemetry.Registry
+	traceBuf  *bytes.Buffer
+	groups    int
+	replicas  int
+	childSize int64
+}
+
+const (
+	twUnit      = 512
+	twChildSize = int64(32 * 1024)
+	twChunk     = int64(4 * 1024)
+)
+
+func newWorld(t *testing.T, groups, replicas int) *world {
+	t.Helper()
+	w := &world{
+		t: t, dir: t.TempDir(),
+		spares:   map[string]*testPlane{},
+		groups:   groups,
+		replicas: replicas, childSize: twChildSize,
+	}
+	for i := 0; i < groups*replicas; i++ {
+		w.members = append(w.members, newTestPlane(twChildSize))
+	}
+	w.boot(nil)
+	return w
+}
+
+// boot (re)builds the control plane — striped plane, journal handle,
+// migrator — over the SAME durable member/spare stores, the test's
+// process restart. faults is the migrator's crash plan (nil = none).
+func (w *world) boot(cfg *Config) {
+	w.t.Helper()
+	children := make([]plane.Plane, len(w.members))
+	for i := range w.members {
+		children[i] = w.members[i]
+	}
+	sp, err := nvmeof.NewMirroredPlane(children, twUnit, w.replicas)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	w.sp = sp
+	if w.journal != nil {
+		w.journal.Close()
+	}
+	j, err := OpenJournal(filepath.Join(w.dir, "rebalance.journal"))
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	w.journal = j
+	w.reg = telemetry.New()
+	w.traceBuf = &bytes.Buffer{}
+	sp.Instrument(w.reg)
+	c := Config{
+		Plane:     sp,
+		Journal:   j,
+		ChunkSize: twChunk,
+		Registry:  w.reg,
+		Tracer:    telemetry.NewTracer(w.traceBuf),
+		Spare: func(child int) (plane.Plane, string, error) {
+			w.spareSeq++
+			label := fmt.Sprintf("spare-%d", w.spareSeq)
+			p := newTestPlane(w.childSize)
+			w.spares[label] = p
+			return p, label, nil
+		},
+		Restore: func(label string) (plane.Plane, error) {
+			p, ok := w.spares[label]
+			if !ok {
+				return nil, fmt.Errorf("no spare %q", label)
+			}
+			return p, nil
+		},
+	}
+	if cfg != nil {
+		c.Faults = cfg.Faults
+	}
+	m, err := New(c)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	w.mig = m
+}
+
+// fill writes a seeded image through the plane and returns it.
+func (w *world) fill(seed int64) []byte {
+	w.t.Helper()
+	expect := make([]byte, w.sp.Size())
+	rand.New(rand.NewSource(seed)).Read(expect)
+	if err := w.sp.Write(nil, 0, w.sp.Size(), expect, 0); err != nil {
+		w.t.Fatal(err)
+	}
+	return expect
+}
+
+// traceEvents decodes the tracer buffer's rebalance.transition events.
+func (w *world) traceEvents() []map[string]any {
+	var out []map[string]any
+	for _, line := range strings.Split(w.traceBuf.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev struct {
+			Name  string         `json:"name"`
+			Attrs map[string]any `json:"attrs"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			w.t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if ev.Name == "rebalance.transition" {
+			out = append(out, ev.Attrs)
+		}
+	}
+	return out
+}
+
+func TestMigratorHappyPath(t *testing.T) {
+	w := newWorld(t, 2, 2)
+	expect := w.fill(1)
+	victim := 1 // group 0, replica 1
+
+	st, err := w.mig.Migrate(victim, "test")
+	if err != nil {
+		t.Fatalf("migrate: %v (status %+v)", err, st)
+	}
+	if st.State != StateDone {
+		t.Fatalf("final state %s, want done", st.State)
+	}
+	if st.Copied != w.childSize {
+		t.Errorf("copied %d bytes, want %d", st.Copied, w.childSize)
+	}
+	if w.sp.State(victim) != nvmeof.ChildLive {
+		t.Errorf("member %d state %s after migration, want live", victim, w.sp.State(victim))
+	}
+	// The slot now holds the spare, not the original device.
+	if w.sp.Child(victim) != w.spares[st.Spare] {
+		t.Error("member slot does not hold the migrated-onto spare")
+	}
+	// No acked byte lost: the spare alone serves group 0.
+	if err := w.sp.SetChildDown(0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.sp.Read(nil, 0, w.sp.Size(), 0)
+	if err != nil || !bytes.Equal(got, expect) {
+		t.Fatalf("read after migration diverges (err=%v)", err)
+	}
+	// Journal: exactly one done record, preceded by the full chain.
+	states := []State{}
+	for _, ev := range w.traceEvents() {
+		states = append(states, State(ev["to"].(string)))
+	}
+	wantChain := []State{StateDraining, StateCopying, StateCutover, StateDone}
+	if len(states) != len(wantChain) {
+		t.Fatalf("transition chain %v, want %v", states, wantChain)
+	}
+	for i := range wantChain {
+		if states[i] != wantChain[i] {
+			t.Fatalf("transition chain %v, want %v", states, wantChain)
+		}
+	}
+	// Metrics: done counted once, bytes counted, nothing active.
+	if v := w.reg.Counter(MetricMigrations, telemetry.Labels{"state": "done"}).Value(); v != 1 {
+		t.Errorf("migrations{done} = %d, want 1", v)
+	}
+	if v := w.reg.Counter(MetricCopiedBytes, nil).Value(); v != uint64(w.childSize) {
+		t.Errorf("copied bytes = %d, want %d", v, w.childSize)
+	}
+	if v := w.reg.Gauge(MetricActive, nil).Value(); v != 0 {
+		t.Errorf("active = %d, want 0", v)
+	}
+	// Status endpoint payload reflects the finished move.
+	ms := w.mig.Migrations()
+	if len(ms) != 1 || ms[0].State != StateDone || ms[0].Child != victim {
+		t.Errorf("Migrations() = %+v", ms)
+	}
+}
+
+func TestMigratorConcurrentSameChildRejected(t *testing.T) {
+	w := newWorld(t, 1, 2)
+	w.fill(2)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	w.mig.cfg.Spare = func(child int) (plane.Plane, string, error) {
+		close(started)
+		<-block
+		return newTestPlane(w.childSize), "slow-spare", nil
+	}
+	w.spares["slow-spare"] = nil // not needed; no recovery here
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := w.mig.Migrate(1, "first")
+		errCh <- err
+	}()
+	<-started
+	if _, err := w.mig.Migrate(1, "second"); !errors.Is(err, ErrMigrationActive) {
+		t.Fatalf("second migrate = %v, want ErrMigrationActive", err)
+	}
+	close(block)
+	if err := <-errCh; err != nil {
+		t.Fatalf("first migrate: %v", err)
+	}
+}
+
+func TestMigratorWritesDuringMigrationSurvive(t *testing.T) {
+	w := newWorld(t, 2, 2)
+	expect := w.fill(3)
+	var expectMu sync.Mutex
+	victim := 0
+
+	stop := make(chan struct{})
+	writerErr := make(chan error, 1)
+	go func() {
+		rng := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-stop:
+				writerErr <- nil
+				return
+			default:
+			}
+			length := 1 + rng.Int63n(3*twUnit)
+			off := rng.Int63n(w.sp.Size() - length)
+			payload := make([]byte, length)
+			rng.Read(payload)
+			if err := w.sp.Write(nil, off, length, payload, 0); err != nil {
+				writerErr <- err
+				return
+			}
+			expectMu.Lock()
+			copy(expect[off:off+length], payload)
+			expectMu.Unlock()
+		}
+	}()
+
+	st, err := w.mig.Migrate(victim, "under-traffic")
+	close(stop)
+	if werr := <-writerErr; werr != nil {
+		t.Fatalf("writer during migration: %v", werr)
+	}
+	if err != nil || st.State != StateDone {
+		t.Fatalf("migrate under traffic: %v (%+v)", err, st)
+	}
+	// The migrated-onto spare alone serves its group, including bytes
+	// written DURING the sweep.
+	if err := w.sp.SetChildDown(1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.sp.Read(nil, 0, w.sp.Size(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectMu.Lock()
+	defer expectMu.Unlock()
+	if !bytes.Equal(got, expect) {
+		t.Fatal("acked byte written during migration lost after cutover")
+	}
+}
+
+func TestJournalTornTailIgnored(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Migration: 1, Child: 0, State: StateDraining}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Migration: 1, Child: 0, State: StateCopying, Spare: "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// A crash mid-append leaves a torn JSON line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"migration":1,"child":0,"sta`)
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	open := j2.Open()
+	if len(open) != 1 || open[0].State != StateCopying || open[0].Spare != "s1" {
+		t.Fatalf("replay after torn tail = %+v, want the last whole record", open)
+	}
+	if id := j2.NextID(); id != 2 {
+		t.Fatalf("NextID after replay = %d, want 2", id)
+	}
+}
+
+func TestJournalRejectsSecondTerminal(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "j"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	must := func(r Record) {
+		t.Helper()
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Record{Migration: 1, State: StateDraining})
+	must(Record{Migration: 1, State: StateCopying})
+	must(Record{Migration: 1, State: StateDone})
+	if err := j.Append(Record{Migration: 1, State: StateDone}); err == nil {
+		t.Fatal("double done accepted — migration double-charged")
+	}
+	if err := j.Append(Record{Migration: 1, State: StateRolledBack}); err == nil {
+		t.Fatal("terminal state change accepted after done")
+	}
+	// Other migrations are unaffected.
+	must(Record{Migration: 2, State: StateDraining})
+}

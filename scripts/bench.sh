@@ -9,7 +9,8 @@
 # vs unbatched small commands across queue-pair counts),
 # BenchmarkHostPoolDeviceBound (the device-limited regime where
 # batching must be neutral), BenchmarkStripedPlane (striped vs
-# single-target large transfers), BenchmarkHostPolled (the busy-poll
+# single-target large transfers), BenchmarkMirroredPlane (RAID-10
+# mirror vs RAID-0 over the same members), BenchmarkHostPolled (the busy-poll
 # reap knob on a synchronous submitter), BenchmarkIndexRing (the raw
 # slot-ring cycle), and BenchmarkHostPoolHealth (the same loaded pool
 # with and without a bound health engine) — and emits BENCH_nvmeof.json
@@ -26,6 +27,9 @@
 #     in-process target included)
 #   - health-engine overhead: engine=on ns/op <= 1.05x engine=off (the
 #     judgment layer must stay off the data hot path)
+#   - mirrored R=2 writes >= 0.45x RAID-0 (ideal 0.5x: every byte hits
+#     two devices) and mirrored reads >= 0.9x RAID-0 (replica-split
+#     reads keep RAID-0 read bandwidth)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -42,7 +46,7 @@ trap 'rm -f "$raw"' EXIT
 
 echo "== go test -bench (nvmeof hot paths, benchtime=$benchtime)"
 go test ./internal/nvmeof -run '^$' \
-	-bench 'BenchmarkHostPool|BenchmarkHostPolled|BenchmarkStripedPlane|BenchmarkIndexRing' \
+	-bench 'BenchmarkHostPool|BenchmarkHostPolled|BenchmarkStripedPlane|BenchmarkMirroredPlane|BenchmarkIndexRing' \
 	-benchmem -benchtime "$benchtime" -count=1 | tee "$raw"
 
 echo "== go test -bench (health-engine overhead, benchtime=$benchtime)"
@@ -128,6 +132,30 @@ echo "== health-engine on/off ns/op ratio: ${hratio}x (gate: <= 1.05x)"
 if [ "$gate" = 1 ]; then
 	awk -v r="$hratio" 'BEGIN { exit (r > 0 && r <= 1.05 ? 0 : 1) }' || {
 		echo "FAIL: health-engine overhead — engine=on at ${hratio}x engine=off ns/op, above the 1.05x gate" >&2
+		exit 1
+	}
+fi
+
+# Gate 5: mirroring costs its fundamental write tax and no more —
+# R=2 writes hold >= 0.45x RAID-0 over the same four members (every
+# byte hits two devices, so the ideal is 0.5x), and replica-split reads
+# stay within 0.9x of RAID-0 read bandwidth.
+mw="$(awk '
+$1 ~ /^BenchmarkMirroredPlane\/mode=raid0\/op=write(-[0-9]+)?$/   { for (i=2;i<=NF;i++) if ($i=="MB/s") base=$(i-1) }
+$1 ~ /^BenchmarkMirroredPlane\/mode=mirror2\/op=write(-[0-9]+)?$/ { for (i=2;i<=NF;i++) if ($i=="MB/s") got=$(i-1) }
+END { if (base > 0) printf "%.2f", got / base; else print "0" }' "$raw")"
+mr="$(awk '
+$1 ~ /^BenchmarkMirroredPlane\/mode=raid0\/op=read(-[0-9]+)?$/   { for (i=2;i<=NF;i++) if ($i=="MB/s") base=$(i-1) }
+$1 ~ /^BenchmarkMirroredPlane\/mode=mirror2\/op=read(-[0-9]+)?$/ { for (i=2;i<=NF;i++) if ($i=="MB/s") got=$(i-1) }
+END { if (base > 0) printf "%.2f", got / base; else print "0" }' "$raw")"
+echo "== mirrored R=2 / RAID-0 throughput: writes ${mw}x (gate: >= 0.45x), reads ${mr}x (gate: >= 0.9x)"
+if [ "$gate" = 1 ]; then
+	awk -v r="$mw" 'BEGIN { exit (r >= 0.45 ? 0 : 1) }' || {
+		echo "FAIL: mirror write regression — R=2 at ${mw}x RAID-0, below 0.45x gate" >&2
+		exit 1
+	}
+	awk -v r="$mr" 'BEGIN { exit (r >= 0.9 ? 0 : 1) }' || {
+		echo "FAIL: mirror read regression — R=2 at ${mr}x RAID-0, below 0.9x gate (replica read-split broken?)" >&2
 		exit 1
 	}
 fi

@@ -63,6 +63,25 @@ echo "== go test -race (health/SLO engine)"
 # bias from the tick goroutine. All of it must be race-clean.
 go test -race ./internal/health
 
+echo "== go test -race (stripe migration plane, short mode)"
+# The migrator sweeps stripes off a suspect member while writers keep
+# hitting the same plane, and the seeded crash/recovery campaign
+# restarts the "process" mid-move — sweep-lock ordering and journal
+# replay must be race-clean. Short mode runs 20 crash seeds; the full
+# 100-seed campaign is: go test -count=1 ./internal/rebalance
+go test -race -short -count=1 ./internal/rebalance
+
+echo "== mirrored no-lost-byte property suite (short mode)"
+# 20 seeded iterations of the mirrored/single equivalence campaign,
+# each with mid-batch target kills plus a disk-death-and-live-migration
+# cycle. The nightly-style 100-seed sweep is:
+#
+#     go test -count=1 -run MirroredSingleEquivalence ./internal/nvmeof
+#
+# A failure prints the reproducing seed and both fault traces.
+go test -short -count=1 -run 'TestMirroredSingleEquivalence|TestMigrationCrashRecovery' \
+	./internal/nvmeof ./internal/rebalance
+
 echo "== deprecated vfs API gate"
 # The old Create/ReadOnly/WriteOnly surface lives on only inside the
 # compat shims; new in-repo callers must use Open with O_* flags.
