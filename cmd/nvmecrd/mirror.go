@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -160,6 +161,7 @@ func startMirror(eng *health.Engine, reg *telemetry.Registry, spec string, repli
 	for i := range addrs {
 		if down[i] {
 			if err := sp.SetChildDown(i); err != nil {
+				sp.Close()
 				return nil, err
 			}
 		}
@@ -168,6 +170,7 @@ func startMirror(eng *health.Engine, reg *telemetry.Registry, spec string, repli
 
 	journal, err := rebalance.OpenJournal(journalPath)
 	if err != nil {
+		sp.Close()
 		return nil, err
 	}
 	redial := func(addr string) (plane.Plane, error) { return dialMirrorMember(addr, size) }
@@ -188,6 +191,7 @@ func startMirror(eng *health.Engine, reg *telemetry.Registry, spec string, repli
 		Restore: redial,
 	})
 	if err != nil {
+		sp.Close()
 		journal.Close()
 		return nil, err
 	}
@@ -204,6 +208,8 @@ func startMirror(eng *health.Engine, reg *telemetry.Registry, spec string, repli
 	head := &mirrorHead{plane: sp, migrator: mig, journal: journal, addrs: addrs}
 	if eng != nil {
 		if err := head.watch(eng); err != nil {
+			sp.Close()
+			journal.Close()
 			return nil, err
 		}
 	}
@@ -212,7 +218,11 @@ func startMirror(eng *health.Engine, reg *telemetry.Registry, spec string, repli
 
 // watch registers one health subject per member — TCP liveness probes
 // run through the engine's hysteresis — and arms a migration on each
-// member's demotion to dead.
+// member's demotion to dead. Because the spare is a fresh dial of the
+// member's own address, the dead-triggered migration usually cannot
+// dial it (the target is exactly what just went unreachable) and rolls
+// back; a second subscription therefore re-arms the move on the
+// subject's promotion back out of dead, when a fresh dial can succeed.
 func (h *mirrorHead) watch(eng *health.Engine) error {
 	probe := func(addr string) bool {
 		c, err := net.DialTimeout("tcp", addr, 250*time.Millisecond)
@@ -240,6 +250,30 @@ func (h *mirrorHead) watch(eng *health.Engine) error {
 				return
 			}
 			log.Printf("nvmecrd: member %d (%s) migrated: %s, %d bytes", i, addr, st.State, st.Copied)
+		})
+		subj.Subscribe(func(old, new health.State, _ health.Verdict) {
+			if old < health.Dead || new >= health.Dead {
+				return
+			}
+			// The target is reachable again. If the member's slot is
+			// still down — the dead-triggered migration rolled back
+			// because its spare dial hit the unreachable target — rerun
+			// the move now that the dial can land on the restarted
+			// (empty or stale) namespace.
+			if h.plane.State(i) != nvmeof.ChildDown {
+				return
+			}
+			go func() {
+				st, err := h.migrator.Migrate(i, "health:recovered")
+				if err != nil {
+					if errors.Is(err, rebalance.ErrMigrationActive) {
+						return
+					}
+					log.Printf("nvmecrd: re-admission of member %d (%s): %v", i, addr, err)
+					return
+				}
+				log.Printf("nvmecrd: member %d (%s) re-admitted: %s, %d bytes", i, addr, st.State, st.Copied)
+			}()
 		})
 	}
 	return nil

@@ -541,13 +541,16 @@ func (s *StripedPlane) Write(p *sim.Proc, off, length int64, data []byte, cmdUni
 			return s.writeGrouped(snap, spans, groups, off, data, cmdUnit)
 		}
 	}
-	var memberBuf [inlineChildren]memberView
 	return s.forEachSpan(p, spans, func(sp balancer.StripeSpan) error {
 		var chunk []byte
 		if data != nil {
 			rel := sp.Off - off
 			chunk = data[rel : rel+sp.Length]
 		}
+		// Per-call buffer: forEachSpan runs this callback concurrently
+		// on the real TCP path, so the attempt snapshot must not share
+		// backing across spans.
+		var memberBuf [inlineChildren]memberView
 		attempt, skipped := writeTargets(s.groupMembers(snap, sp.Target), memberBuf[:0])
 		if len(attempt) == 0 {
 			return fmt.Errorf("nvmeof: write group %d: %w", sp.Target, ErrNoReplica)

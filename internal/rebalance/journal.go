@@ -14,9 +14,10 @@
 package rebalance
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -89,9 +90,15 @@ type Journal struct {
 }
 
 // OpenJournal opens (creating if needed) the journal at path and
-// replays it. Torn trailing lines — a crash mid-append — are ignored,
-// not fatal: the transition they recorded never happened as far as
-// recovery is concerned, which is exactly the pre-append state.
+// replays it. A torn trailing line — a crash mid-append left bytes
+// with no terminating newline — is truncated away, not fatal: the
+// transition it recorded never happened as far as recovery is
+// concerned, which is exactly the pre-append state, and truncating
+// keeps the next Append from being glued onto the torn bytes. Only
+// the final, newline-less line can legitimately be torn; a
+// newline-terminated line that fails to parse is corruption and
+// surfaces as an error rather than silently dropping every record
+// after it.
 func OpenJournal(path string) (*Journal, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("rebalance: journal dir: %w", err)
@@ -100,30 +107,47 @@ func OpenJournal(path string) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rebalance: open journal: %w", err)
 	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("rebalance: read journal: %w", err)
+	}
 	j := &Journal{path: path, f: f, last: make(map[int64]Record), nextID: 1}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
+	// good is the byte offset just past the last fully-parsed,
+	// newline-terminated record — where appends resume.
+	good := 0
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// Torn tail: truncated below so the next Append starts on
+			// a clean line boundary.
+			break
+		}
+		line := data[off : off+nl]
+		lineStart := off
+		off += nl + 1
+		if len(bytes.TrimSpace(line)) == 0 {
+			good = off
 			continue
 		}
 		var r Record
 		if err := json.Unmarshal(line, &r); err != nil {
-			// Torn tail: stop replay here. Anything after a torn line
-			// is unreadable anyway.
-			break
+			f.Close()
+			return nil, fmt.Errorf("rebalance: journal %s: corrupt record at byte %d: %w", path, lineStart, err)
 		}
 		j.last[r.Migration] = r
 		if r.Migration >= j.nextID {
 			j.nextID = r.Migration + 1
 		}
+		good = off
 	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("rebalance: replay journal: %w", err)
+	if good < len(data) {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("rebalance: truncate torn journal tail: %w", err)
+		}
 	}
-	if _, err := f.Seek(0, 2); err != nil {
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("rebalance: seek journal: %w", err)
 	}

@@ -358,6 +358,96 @@ func TestJournalTornTailIgnored(t *testing.T) {
 	}
 }
 
+// TestJournalTornTailTruncatedBeforeAppend is the double-restart
+// regression: a torn tail must be truncated on open, not merely
+// skipped, or the next Append is glued onto the torn bytes with no
+// newline between them and the FOLLOWING replay silently drops the
+// appended record (and everything after it) at the merged line —
+// resurrecting a terminated migration and regressing NextID.
+func TestJournalTornTailTruncatedBeforeAppend(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Migration: 1, Child: 0, State: StateDraining}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Crash mid-append: torn JSON, no trailing newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"migration":1,"child":0,"sta`)
+	f.Close()
+
+	// First restart: replay ignores the tear, then terminates the
+	// migration.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(Record{Migration: 1, Child: 0, State: StateRolledBack}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(Record{Migration: 2, Child: 1, State: StateDraining}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	// Second restart: the terminal record (and everything after it)
+	// must still be there.
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	all := j3.All()
+	if len(all) != 2 {
+		t.Fatalf("replay after torn tail + append = %+v, want 2 migrations", all)
+	}
+	if all[0].Migration != 1 || all[0].State != StateRolledBack {
+		t.Fatalf("migration 1 tail = %+v, want rolledback (terminal record lost to torn-tail merge)", all[0])
+	}
+	if all[1].Migration != 2 || all[1].State != StateDraining {
+		t.Fatalf("migration 2 tail = %+v, want draining", all[1])
+	}
+	if id := j3.NextID(); id != 3 {
+		t.Fatalf("NextID after replay = %d, want 3 (regressed IDs reuse journaled migrations)", id)
+	}
+	if err := j3.Append(Record{Migration: 1, State: StateDone}); err == nil {
+		t.Fatal("terminated migration accepted a second terminal record after restart")
+	}
+}
+
+// Mid-file corruption is not a tear: only the final newline-less line
+// may be ignored. A newline-terminated garbage line must surface as an
+// open error instead of silently discarding every record after it.
+func TestJournalMidFileCorruptionSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Migration: 1, State: StateDraining}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("not json at all\n")
+	f.WriteString(`{"migration":1,"state":"done"}` + "\n")
+	f.Close()
+	if _, err := OpenJournal(path); err == nil {
+		t.Fatal("mid-file corruption silently ignored; records after it would be dropped")
+	}
+}
+
 func TestJournalRejectsSecondTerminal(t *testing.T) {
 	j, err := OpenJournal(filepath.Join(t.TempDir(), "j"))
 	if err != nil {
