@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/qos/campaign"
+)
+
+// campaignReport is the BENCH_qos.json payload Gate 6 parses: the
+// victim-tail and fairness numbers from the two canonical QoS
+// scenarios, plus enough context to read the file standalone.
+type campaignReport struct {
+	Seed int64 `json:"seed"`
+
+	// Duel: victim + one admission-limited aggressor, no faults.
+	VictimP999Ms     float64 `json:"victim_p999_ms"`
+	SoloP999Ms       float64 `json:"solo_p999_ms"`
+	VictimP999Ratio  float64 `json:"victim_p999_ratio"`
+	VictimCompleted  uint64  `json:"victim_completed"`
+	AggressorAdmit   uint64  `json:"aggressor_admitted"`
+	AggressorRejects uint64  `json:"aggressor_rejected"`
+
+	// Four identical tenants splitting the same targets.
+	JainEqual4 float64 `json:"jain_equal4"`
+
+	Violations []string `json:"violations"`
+}
+
+// runCampaign executes the bench QoS campaign (Gate 6): the duel
+// scenario for the victim p99.9 ratio and the equal-4 scenario for
+// Jain's fairness index, writing the JSON report to w. Any invariant
+// violation from either run lands in the report and fails the caller.
+func runCampaign(w io.Writer, seed int64) error {
+	duel, err := campaign.Run(campaign.DuelConfig(seed))
+	if err != nil {
+		return fmt.Errorf("campaign duel: %w", err)
+	}
+	equal, err := campaign.Run(campaign.EqualConfig(seed, 4))
+	if err != nil {
+		return fmt.Errorf("campaign equal4: %w", err)
+	}
+
+	victim := duel.Tenant("victim")
+	agg := duel.Tenant("aggressor")
+	rep := campaignReport{
+		Seed:            seed,
+		VictimP999Ms:    float64(victim.P999) / float64(time.Millisecond),
+		SoloP999Ms:      float64(duel.SoloVictimP999) / float64(time.Millisecond),
+		VictimCompleted: victim.Completed,
+		JainEqual4:      equal.Jain,
+	}
+	if agg != nil {
+		rep.AggressorAdmit = agg.Admitted
+		rep.AggressorRejects = agg.Rejected
+	}
+	if duel.SoloVictimP999 > 0 {
+		rep.VictimP999Ratio = float64(victim.P999) / float64(duel.SoloVictimP999)
+	}
+	rep.Violations = append(rep.Violations, duel.Violations...)
+	rep.Violations = append(rep.Violations, equal.Violations...)
+	if rep.Violations == nil {
+		rep.Violations = []string{}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if len(rep.Violations) > 0 {
+		return fmt.Errorf("campaign: %d invariant violations (seed %d): %s", len(rep.Violations), seed, rep.Violations[0])
+	}
+	fmt.Fprintf(os.Stderr, "campaign: victim p99.9 %.2fms (solo %.2fms, ratio %.2f), jain(4) %.3f\n",
+		rep.VictimP999Ms, rep.SoloP999Ms, rep.VictimP999Ratio, rep.JainEqual4)
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 
 	"github.com/nvme-cr/nvmecr/internal/health"
 	"github.com/nvme-cr/nvmecr/internal/nvmeof"
+	"github.com/nvme-cr/nvmecr/internal/qos"
 	"github.com/nvme-cr/nvmecr/internal/rebalance"
 	"github.com/nvme-cr/nvmecr/internal/vfs"
 )
@@ -34,12 +35,14 @@ type healthzDoc struct {
 // behind ?format=text for legacy probes), /health (the engine's full
 // per-subject verdicts), /debug/flight (the flight recorder's last
 // commands per queue pair), /tenants (the mount table, when -tenants
-// is set), /rebalance (migration progress, and POST ?child=N to force
-// a move, when -mirror is set), and the standard pprof endpoints on
-// addr. It returns the bound address (useful with ":0"). eng may be
-// nil (-health-interval 0): /health answers 404 and /healthz rolls up
-// with no layers. mig may be nil (no -mirror): /rebalance answers 404.
-func startAdmin(addr string, tgt *nvmeof.Target, mounts *vfs.Namespace, eng *health.Engine, mig *rebalance.Migrator) (string, error) {
+// is set), /qos (per-tenant admission buckets, when -qos-ops or
+// -qos-bytes is set), /rebalance (migration progress, and POST
+// ?child=N to force a move, when -mirror is set), and the standard
+// pprof endpoints on addr. It returns the bound address (useful with
+// ":0"). eng may be nil (-health-interval 0): /health answers 404 and
+// /healthz rolls up with no layers. mig may be nil (no -mirror):
+// /rebalance answers 404. ctrl may be nil (no QoS): /qos answers 404.
+func startAdmin(addr string, tgt *nvmeof.Target, mounts *vfs.Namespace, ctrl *qos.Controller, eng *health.Engine, mig *rebalance.Migrator) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("admin listener: %w", err)
@@ -110,6 +113,16 @@ func startAdmin(addr string, tgt *nvmeof.Target, mounts *vfs.Namespace, eng *hea
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(tenantTable(mounts)); err != nil {
 				log.Printf("nvmecrd: /tenants: %v", err)
+			}
+		})
+	}
+	if ctrl != nil {
+		mux.HandleFunc("/qos", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(ctrl.Snapshot()); err != nil {
+				log.Printf("nvmecrd: /qos: %v", err)
 			}
 		})
 	}

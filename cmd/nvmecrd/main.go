@@ -18,6 +18,7 @@ import (
 	"github.com/nvme-cr/nvmecr/internal/health"
 	"github.com/nvme-cr/nvmecr/internal/model"
 	"github.com/nvme-cr/nvmecr/internal/nvmeof"
+	"github.com/nvme-cr/nvmecr/internal/qos"
 	"github.com/nvme-cr/nvmecr/internal/rebalance"
 	"github.com/nvme-cr/nvmecr/internal/vfs"
 )
@@ -31,6 +32,8 @@ func main() {
 	qpStats := flag.Bool("qp-stats", false, "also report per-queue-pair stats each interval")
 	admin := flag.String("admin", "", "admin HTTP listen address for /metrics, /health, /healthz, pprof (empty disables)")
 	tenants := flag.String("tenants", "", "comma-separated tenant mounts `name[:quota-mb]`; each gets /tenants/<name> on an in-memory backend, with nvmecr_mount_* series on /metrics and the table on /tenants")
+	qosOps := flag.Float64("qos-ops", 0, "per-tenant admission budget in ops/sec for -tenants mounts (0 = unlimited)")
+	qosBytes := flag.Float64("qos-bytes", 0, "per-tenant admission budget in bytes/sec for -tenants mounts (0 = unlimited)")
 	healthEvery := flag.Duration("health-interval", time.Second, "health-engine evaluation cadence (0 disables the engine)")
 	incidentDir := flag.String("incident-dir", "", "directory for black-box incident bundles on SLO breach or suspect verdicts (empty disables capture)")
 	mirror := flag.String("mirror", "", "comma-separated member target addresses to aggregate as a mirrored striped plane (mirror-head mode; count must be a multiple of -mirror-replicas)")
@@ -47,8 +50,14 @@ func main() {
 		}
 	}
 	var mounts *vfs.Namespace
+	var qosCtrl *qos.Controller
 	if *tenants != "" {
-		ns, err := buildTenantNamespace(tgt.Telemetry(), *tenants)
+		var lim qos.TenantLimits
+		if *qosOps > 0 || *qosBytes > 0 {
+			qosCtrl = qos.NewController(tgt.Telemetry())
+			lim = qos.TenantLimits{OpsPerSec: *qosOps, BytesPerSec: *qosBytes}
+		}
+		ns, err := buildTenantNamespace(tgt.Telemetry(), *tenants, qosCtrl, lim)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,6 +70,11 @@ func main() {
 				log.Printf("nvmecrd: tenant %s mounted at %s (no quota)", m.Name(), m.Path())
 			}
 		}
+		if qosCtrl != nil {
+			log.Printf("nvmecrd: qos admission on tenant mounts (%g ops/s, %g bytes/s per tenant)", *qosOps, *qosBytes)
+		}
+	} else if *qosOps > 0 || *qosBytes > 0 {
+		log.Fatal("nvmecrd: -qos-ops/-qos-bytes require -tenants")
 	}
 	bound, err := tgt.Listen(*addr)
 	if err != nil {
@@ -107,7 +121,7 @@ func main() {
 		if head != nil {
 			mig = head.migrator
 		}
-		adminAddr, err := startAdmin(*admin, tgt, mounts, eng, mig)
+		adminAddr, err := startAdmin(*admin, tgt, mounts, qosCtrl, eng, mig)
 		if err != nil {
 			log.Fatal(err)
 		}

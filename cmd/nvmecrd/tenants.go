@@ -1,8 +1,10 @@
 // Tenant mount table: -tenants provisions a vfs.Namespace inside the
 // daemon, one mount per tenant on an in-memory backend with an optional
-// byte quota. The mounts' nvmecr_mount_* series live in the target's
-// telemetry registry, so /metrics exposes per-tenant usage alongside
-// the wire counters, and /tenants reports the mount table as JSON.
+// byte quota and, when -qos-ops/-qos-bytes are set, a per-tenant
+// admission budget. The mounts' nvmecr_mount_* and nvmecr_qos_* series
+// live in the target's telemetry registry, so /metrics exposes
+// per-tenant usage alongside the wire counters, /tenants reports the
+// mount table as JSON, and /qos reports the admission buckets.
 package main
 
 import (
@@ -11,13 +13,16 @@ import (
 	"strings"
 
 	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/qos"
 	"github.com/nvme-cr/nvmecr/internal/telemetry"
 	"github.com/nvme-cr/nvmecr/internal/vfs"
 )
 
 // buildTenantNamespace parses "name[:quota-mb],..." and mounts each
-// tenant at /tenants/<name>.
-func buildTenantNamespace(reg *telemetry.Registry, spec string) (*vfs.Namespace, error) {
+// tenant at /tenants/<name>. When ctrl is non-nil every mount gets its
+// own admission bucket with limits lim; quota is still consulted first,
+// so a tenant at both limits sees ErrNoSpace, not ErrAdmission.
+func buildTenantNamespace(reg *telemetry.Registry, spec string, ctrl *qos.Controller, lim qos.TenantLimits) (*vfs.Namespace, error) {
 	ns := vfs.NewNamespace(reg)
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
@@ -36,11 +41,16 @@ func buildTenantNamespace(reg *telemetry.Registry, spec string) (*vfs.Namespace,
 		if name == "" || strings.ContainsAny(name, "/ ") {
 			return nil, fmt.Errorf("tenant name %q: must be non-empty without '/' or spaces", name)
 		}
+		var adm vfs.Admission
+		if ctrl != nil {
+			adm = ctrl.Tenant(name, lim)
+		}
 		if _, err := ns.Mount(vfs.MountConfig{
 			Path:       "/tenants/" + name,
 			Backend:    vfs.NewMemBackend(),
 			Name:       name,
 			QuotaBytes: quota,
+			Admission:  adm,
 		}); err != nil {
 			return nil, fmt.Errorf("tenant %q: %w", name, err)
 		}

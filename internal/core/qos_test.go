@@ -1,0 +1,79 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/nvme-cr/nvmecr/internal/mpi"
+	"github.com/nvme-cr/nvmecr/internal/qos"
+	"github.com/nvme-cr/nvmecr/internal/sim"
+	"github.com/nvme-cr/nvmecr/internal/telemetry"
+	"github.com/nvme-cr/nvmecr/internal/vfs"
+)
+
+// TestNamespaceQoS wires per-rank admission control into the runtime's
+// multi-tenant namespace: a rank burning through its ops budget is
+// rejected with qos.ErrAdmission — synchronously, never a hang — while
+// its neighbor's tenant budget is untouched.
+func TestNamespaceQoS(t *testing.T) {
+	env, world, fab, devs := testJob(t, 4, false)
+	rt, err := NewRuntime(env, world, fab, devs, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	ctrl := qos.NewController(reg)
+	// A near-zero rate with a 3-op burst: open + two writes fit, the
+	// third write is over budget.
+	lim := qos.TenantLimits{OpsPerSec: 1e-6, OpsBurst: 3}
+
+	world.Launch(func(r *mpi.Rank, p *sim.Proc) {
+		if _, err := rt.InitRank(p, r); err != nil {
+			t.Errorf("rank %d init: %v", r.ID(), err)
+			return
+		}
+		if err := world.Comm().Barrier(p, r); err != nil {
+			t.Errorf("rank %d barrier: %v", r.ID(), err)
+			return
+		}
+		if r.ID() != 0 {
+			return
+		}
+		ns, err := rt.NamespaceQoS(reg, ctrl, lim)
+		if err != nil {
+			t.Errorf("NamespaceQoS: %v", err)
+			return
+		}
+		f, err := ns.Open(p, "/rank0000/ckpt", vfs.O_WRONLY|vfs.O_CREATE, 0o644)
+		if err != nil {
+			t.Errorf("open within budget: %v", err)
+			return
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := f.Write(p, []byte("burst")); err != nil {
+				t.Errorf("write %d within budget: %v", i, err)
+			}
+		}
+		if _, err := f.Write(p, []byte("over")); !errors.Is(err, qos.ErrAdmission) {
+			t.Errorf("over budget: got %v, want qos.ErrAdmission", err)
+		}
+		// The neighbor's tenant has its own bucket.
+		g, err := ns.Open(p, "/rank0001/ckpt", vfs.O_WRONLY|vfs.O_CREATE, 0o644)
+		if err != nil {
+			t.Errorf("neighbor tenant rejected: %v", err)
+			return
+		}
+		g.Close(p)
+		f.Close(p)
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if st := ctrl.Lookup("rank0000").Stats(); st.RejectedOps == 0 {
+		t.Fatalf("rank0000 tenant never rejected: %+v", st)
+	}
+	if v := reg.Counter(qos.MetricRejected, telemetry.Labels{"tenant": "rank0000", "reason": "ops"}).Value(); v == 0 {
+		t.Fatal("nvmecr_qos_rejected_total{tenant=rank0000} never moved")
+	}
+}

@@ -65,6 +65,27 @@ type PoolConfig struct {
 	// BusyPollSpins bounds the busy-poll spin count (default 128;
 	// ignored unless BusyPoll is set).
 	BusyPollSpins int
+	// Gate, when non-nil, is consulted before every command leaves the
+	// pool: Acquire must grant a slot (deadline-ordered admission, see
+	// sched.EDF) or fail with a typed error that surfaces to the
+	// caller unwrapped. The deadline passed is now+CommandTimeout, or
+	// zero when the pool has no timeout. Composes with QPBias: the gate
+	// decides *when* a command may submit, bias decides *where*.
+	Gate CommandGate
+	// GateTenant is the tenant label this pool presents to Gate
+	// (default "default"). One gate shared across per-tenant pools is
+	// how multi-tenant deadline scheduling is wired up.
+	GateTenant string
+}
+
+// CommandGate is the pool's admission hook for deadline-aware command
+// scheduling. sched.EDF satisfies it. Acquire blocks until a slot is
+// granted — at most until deadline — and returns a release function,
+// or fails with the gate's typed error (e.g. sched.ErrShed,
+// sched.ErrLate); errors.Is must work on the result. A zero deadline
+// means the command has no bound.
+type CommandGate interface {
+	Acquire(tenant string, deadline time.Time) (func(), error)
 }
 
 func (c PoolConfig) withDefaults() PoolConfig {
@@ -81,6 +102,9 @@ func (c PoolConfig) withDefaults() PoolConfig {
 	}
 	if c.ReconnectBackoff <= 0 {
 		c.ReconnectBackoff = 10 * time.Millisecond
+	}
+	if c.GateTenant == "" {
+		c.GateTenant = "default"
 	}
 	return c
 }
@@ -401,11 +425,31 @@ func (p *HostPool) reconnect(s *qpSlot) {
 	}
 }
 
+// gateAcquire enters the pool's command gate (when one is configured)
+// with a deadline of now+CommandTimeout, covering the whole command
+// including retries. The returned release is safe to call when the
+// gate is nil.
+func (p *HostPool) gateAcquire() (func(), error) {
+	if p.cfg.Gate == nil {
+		return func() {}, nil
+	}
+	var deadline time.Time
+	if p.cfg.CommandTimeout > 0 {
+		deadline = time.Now().Add(p.cfg.CommandTimeout)
+	}
+	return p.cfg.Gate.Acquire(p.cfg.GateTenant, deadline)
+}
+
 // do runs one command on a selected queue pair; idempotent commands are
 // retried with backoff on transport failures and timeouts. A completion
 // with a non-OK status is a definitive answer, not a transport failure,
 // and is returned without retrying.
 func (p *HostPool) do(cmd *Command, idempotent bool) (Response, error) {
+	release, err := p.gateAcquire()
+	if err != nil {
+		return Response{}, err
+	}
+	defer release()
 	attempts := 1
 	if idempotent {
 		attempts += p.cfg.MaxRetries
@@ -468,6 +512,11 @@ func (p *HostPool) WriteAt(off int64, data []byte) error {
 // socket as its own iovec (see Host.WriteAtV). Like WriteAt, it is not
 // retried.
 func (p *HostPool) WriteAtV(off int64, bufs [][]byte) error {
+	release, err := p.gateAcquire()
+	if err != nil {
+		return err
+	}
+	defer release()
 	s, h, err := p.acquire()
 	if err != nil {
 		return fmt.Errorf("nvmeof: writev: %w", err)
@@ -485,6 +534,11 @@ func (p *HostPool) WriteAtV(off int64, bufs [][]byte) error {
 // offset. The buffer stays pinned while the capsule is in flight (see
 // Host.WriteAtBuffer and BufferPool). Not retried.
 func (p *HostPool) WriteAtBuffer(off int64, buf *Buffer) error {
+	release, err := p.gateAcquire()
+	if err != nil {
+		return err
+	}
+	defer release()
 	s, h, err := p.acquire()
 	if err != nil {
 		return fmt.Errorf("nvmeof: write-buffer: %w", err)

@@ -1,0 +1,148 @@
+package nvmeof
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nvme-cr/nvmecr/internal/model"
+	"github.com/nvme-cr/nvmecr/internal/sched"
+)
+
+func newGateTestPool(t *testing.T, cfg PoolConfig) *HostPool {
+	t.Helper()
+	tgt := NewTarget()
+	if err := tgt.AddNamespace(1, NewMemNamespace(model.MB)); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := tgt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tgt.Close() })
+	pool, err := DialPool(addr, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pool.Close() })
+	return pool
+}
+
+// A gated pool works end to end: commands pass through the EDF gate,
+// grants are counted, and data round-trips intact.
+func TestPoolGateComposes(t *testing.T) {
+	gate := sched.NewEDF(sched.EDFConfig{Capacity: 2})
+	pool := newGateTestPool(t, PoolConfig{
+		QueuePairs:     2,
+		CommandTimeout: time.Second,
+		Gate:           gate,
+		GateTenant:     "tenant-a",
+	})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data := []byte(fmt.Sprintf("chunk-%02d", i))
+			off := int64(i) * 64
+			if err := pool.WriteAt(off, data); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+			got, err := pool.ReadAt(off, int64(len(data)))
+			if err != nil {
+				t.Errorf("read %d: %v", i, err)
+				return
+			}
+			if string(got) != string(data) {
+				t.Errorf("read %d: got %q want %q", i, got, data)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := gate.Stats()
+	if st.Granted < 16 {
+		t.Fatalf("gate saw %d grants, want >= 16 (every command gated)", st.Granted)
+	}
+	if st.InFlight != 0 || st.Waiting != 0 {
+		t.Fatalf("gate not drained after pool work: %+v", st)
+	}
+}
+
+// Typed gate errors surface to the pool caller unwrapped: a shed
+// command reports sched.ErrShed via errors.Is, immediately, without
+// touching the wire.
+func TestPoolGateShedSurfacesTyped(t *testing.T) {
+	gate := sched.NewEDF(sched.EDFConfig{Capacity: 1, MaxWaiters: 1})
+	pool := newGateTestPool(t, PoolConfig{
+		QueuePairs:     1,
+		CommandTimeout: 2 * time.Second,
+		Gate:           gate,
+	})
+
+	// Occupy the only slot and the only queue position directly.
+	release, err := gate.Acquire("other", time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked := make(chan struct{})
+	go func() {
+		rel, err := gate.Acquire("other", time.Time{})
+		if err == nil {
+			rel()
+		}
+		close(parked)
+	}()
+	for gate.Waiting() < 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	start := time.Now()
+	err = pool.WriteAt(0, []byte("shed me"))
+	if !errors.Is(err, sched.ErrShed) {
+		t.Fatalf("got %v, want sched.ErrShed", err)
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("shed took %v; backpressure must be immediate", d)
+	}
+	// Reads and vectored writes hit the same gate.
+	if _, err := pool.ReadAt(0, 8); !errors.Is(err, sched.ErrShed) {
+		t.Fatalf("read: got %v, want sched.ErrShed", err)
+	}
+	if err := pool.WriteAtV(0, [][]byte{[]byte("a"), []byte("b")}); !errors.Is(err, sched.ErrShed) {
+		t.Fatalf("writev: got %v, want sched.ErrShed", err)
+	}
+
+	release()
+	<-parked
+	if err := pool.WriteAt(0, []byte("now admitted")); err != nil {
+		t.Fatalf("write after gate drained: %v", err)
+	}
+}
+
+// A queued command whose deadline passes before a slot frees reports
+// sched.ErrLate — the pool never hangs past its own CommandTimeout
+// waiting on the gate.
+func TestPoolGateLateSurfacesTyped(t *testing.T) {
+	gate := sched.NewEDF(sched.EDFConfig{Capacity: 1, MaxWaiters: 8})
+	pool := newGateTestPool(t, PoolConfig{
+		QueuePairs:     1,
+		CommandTimeout: 50 * time.Millisecond,
+		Gate:           gate,
+	})
+
+	release, err := gate.Acquire("hog", time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	if err := pool.WriteAt(0, []byte("too late")); !errors.Is(err, sched.ErrLate) {
+		t.Fatalf("got %v, want sched.ErrLate", err)
+	}
+}

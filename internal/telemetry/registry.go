@@ -241,6 +241,7 @@ func (h *Histogram) Latency() LatencySnapshot {
 		P50:   time.Duration(h.Quantile(0.50) * float64(time.Second)),
 		P95:   time.Duration(h.Quantile(0.95) * float64(time.Second)),
 		P99:   time.Duration(h.Quantile(0.99) * float64(time.Second)),
+		P999:  time.Duration(h.Quantile(0.999) * float64(time.Second)),
 	}
 }
 
@@ -407,7 +408,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			print("%s_sum%s %g\n", in.name, promLabels(in.labels, "", ""), in.h.Sum())
 			print("%s_count%s %d\n", in.name, promLabels(in.labels, "", ""), in.h.Count())
 			emitType(in.name+"_quantile", "gauge")
-			for _, q := range []float64{0.5, 0.95, 0.99} {
+			for _, q := range []float64{0.5, 0.95, 0.99, 0.999} {
 				print("%s_quantile%s %g\n", in.name,
 					promLabels(in.labels, "quantile", strconv.FormatFloat(q, 'g', -1, 64)), in.h.Quantile(q))
 			}

@@ -7,13 +7,17 @@ import "time"
 // these types, with one naming convention — Commands, Errors, Retries,
 // Reconnects — instead of each package inventing its own stats struct.
 
-// LatencySnapshot summarizes a latency histogram at one instant.
+// LatencySnapshot summarizes a latency histogram at one instant. P999
+// is bucket-interpolated like the others — fine for dashboards; tail
+// assertions in tests use exact sample quantiles instead (the QoS
+// campaign runner keeps raw wall-clock samples for that reason).
 type LatencySnapshot struct {
 	Count uint64
 	Mean  time.Duration
 	P50   time.Duration
 	P95   time.Duration
 	P99   time.Duration
+	P999  time.Duration
 }
 
 // HostQPSnapshot is the initiator-side view of one queue pair (one

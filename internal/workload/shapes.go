@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ShapeKind names one tenant traffic shape in a multi-tenant campaign.
+// Shapes describe *intent* — how a tenant's ranks pace and size their
+// IO — independently of the transport that carries it, so the QoS
+// campaign runner (internal/qos/campaign) and the simulation harness
+// can draw from the same vocabulary.
+type ShapeKind int
+
+const (
+	// ShapeVictim is the well-behaved tenant whose tail latency the
+	// campaign protects: steady, low-rate, small operations with think
+	// time between them.
+	ShapeVictim ShapeKind = iota
+	// ShapeAggressor saturates the target: large writes issued flat
+	// out with no think time, the noisy neighbor admission control
+	// exists to contain.
+	ShapeAggressor
+	// ShapeBursty alternates idle spells with short full-rate bursts —
+	// the checkpoint-dump cadence, bursty enough to test burst-bucket
+	// sizing without sustained saturation.
+	ShapeBursty
+	// ShapeRestartStorm is many ranks reading back checkpoints at
+	// once: read-heavy, synchronized start, the restart stampede of
+	// the paper's recovery path.
+	ShapeRestartStorm
+)
+
+// String names the shape for labels and failure messages.
+func (k ShapeKind) String() string {
+	switch k {
+	case ShapeVictim:
+		return "victim"
+	case ShapeAggressor:
+		return "aggressor"
+	case ShapeBursty:
+		return "bursty"
+	case ShapeRestartStorm:
+		return "restart-storm"
+	default:
+		return fmt.Sprintf("shape(%d)", int(k))
+	}
+}
+
+// Shape is one tenant's traffic recipe: per-op sizing, read mix, and
+// pacing. Ops counts are per rank; the runner multiplies by the
+// tenant's rank count.
+type Shape struct {
+	Kind ShapeKind
+	// OpBytes is the payload size of one IO.
+	OpBytes int64
+	// ReadFraction is the probability an op is a read (0 = all
+	// writes, 1 = all reads).
+	ReadFraction float64
+	// OpsPerRank is how many operations each rank issues.
+	OpsPerRank int
+	// ThinkOps is the mean think time between a rank's ops, expressed
+	// in units of "modeled op durations" (0 = issue flat out). The
+	// runner translates it to wall time against its own service-time
+	// model, keeping shapes transport-independent.
+	ThinkOps float64
+	// BurstLen is how many ops a bursty rank issues back to back
+	// before idling; 0 means no burst structure (uniform pacing).
+	BurstLen int
+}
+
+// ShapeFor returns the canonical recipe for a kind, sized so one rank's
+// working set is opBytes*OpsPerRank. These are the campaign defaults;
+// callers tweak fields after the fact when a scenario needs it.
+func ShapeFor(kind ShapeKind, opBytes int64) Shape {
+	switch kind {
+	case ShapeAggressor:
+		return Shape{Kind: kind, OpBytes: opBytes * 4, ReadFraction: 0, OpsPerRank: 64, ThinkOps: 0}
+	case ShapeBursty:
+		return Shape{Kind: kind, OpBytes: opBytes, ReadFraction: 0.25, OpsPerRank: 32, ThinkOps: 4, BurstLen: 8}
+	case ShapeRestartStorm:
+		return Shape{Kind: kind, OpBytes: opBytes * 2, ReadFraction: 1, OpsPerRank: 32, ThinkOps: 0}
+	default: // ShapeVictim
+		return Shape{Kind: ShapeVictim, OpBytes: opBytes, ReadFraction: 0.5, OpsPerRank: 24, ThinkOps: 8}
+	}
+}
+
+// IsRead draws whether the rank's next op is a read, from the shape's
+// read mix and the rank's own seeded source.
+func (s Shape) IsRead(rng *rand.Rand) bool {
+	if s.ReadFraction <= 0 {
+		return false
+	}
+	if s.ReadFraction >= 1 {
+		return true
+	}
+	return rng.Float64() < s.ReadFraction
+}
+
+// ThinkFactor draws the pacing multiplier before the rank's next op: 0
+// for flat-out shapes; for paced shapes an exponential draw around
+// ThinkOps, except inside a burst (op index within BurstLen) where
+// bursty ranks issue back to back.
+func (s Shape) ThinkFactor(rng *rand.Rand, opIndex int) float64 {
+	if s.ThinkOps <= 0 {
+		return 0
+	}
+	if s.BurstLen > 0 && opIndex%s.BurstLen != 0 {
+		return 0
+	}
+	f := rng.ExpFloat64() * s.ThinkOps
+	if s.BurstLen > 0 {
+		// The whole burst's think budget lands on its first op.
+		f *= float64(s.BurstLen)
+	}
+	return f
+}

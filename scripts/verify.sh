@@ -31,8 +31,12 @@ else
 	echo "== shadow analyzer not installed; skipping shadow check"
 fi
 
-echo "== go test"
-go test ./...
+echo "== go test (shuffled)"
+# -shuffle=on randomizes test and subtest order per run so that
+# order-dependent tests (shared package state, leaked globals) fail
+# here instead of in some future refactor. A failure prints the shuffle
+# seed; replay with: go test -shuffle=<seed> <package>
+go test -shuffle=on ./...
 
 echo "== go test -race (concurrent transport + telemetry)"
 # ./internal/nvmeof includes the batching and striping concurrency
@@ -56,6 +60,25 @@ echo "== go test -race (mount table / multi-tenant namespace)"
 # just the serialized simulation: mount resolution, quota counters, and
 # per-mount telemetry must be race-clean.
 go test -race ./internal/vfs
+
+echo "== go test -race (qos admission + deadline gate)"
+# Token buckets are hit from every rank goroutine and the EDF gate
+# hands slots directly between goroutines under its lock; both must be
+# race-clean, as must the pool's gate acquire/release composition.
+go test -race ./internal/qos ./internal/sched
+
+echo "== multi-tenant QoS campaign (short mode)"
+# 10 seeded iterations of the mixed campaign — victim + 32-rank
+# aggressor + bursty + restart-storm tenants over real TCP targets with
+# mid-campaign fault injection — asserting victim tail bounds, Jain
+# fairness, command conservation, and telemetry agreement. The
+# nightly-style 100-seed sweep (128-rank aggressors) is:
+#
+#     go test -count=1 ./internal/qos/campaign
+#
+# A failure prints the reproducing seed, the violations, and the fault
+# trace.
+go test -short -count=1 ./internal/qos/campaign
 
 echo "== go test -race (health/SLO engine)"
 # The engine ticks from its own goroutine while subjects register,
